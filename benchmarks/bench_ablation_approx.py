@@ -1,0 +1,82 @@
+"""Ablation: value-approximation error vs bit budget (§4.3 knobs).
+
+Sweeps multiplicative / additive compressors across budgets and checks
+the measured error against each codec's analytic bound, plus the Morris
+randomized counter's accuracy-vs-bits trade-off.
+"""
+
+import random
+
+from conftest import print_table
+
+from repro.approx import (
+    AdditiveCompressor,
+    MorrisCounter,
+    MultiplicativeCompressor,
+    delta_for_bits,
+    epsilon_for_bits,
+)
+from repro.hashing import GlobalHash
+
+BITS_GRID = [4, 6, 8, 12, 16]
+MAX_VALUE = float(2**32 - 1)
+SAMPLES = 400
+
+
+def generate_figure():
+    rng = random.Random(0)
+    values = [10 ** rng.uniform(0, 9.6) for _ in range(SAMPLES)]
+    out = {"multiplicative": [], "additive": [], "morris": []}
+    for bits in BITS_GRID:
+        eps = epsilon_for_bits(bits, MAX_VALUE) * 1.0001
+        comp = MultiplicativeCompressor(eps, bits=bits, max_value=MAX_VALUE)
+        errs = [comp.relative_error(v) for v in values]
+        out["multiplicative"].append(
+            (bits, eps, max(errs), sum(errs) / len(errs))
+        )
+        delta = delta_for_bits(bits, MAX_VALUE)
+        add = AdditiveCompressor(delta, bits=bits, max_value=MAX_VALUE)
+        aerrs = [add.absolute_error(v) for v in values]
+        out["additive"].append((bits, delta, max(aerrs)))
+    for a in (1.0, 0.5, 0.1):
+        counts = []
+        for seed in range(30):
+            counter = MorrisCounter(a=a, grid=GlobalHash(seed, "ablation"))
+            for _ in range(2000):
+                counter.increment()
+            counts.append(counter.estimate())
+        mean = sum(counts) / len(counts)
+        out["morris"].append((a, mean, counter.bits_needed(2000)))
+    return out
+
+
+def test_ablation_value_approximation(figure):
+    data = figure(generate_figure)
+    print_table(
+        "Ablation: multiplicative compression error vs bits",
+        ["bits", "epsilon", "max_rel_err", "mean_rel_err"],
+        [(b, f"{e:.4f}", f"{mx:.4f}", f"{mn:.4f}")
+         for b, e, mx, mn in data["multiplicative"]],
+    )
+    print_table(
+        "Ablation: additive compression error vs bits",
+        ["bits", "delta", "max_abs_err"],
+        [(b, f"{d:.3e}", f"{mx:.3e}") for b, d, mx in data["additive"]],
+    )
+    print_table(
+        "Ablation: Morris counter (2000 increments)",
+        ["a", "mean_estimate", "bits"],
+        [(a, f"{m:.0f}", bits) for a, m, bits in data["morris"]],
+    )
+    # Error strictly decreases with budget.
+    mult_errs = [mx for _, _, mx, _ in data["multiplicative"]]
+    assert mult_errs == sorted(mult_errs, reverse=True)
+    # Measured error never exceeds the (one-step) analytic bound.
+    for bits, eps, mx, _ in data["multiplicative"]:
+        assert mx <= (1 + eps) ** 2 - 1 + 1e-9
+    for bits, delta, mx in data["additive"]:
+        assert mx <= delta + 1e-6
+    # Morris stays within 25% of the truth on average, in ~4-6 bits.
+    for a, mean, bits in data["morris"]:
+        assert 1500 < mean < 2500
+        assert bits <= 8

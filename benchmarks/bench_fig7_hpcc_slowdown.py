@@ -1,0 +1,85 @@
+"""Figure 7: HPCC(INT) vs HPCC(PINT) -- 95th-pct slowdown and goodput gain.
+
+(a) relative goodput improvement of PINT over INT at rising load;
+(b)/(c) per-size-decile p95 slowdown on web-search / Hadoop at 50% load.
+Shape to hold: PINT matches INT overall, wins on long flows (overhead
+saving), at most slightly loses on short ones; the gain grows with load.
+"""
+
+from conftest import print_table
+
+from repro.sim import (
+    hadoop_cdf,
+    run_hpcc_experiment,
+    web_search_cdf,
+)
+
+SCALE = 0.01
+_SIM = dict(duration=0.3, max_flows=120, link_rate_bps=100e6, k=4)
+
+
+def _buckets(deciles):
+    return sorted({max(1, int(s * SCALE)) for s, _ in deciles})
+
+
+def generate_figure():
+    from repro.sim.workload import HADOOP_DECILES, WEB_SEARCH_DECILES
+
+    workloads = {
+        "web-search": (web_search_cdf(SCALE), _buckets(WEB_SEARCH_DECILES)),
+        "hadoop": (hadoop_cdf(SCALE), _buckets(HADOOP_DECILES)),
+    }
+    out = {"slowdown": {}, "goodput_gain": []}
+    for name, (cdf, buckets) in workloads.items():
+        per_mode = {}
+        for mode in ("int", "pint"):
+            res = run_hpcc_experiment(mode, load=0.5, cdf=cdf, seed=11, **_SIM)
+            per_mode[mode] = {
+                "p95_by_bucket": res.slowdown_p95_by_bucket(buckets),
+                "mean_slowdown": res.mean_slowdown(),
+                "count": res.count,
+            }
+        out["slowdown"][name] = per_mode
+    # (a) goodput gain of large flows vs load (web-search).
+    cdf, _ = workloads["web-search"]
+    long_cut = int(10_000_000 * SCALE)
+    for load in (0.3, 0.5, 0.7):
+        gp = {}
+        for mode in ("int", "pint"):
+            res = run_hpcc_experiment(mode, load=load, cdf=cdf, seed=13, **_SIM)
+            try:
+                gp[mode] = res.goodput_of_large(long_cut)
+            except ValueError:
+                gp[mode] = float("nan")
+        gain = (gp["pint"] - gp["int"]) / gp["int"] * 100.0
+        out["goodput_gain"].append((load, gain))
+    return out
+
+
+def test_fig7_hpcc_int_vs_pint(figure):
+    data = figure(generate_figure)
+    for name, per_mode in data["slowdown"].items():
+        rows = []
+        for mode, stats in per_mode.items():
+            for edge, p95 in stats["p95_by_bucket"]:
+                rows.append((mode, edge, "-" if p95 is None else f"{p95:.2f}"))
+        print_table(
+            f"Fig 7 ({name}): p95 slowdown by flow-size decile",
+            ["telemetry", "size<=B", "p95_slowdown"],
+            rows,
+        )
+    print_table(
+        "Fig 7(a): PINT goodput gain over INT (large flows)",
+        ["load", "gain_%"],
+        [(f"{l:.0%}", f"{g:.1f}") for l, g in data["goodput_gain"]],
+    )
+    for name, per_mode in data["slowdown"].items():
+        int_mean = per_mode["int"]["mean_slowdown"]
+        pint_mean = per_mode["pint"]["mean_slowdown"]
+        # PINT must be comparable overall (within 25%) -- the headline.
+        assert pint_mean < int_mean * 1.25, (
+            f"{name}: PINT slowdown {pint_mean:.2f} vs INT {int_mean:.2f}"
+        )
+    # Goodput gain should be positive at high load (PINT saves bytes).
+    gains = dict(data["goodput_gain"])
+    assert gains[0.7] > -5.0

@@ -1,0 +1,58 @@
+"""Figure 8: PINT-HPCC with query frequency p = 1, 1/16, 1/256.
+
+Paper shape: p = 1/16 performs nearly identically to p = 1 (there are
+still several feedback packets per RTT); p = 1/256 degrades short flows
+noticeably (feedback slower than an RTT).
+"""
+
+from conftest import print_table
+
+from repro.sim import hadoop_cdf, run_hpcc_experiment, web_search_cdf
+from repro.sim.workload import HADOOP_DECILES, WEB_SEARCH_DECILES
+
+SCALE = 0.01
+FREQUENCIES = [1.0, 1.0 / 16, 1.0 / 256]
+_SIM = dict(duration=0.3, max_flows=120, link_rate_bps=100e6, k=4)
+
+
+def generate_figure():
+    workloads = {
+        "web-search": (web_search_cdf(SCALE), WEB_SEARCH_DECILES),
+        "hadoop": (hadoop_cdf(SCALE), HADOOP_DECILES),
+    }
+    out = {}
+    for name, (cdf, deciles) in workloads.items():
+        buckets = sorted({max(1, int(s * SCALE)) for s, _ in deciles})
+        per_p = {}
+        for freq in FREQUENCIES:
+            res = run_hpcc_experiment(
+                "pint", load=0.5, cdf=cdf, pint_frequency=freq, seed=17, **_SIM
+            )
+            per_p[freq] = {
+                "p95_by_bucket": res.slowdown_p95_by_bucket(buckets),
+                "mean": res.mean_slowdown(),
+                "p95": res.slowdown_p95(),
+            }
+        out[name] = per_p
+    return out
+
+
+def test_fig8_feedback_frequency(figure):
+    data = figure(generate_figure)
+    for name, per_p in data.items():
+        rows = [
+            (f"1/{round(1/freq)}" if freq < 1 else "1",
+             f"{stats['mean']:.2f}", f"{stats['p95']:.2f}")
+            for freq, stats in per_p.items()
+        ]
+        print_table(
+            f"Fig 8 ({name}): slowdown vs PINT query frequency p",
+            ["p", "mean_slowdown", "p95_slowdown"],
+            rows,
+        )
+    for name, per_p in data.items():
+        full, sixteenth, tiny = (per_p[f] for f in FREQUENCIES)
+        # p = 1/16 stays close to p = 1.
+        assert sixteenth["mean"] < full["mean"] * 1.3, name
+        # p = 1/256 must not be better than p = 1/16 (degradation shape).
+        assert tiny["mean"] >= sixteenth["mean"] * 0.9, name

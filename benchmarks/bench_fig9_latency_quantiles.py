@@ -1,0 +1,118 @@
+"""Figure 9: latency-quantile relative error, with and without sketches.
+
+Row 1: error vs sample size (packets), sketch fixed at 100 digests.
+Row 2: error vs sketch size (bytes), sample fixed at 500 packets.
+Series: PINT / PINT_S at b = 8 and b = 4.  Shapes: error falls with
+samples then plateaus at the compression floor; b = 4 plateaus higher
+than b = 8; sketching costs little accuracy even at ~100B.
+"""
+
+import random
+
+from conftest import print_table
+
+from repro.apps import simulate_latency_estimation
+from repro.sketch import relative_value_error
+
+K = 5  # hops
+SAMPLE_GRID = [200, 400, 600, 800, 1000]
+SKETCH_BYTES_GRID = [100, 200, 300]
+BYTES_PER_DIGEST = 4
+PHI_TAIL = 0.95
+PHI_MEDIAN = 0.5
+TRIALS = 8
+
+
+def _streams(num_packets, seed, heavy_tail=True):
+    rng = random.Random(seed)
+    streams = []
+    for hop in range(K):
+        scale = 2e-5 * (hop + 1)
+        if heavy_tail:
+            streams.append(
+                [rng.expovariate(1.0 / scale) for _ in range(num_packets)]
+            )
+        else:
+            streams.append(
+                [abs(rng.gauss(scale, scale / 4)) for _ in range(num_packets)]
+            )
+    return streams
+
+
+def _mean_error(bits, num_packets, phi, sketch_items, trials=TRIALS):
+    errs = []
+    for trial in range(trials):
+        streams = _streams(num_packets, seed=trial * 71 + 3)
+        out = simulate_latency_estimation(
+            streams, bits=bits, num_packets=num_packets, phi=phi,
+            sketch_size=sketch_items, seed=trial,
+        )
+        for est, truth in out.values():
+            if est == est:  # skip NaN (hop with zero samples)
+                errs.append(relative_value_error(truth, est))
+    return 100.0 * sum(errs) / len(errs)
+
+
+def generate_figure():
+    out = {"vs_samples": {}, "vs_sketch": {}}
+    sketch_100 = 100
+    for bits in (8, 4):
+        for sketched in (False, True):
+            label = f"PINT{'S' if sketched else ''}(b={bits})"
+            series = [
+                (
+                    n,
+                    _mean_error(
+                        bits, n, PHI_TAIL, sketch_100 if sketched else None
+                    ),
+                )
+                for n in SAMPLE_GRID
+            ]
+            out["vs_samples"][label] = series
+    for bits in (8, 4):
+        series = [
+            (
+                nbytes,
+                _mean_error(
+                    bits, 500, PHI_TAIL, max(8, nbytes // BYTES_PER_DIGEST)
+                ),
+            )
+            for nbytes in SKETCH_BYTES_GRID
+        ]
+        out["vs_sketch"][f"PINTS(b={bits})"] = series
+    out["median_b8"] = _mean_error(8, 1000, PHI_MEDIAN, None)
+    return out
+
+
+def test_fig9_latency_quantiles(figure):
+    data = figure(generate_figure)
+    rows = [
+        (label, *[f"{err:.1f}" for _, err in series])
+        for label, series in data["vs_samples"].items()
+    ]
+    print_table(
+        "Fig 9 row 1: tail-latency relative error [%] vs sample size",
+        ["series", *[str(n) for n in SAMPLE_GRID]],
+        rows,
+    )
+    rows = [
+        (label, *[f"{err:.1f}" for _, err in series])
+        for label, series in data["vs_sketch"].items()
+    ]
+    print_table(
+        "Fig 9 row 2: tail-latency relative error [%] vs sketch bytes",
+        ["series", *[str(b) + "B" for b in SKETCH_BYTES_GRID]],
+        rows,
+    )
+    print(f"median (b=8, 1000 pkts) error: {data['median_b8']:.1f}%")
+
+    vs = data["vs_samples"]
+    # Error shrinks (or plateaus) as samples grow.
+    for label, series in vs.items():
+        assert series[-1][1] <= series[0][1] * 1.3, label
+    # b=4 floors higher than b=8 at large sample counts.
+    assert vs["PINT(b=4)"][-1][1] >= vs["PINT(b=8)"][-1][1] * 0.9
+    # Sketching at 100 digests costs little vs unsketched.
+    assert vs["PINTS(b=8)"][-1][1] <= vs["PINT(b=8)"][-1][1] + 15.0
+    # Converged b=8 error is small (paper: converges near compression floor).
+    assert vs["PINT(b=8)"][-1][1] < 25.0

@@ -1,0 +1,37 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one paper figure: it runs the experiment
+once (rounds=1 -- these are simulations, not microbenchmarks), prints
+the same rows/series the paper plots, and asserts the qualitative
+shape (who wins, direction of trends).  See EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a figure generator exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def figure(benchmark):
+    """Fixture: call ``figure(fn, *args)`` to time one figure build."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run
+
+
+def print_table(title, header, rows):
+    """Render one figure's data as an aligned text table."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))

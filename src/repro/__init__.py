@@ -1,0 +1,44 @@
+"""PINT: Probabilistic In-band Network Telemetry -- full reproduction.
+
+A from-scratch Python implementation of the SIGCOMM 2020 paper by
+Ben Basat et al.: the PINT query framework, its distributed coding
+schemes, value approximation, the use-case applications (path tracing,
+latency quantiles, HPCC congestion control), the baselines it is
+compared against (classic INT, PPM, AMS), and a packet-level network
+simulator substrate used to regenerate the paper's evaluation.
+
+Subpackages
+-----------
+``repro.hashing``   global hash coordination (paper §4.1)
+``repro.coding``    distributed coding schemes (§4.2)
+``repro.approx``    value approximation (§4.3)
+``repro.sketch``    KLL / SpaceSaving / reservoirs (Recording Module)
+``repro.core``      queries, engine, execution plans (§3)
+``repro.net``       packets, switches, topologies, routing
+``repro.sim``       discrete-event network simulator (NS3 stand-in)
+``repro.hpcc``      HPCC congestion control, INT- and PINT-fed
+``repro.apps``      the three use cases + loop detection
+``repro.baselines`` PPM, AMS, classic INT
+``repro.analysis``  Appendix A reference formulas
+"""
+
+__version__ = "1.0.0"
+
+from repro.exceptions import (
+    BudgetError,
+    ConfigurationError,
+    DecodingError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "BudgetError",
+    "DecodingError",
+    "SimulationError",
+    "TopologyError",
+]

@@ -1,0 +1,68 @@
+"""Analytical reference formulas from the paper's appendices.
+
+* :mod:`repro.analysis.coupon` -- coupon collector / Double Dixie Cup /
+  partial-collection expectations and tails (Lemmas 4, 9; Theorems 5, 8).
+* :mod:`repro.analysis.iterated` -- log*, towers, layer parameters.
+* :mod:`repro.analysis.bounds` -- Theorems 1-3 evaluated with explicit
+  constants, plus per-scheme reference packet counts.
+"""
+
+from repro.analysis.bounds import (
+    baseline_packets,
+    fragmentation_blowup,
+    hybrid_packets,
+    lnc_packets,
+    theorem1_packets,
+    theorem1_space,
+    theorem2_packets,
+    theorem3_packets,
+    xor_only_packets,
+)
+from repro.analysis.coupon import (
+    all_but_psi_fraction,
+    binomial_success_tail,
+    coupon_collector_mean,
+    coupon_collector_quantile,
+    double_dixie_cup_mean,
+    double_dixie_cup_tail,
+    harmonic,
+    partial_coupon_mean,
+    partial_coupon_tail,
+)
+from repro.analysis.iterated import (
+    baseline_share,
+    hybrid_xor_probability,
+    layer_probability,
+    log_log_star,
+    log_star,
+    num_xor_layers,
+    tower,
+)
+
+__all__ = [
+    "harmonic",
+    "coupon_collector_mean",
+    "coupon_collector_quantile",
+    "partial_coupon_mean",
+    "partial_coupon_tail",
+    "all_but_psi_fraction",
+    "double_dixie_cup_mean",
+    "double_dixie_cup_tail",
+    "binomial_success_tail",
+    "log_star",
+    "log_log_star",
+    "tower",
+    "num_xor_layers",
+    "layer_probability",
+    "baseline_share",
+    "hybrid_xor_probability",
+    "theorem1_packets",
+    "theorem1_space",
+    "theorem2_packets",
+    "theorem3_packets",
+    "baseline_packets",
+    "xor_only_packets",
+    "hybrid_packets",
+    "lnc_packets",
+    "fragmentation_blowup",
+]

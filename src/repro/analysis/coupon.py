@@ -1,0 +1,121 @@
+"""Coupon-collector mathematics used throughout Appendix A.
+
+The Baseline scheme's packet count is a coupon-collector process
+(each packet carries a uniform hop); the multi-copy requirements of the
+XOR layers follow the Double Dixie Cup problem [59]; the partial
+collection bound (Theorem 8) controls the "all but psi*k hops" phase.
+These closed forms are the reference curves our simulations are tested
+against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+def harmonic(n: int) -> float:
+    """H_n = 1 + 1/2 + ... + 1/n (exact summation; n is small here)."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    return sum(1.0 / i for i in range(1, n + 1))
+
+
+def coupon_collector_mean(k: int) -> float:
+    """Expected samples to collect all of k uniform coupons: k * H_k."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return k * harmonic(k)
+
+
+def coupon_collector_quantile(k: int, q: float) -> float:
+    """Approximate q-quantile of the coupon-collector time.
+
+    Uses P[T <= t] ~= exp(-k e^{-t/k}) (the Gumbel limit), solved for t:
+    t = k * (ln k - ln ln (1/q)).  For k = 25, q = 0.5 this gives ~89
+    packets and q = 0.99 gives ~189, matching the figures quoted in
+    §4.2 of the paper.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if not 0.0 < q < 1.0:
+        raise ValueError("q must be in (0, 1)")
+    return k * (math.log(k) - math.log(math.log(1.0 / q)))
+
+
+def partial_coupon_mean(r: int, n: int) -> float:
+    """Expected samples to see n distinct coupons out of r: r(H_r - H_{r-n})."""
+    if not 0 <= n <= r:
+        raise ValueError("need 0 <= n <= r")
+    return r * (harmonic(r) - harmonic(r - n))
+
+
+def partial_coupon_tail(r: int, n: int, delta: float) -> float:
+    """Theorem 8: w.p. 1 - delta, n-of-r collection needs at most this many.
+
+    E[A] + r ln(1/delta)/(r-n) + sqrt(2 r E[A] ln(1/delta)) / (r-n).
+    """
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    if n >= r:
+        raise ValueError("tail bound needs n < r")
+    mean = partial_coupon_mean(r, n)
+    ln_d = math.log(1.0 / delta)
+    return mean + r * ln_d / (r - n) + math.sqrt(2.0 * r * mean * ln_d) / (r - n)
+
+
+def all_but_psi_fraction(k: int, psi: float, delta: float) -> float:
+    """Lemma 9: samples to collect all but a psi-fraction of k coupons.
+
+    k ln(1/psi) + (1/psi) ln(1/delta) + sqrt(2 k (1/psi) ln(1/psi) ln(1/delta)).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if not 0 < psi <= 0.5:
+        raise ValueError("psi must be in (0, 1/2]")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    ln_psi = math.log(1.0 / psi)
+    ln_d = math.log(1.0 / delta)
+    return k * ln_psi + ln_d / psi + math.sqrt(2.0 * k * ln_psi * ln_d / psi)
+
+
+def double_dixie_cup_mean(k: int, copies: int) -> float:
+    """Expected samples to get ``copies`` of each of k coupons (Newman [59]).
+
+    Asymptotically k (ln k + (copies-1) ln ln k + O(1)); we evaluate the
+    dominant terms, which is accurate for the k, copies used here.
+    """
+    if k < 1 or copies < 1:
+        raise ValueError("k and copies must be >= 1")
+    if k == 1:
+        return float(copies)
+    if copies == 1:
+        return coupon_collector_mean(k)
+    return k * (math.log(k) + (copies - 1) * math.log(max(math.e, math.log(k))))
+
+
+def double_dixie_cup_tail(k: int, copies: int, delta: float) -> float:
+    """Theorem 5: samples so each of k coupons has >= ``copies`` w.p. 1-delta."""
+    if k < 1 or copies < 1:
+        raise ValueError("k and copies must be >= 1")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    z1 = copies - 1 + math.log(k / delta)
+    inner = max(0.0, z1 * z1 - (copies - 1) ** 2 / 4.0)
+    return k * (z1 + math.sqrt(inner))
+
+
+def binomial_success_tail(k: int, p: float, delta: float) -> float:
+    """Lemma 4: trials N so Bin(N, p) > k with probability 1 - delta.
+
+    N = (k + 2 ln(1/delta) + sqrt(2 k ln(1/delta))) / p.
+    """
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    if not 0 < p <= 1:
+        raise ValueError("p must be in (0, 1]")
+    if not 0 < delta < 1:
+        raise ValueError("delta must be in (0, 1)")
+    ln_d = math.log(1.0 / delta)
+    return (k + 2.0 * ln_d + math.sqrt(2.0 * k * ln_d)) / p

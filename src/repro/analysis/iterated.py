@@ -1,0 +1,92 @@
+"""Iterated-logarithm helpers for the Multi-layer scheme (Appendix A.2).
+
+The multi-layer encoding's parameters are expressed with Knuth's
+up-arrow tower ``e ↑↑ l`` and the iterated logarithm ``log* d``:
+
+* number of XOR layers: L = 1 if d <= 15, L = 2 for 16 <= d <= e^e^e;
+* layer-l XOR probability: p_l = (e ↑↑ (l-1)) / d;
+* layer-0 (Baseline) share: tau = loglog* d / (1 + loglog* d).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def log_star(x: float, base: float = 2.0) -> int:
+    """Iterated logarithm: how many logs until the value drops to <= 1."""
+    if x <= 0:
+        raise ValueError("log* needs a positive argument")
+    count = 0
+    while x > 1.0:
+        x = math.log(x, base)
+        count += 1
+    return count
+
+
+def log_log_star(x: float, base: float = 2.0) -> float:
+    """log2(log* x), floored at a small positive constant.
+
+    The paper's tau = loglog*d / (1 + loglog*d) needs a positive value
+    even for tiny d (where log* d = 1 and the raw log would be 0); we
+    clamp to 0.5 which reproduces the paper's "tau close to 1" regime
+    for realistic d while staying well-defined everywhere.
+    """
+    return max(0.5, math.log2(max(2, log_star(x, base))))
+
+
+def tower(base: float, height: int) -> float:
+    """Knuth up-arrow ``base ↑↑ height`` (tower of exponentials)."""
+    if height < 0:
+        raise ValueError("height must be >= 0")
+    value = 1.0
+    for _ in range(height):
+        value = base ** value
+        if value > 1e300:
+            return math.inf
+    return value
+
+
+def num_xor_layers(d: int) -> int:
+    """Number of XOR layers L for typical path length d (Appendix A.2).
+
+    L = 1 if d <= floor(e^e) = 15, L = 2 if 16 <= d <= e^e^e (~3.8M),
+    and grows with one more layer per tower level beyond that.
+    """
+    if d < 1:
+        raise ValueError("d must be >= 1")
+    level = 1
+    while tower(math.e, level + 1) < d:
+        level += 1
+    return level
+
+
+def layer_probability(layer: int, d: int) -> float:
+    """XOR probability of layer ``layer`` (1-based): (e ↑↑ (layer-1)) / d."""
+    if layer < 1:
+        raise ValueError("XOR layers are 1-based")
+    if d < 1:
+        raise ValueError("d must be >= 1")
+    return min(1.0, tower(math.e, layer - 1) / d)
+
+
+def baseline_share(d: int) -> float:
+    """tau: fraction of packets sent to the Baseline layer (Algorithm 1)."""
+    lls = log_log_star(d)
+    return lls / (1.0 + lls)
+
+
+def hybrid_xor_probability(d: int) -> float:
+    """Interleaved (single-XOR-layer) scheme probability (§4.2).
+
+    log log d / log d (natural logs), falling back to 1 / log d when
+    log log d < 1 -- the paper's footnote 8, which kicks in exactly for
+    d <= 15 = floor(e^e) under natural logarithms.
+    """
+    if d < 2:
+        return 1.0
+    log_d = math.log(d)
+    log_log_d = math.log(log_d) if log_d > 1 else 0.0
+    if log_log_d < 1.0:
+        return min(1.0, 1.0 / log_d)
+    return min(1.0, log_log_d / log_d)

@@ -1,0 +1,26 @@
+"""Value-approximation toolkit (paper §4.3 and Appendices B/C).
+
+* :class:`MultiplicativeCompressor` -- (1+eps) log-grid encoding, with
+  the randomized-rounding ``[.]_R`` variant used by PINT-HPCC.
+* :class:`AdditiveCompressor` -- uniform-grid encoding with bounded
+  absolute error.
+* :class:`MorrisCounter` -- randomized counting for per-packet sums.
+* :class:`FixedPoint`, :class:`LogExpTables` -- switch-feasible
+  arithmetic used by the HPCC utilisation update.
+"""
+
+from repro.approx.additive import AdditiveCompressor, delta_for_bits
+from repro.approx.fixedpoint import FixedPoint, LogExpTables
+from repro.approx.morris import MorrisCounter, morris_bits_bound
+from repro.approx.multiplicative import MultiplicativeCompressor, epsilon_for_bits
+
+__all__ = [
+    "MultiplicativeCompressor",
+    "epsilon_for_bits",
+    "AdditiveCompressor",
+    "delta_for_bits",
+    "MorrisCounter",
+    "morris_bits_bound",
+    "FixedPoint",
+    "LogExpTables",
+]

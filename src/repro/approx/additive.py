@@ -1,0 +1,65 @@
+"""Additive value compression (paper §4.3).
+
+When bounding the *maximal* error matters more than resolving small
+values, PINT encodes ``a = [v / (2*Delta)]`` and decodes ``2*Delta*a``,
+guaranteeing additive error at most ``Delta`` while saving
+``floor(log2 Delta)`` bits relative to the raw encoding.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class AdditiveCompressor:
+    """Compress values onto a uniform grid with additive error ``delta``.
+
+    Parameters
+    ----------
+    delta:
+        Maximum absolute error of a decoded value.
+    bits:
+        Optional width check against ``max_value``.
+    max_value:
+        Largest value that must be representable.
+    """
+
+    def __init__(self, delta: float, bits=None, max_value: float = float(2**32 - 1)):
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = delta
+        self.step = 2.0 * delta
+        self.bits = bits
+        self.max_value = max_value
+        if bits is not None and self.encode(max_value) >= (1 << bits):
+            raise ValueError(
+                f"{bits} bits cannot hold code for max_value={max_value} "
+                f"at delta={delta}"
+            )
+
+    def encode(self, value: float) -> int:
+        """Round ``value`` to its nearest grid index."""
+        if value < 0:
+            raise ValueError("additive compression needs value >= 0")
+        return int(round(value / self.step))
+
+    def decode(self, code: int) -> float:
+        """Recover the grid value for ``code``."""
+        if code < 0:
+            raise ValueError("codes are non-negative")
+        return self.step * code
+
+    def absolute_error(self, value: float) -> float:
+        """|decode(encode(v)) - v|; always <= delta."""
+        return abs(self.decode(self.encode(value)) - value)
+
+    def bits_saved(self) -> int:
+        """Header bits saved relative to a raw encoding: floor(log2 delta)."""
+        return max(0, int(math.floor(math.log2(self.delta))))
+
+
+def delta_for_bits(bits: int, max_value: float) -> float:
+    """Smallest delta so ``max_value`` encodes within ``bits`` bits."""
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    return max_value / (2.0 * ((1 << bits) - 1))

@@ -1,0 +1,117 @@
+"""Switch-feasible arithmetic: fixed point, log/exp tables (Appendix C).
+
+Programmable switches cannot multiply or divide.  The paper (and its
+Appendix C) approximates these with:
+
+* fixed-point representation of reals in ``[0, R]`` using ``m`` bits;
+* ``log2`` via TCAM most-significant-bit lookup + a ``2^q``-entry table
+  on the next ``q`` bits;
+* exponentiation via an analogous table;
+* multiply/divide as ``2^(log x +/- log y)``.
+
+We model the exact same dataflow (MSB find, table truncation) so the
+error behaviour matches what a Tofino deployment would see, and use it
+inside the PINT-HPCC switch arithmetic (Appendix B).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+class FixedPoint:
+    """Fixed-point codec for reals in ``[0, R]`` with ``m`` bits.
+
+    Integer code ``r`` represents ``R * r * 2**-m`` -- exactly the
+    convention of Appendix C.
+    """
+
+    def __init__(self, scale: float = 1.0, m: int = 16) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if not 1 <= m <= 62:
+            raise ValueError("m must be in [1, 62]")
+        self.scale = scale
+        self.m = m
+        self._levels = 1 << m
+
+    def encode(self, value: float) -> int:
+        """Quantise ``value`` into its integer code (clamped to range)."""
+        code = int(round(value / self.scale * self._levels))
+        return max(0, min(self._levels - 1, code))
+
+    def decode(self, code: int) -> float:
+        """Recover the real value for an integer code."""
+        if not 0 <= code < self._levels:
+            raise ValueError("code out of range")
+        return self.scale * code * (2.0 ** -self.m)
+
+    @property
+    def resolution(self) -> float:
+        """The quantisation step R * 2**-m."""
+        return self.scale * (2.0 ** -self.m)
+
+
+class LogExpTables:
+    """Data-plane style log2/exp2 via MSB-find plus q-bit lookup tables.
+
+    Parameters
+    ----------
+    q:
+        Table index width; tables have ``2**q`` entries, and relative
+        error of a single op is at most ~1.44 * 2**-q (Appendix C).
+    """
+
+    def __init__(self, q: int = 8) -> None:
+        if not 2 <= q <= 16:
+            raise ValueError("q must be in [2, 16]")
+        self.q = q
+        #: log table over mantissas in [1, 2**(q+1)): the MSB plus the
+        #: next q bits (so indices reach 2**(q+1) - 1).
+        self._log_table: List[float] = [
+            math.log2(idx) if idx > 0 else 0.0 for idx in range(1 << (q + 1))
+        ]
+        #: exp table over the fractional part, quantised to q bits.
+        self._exp_table: List[float] = [
+            2.0 ** (idx / float(1 << q)) for idx in range(1 << q)
+        ]
+
+    def log2(self, x: int) -> float:
+        """Approximate log2 of a positive integer, table-driven.
+
+        Finds the MSB (the TCAM step), takes the next ``q`` bits as a
+        mantissa, and returns ``(msb - q) + log_table[mantissa]``.
+        """
+        if x <= 0:
+            raise ValueError("log2 needs a positive integer")
+        msb = x.bit_length() - 1
+        if msb <= self.q:
+            return self._log_table[x]
+        mantissa = x >> (msb - self.q)
+        return (msb - self.q) + self._log_table[mantissa]
+
+    def exp2(self, y: float) -> float:
+        """Approximate 2**y via integer shift + fractional table lookup."""
+        ipart = math.floor(y)
+        frac = y - ipart
+        idx = int(frac * (1 << self.q))
+        return self._exp_table[idx] * (2.0 ** ipart)
+
+    def multiply(self, x: int, y: int) -> float:
+        """x * y approximated as 2^(log2 x + log2 y)."""
+        if x == 0 or y == 0:
+            return 0.0
+        return self.exp2(self.log2(x) + self.log2(y))
+
+    def divide(self, x: int, y: int) -> float:
+        """x / y approximated as 2^(log2 x - log2 y)."""
+        if y <= 0:
+            raise ValueError("divisor must be positive")
+        if x == 0:
+            return 0.0
+        return self.exp2(self.log2(x) - self.log2(y))
+
+    def max_relative_error(self) -> float:
+        """Worst-case single-op relative error bound from Appendix C."""
+        return 1.44 * (2.0 ** -self.q)

@@ -1,0 +1,110 @@
+"""Multiplicative value compression (paper §4.3).
+
+Encoding a raw 32-bit value (e.g. a latency in nanoseconds) can blow a
+small bit budget.  PINT instead writes ``a = [log_{(1+eps)^2} v]`` and the
+Inference Module recovers ``(1+eps)^(2a)``, a (1+eps)-approximation of
+``v``.  With eps = 0.0025 a 32-bit value fits in 16 bits; with
+eps = 0.025 it fits in 8 bits (the HPCC use case).
+
+The randomized-rounding variant ``[.]_R`` floors or ceils with a
+probability that makes the *expected* encoded exponent exact, removing
+systematic bias when many packets average the same quantity (used by
+PINT-HPCC, §4.3 "Example #3").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.hashing import GlobalHash
+
+
+class MultiplicativeCompressor:
+    """Compress positive values onto an integer exponent grid.
+
+    Parameters
+    ----------
+    epsilon:
+        Target multiplicative error; the decoded value is within a
+        ``(1 + epsilon)`` factor of the original (up to rounding of the
+        exponent).
+    bits:
+        Optional width check: raise if an encoded exponent cannot fit.
+    max_value:
+        Largest value that must be representable (defaults to 2**32 - 1,
+        the INT value width).
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        bits: Optional[int] = None,
+        max_value: float = float(2**32 - 1),
+    ) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        self.epsilon = epsilon
+        #: log base: (1 + eps)^2, so decoded error is one eps-step.
+        self.base = (1.0 + epsilon) ** 2
+        self._log_base = math.log(self.base)
+        self.bits = bits
+        self.max_value = max_value
+        if bits is not None:
+            needed = self.encode(max_value)
+            if needed >= (1 << bits):
+                raise ValueError(
+                    f"{bits} bits cannot hold exponent {needed} for "
+                    f"max_value={max_value} at epsilon={epsilon}"
+                )
+
+    def encode(self, value: float) -> int:
+        """Deterministic encoding: round exponent to nearest integer."""
+        if value < 0:
+            raise ValueError("multiplicative compression needs value >= 0")
+        if value < 1.0:
+            return 0
+        return int(round(math.log(value) / self._log_base))
+
+    def encode_randomized(
+        self, value: float, grid: GlobalHash, *key_parts
+    ) -> int:
+        """Randomized rounding ``[.]_R``: unbiased exponent in expectation.
+
+        The floor/ceil coin is drawn from the global hash so that the
+        encoding stays deterministic per packet (replayable by tests and
+        by the Inference Module).
+        """
+        if value < 0:
+            raise ValueError("multiplicative compression needs value >= 0")
+        if value < 1.0:
+            return 0
+        exact = math.log(value) / self._log_base
+        lo = math.floor(exact)
+        frac = exact - lo
+        return int(lo + (1 if grid.uniform(*key_parts) < frac else 0))
+
+    def decode(self, code: int) -> float:
+        """Recover the (1+eps)-approximate value from its exponent."""
+        if code < 0:
+            raise ValueError("codes are non-negative")
+        return self.base ** code
+
+    def relative_error(self, value: float) -> float:
+        """Relative error |decode(encode(v)) - v| / v for ``v > 0``."""
+        if value <= 0:
+            raise ValueError("value must be positive")
+        return abs(self.decode(self.encode(value)) - value) / value
+
+
+def epsilon_for_bits(bits: int, max_value: float = float(2**32 - 1)) -> float:
+    """Smallest epsilon so that ``max_value`` encodes within ``bits`` bits.
+
+    Inverts the ``(1+eps)^2`` grid accounting for nearest-integer
+    rounding: we need ``round(log_{(1+eps)^2} max_value) <= 2**bits - 1``,
+    i.e. ``log(max_value) / (2 ln(1+eps)) <= 2**bits - 1/2``.
+    """
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    exponent_cap = 2.0 * (2 ** bits) - 1.0
+    return float(math.exp(math.log(max_value) / exponent_cap) - 1.0)

@@ -1,0 +1,37 @@
+"""The paper's use-case applications (§3.2, §6) on top of the core.
+
+* :class:`PathTracer` / :class:`PathTracingRuntime` -- static per-flow
+  aggregation (§6.3).
+* :class:`LatencyRuntime` / :func:`simulate_latency_estimation` --
+  dynamic per-flow latency quantiles (§6.2).
+* :class:`CongestionRuntime` / :class:`UtilizationCodec` -- per-packet
+  bottleneck-utilisation feedback for HPCC (§6.1).
+* :class:`LoopDetector` -- the Appendix A.4 extension.
+"""
+
+from repro.apps.congestion import CongestionRuntime, UtilizationCodec
+from repro.apps.frequent import FrequentValueRuntime
+from repro.apps.latency import (
+    HopLatencyStore,
+    LatencyCompressor,
+    LatencyRuntime,
+    simulate_latency_estimation,
+)
+from repro.apps.loop_detection import LoopDetector, LoopPacketState
+from repro.apps.microburst import MicroburstRuntime
+from repro.apps.path_tracing import PathTracer, PathTracingRuntime
+
+__all__ = [
+    "PathTracer",
+    "PathTracingRuntime",
+    "LatencyRuntime",
+    "LatencyCompressor",
+    "HopLatencyStore",
+    "simulate_latency_estimation",
+    "CongestionRuntime",
+    "UtilizationCodec",
+    "FrequentValueRuntime",
+    "LoopDetector",
+    "LoopPacketState",
+    "MicroburstRuntime",
+]

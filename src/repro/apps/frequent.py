@@ -1,0 +1,80 @@
+"""Frequent-values aggregation: the second dynamic per-flow query.
+
+Theorem 2 of the paper: after O(k / eps^2) packets, PINT reports every
+value appearing in at least a theta-fraction of a (flow, hop) value
+stream and nothing below (theta - eps), using O(k / eps) space.  The
+pipeline is the same distributed reservoir sample as the latency query;
+the Recording Module feeds a SpaceSaving sketch per (flow, hop) instead
+of a quantile sketch.  Typical uses: dominant queue-congestion status,
+most common egress port (load-imbalance diagnosis, Table 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.framework import QueryRuntime
+from repro.core.query import Query
+from repro.core.values import HopView, PacketContext
+from repro.hashing import GlobalHash, reservoir_carrier
+from repro.sketch import SpaceSaving
+
+
+class FrequentValueRuntime(QueryRuntime):
+    """Report theta-frequent values of each (flow, hop) stream.
+
+    Values must fit the query's bit budget (they are carried verbatim;
+    use :class:`~repro.approx.MultiplicativeCompressor` upstream for
+    wide values).
+
+    Parameters
+    ----------
+    query:
+        The dynamic per-flow query; ``space_budget`` bounds the total
+        SpaceSaving counters per flow (split across hops, §4.1).
+    """
+
+    def __init__(self, query: Query, seed: int = 0) -> None:
+        super().__init__(query)
+        self.g = GlobalHash(seed, "frequent-reservoir")
+        self._sketches: Dict[Tuple[int, int], SpaceSaving] = {}
+
+    def on_hop(self, ctx: PacketContext, hop: HopView, digest: int) -> int:
+        """Reservoir-overwrite with this hop's value."""
+        if self.g.uniform(hop.hop_number, ctx.packet_id) < 1.0 / hop.hop_number:
+            return int(hop.get(self.query.value_type)) & (
+                (1 << self.query.bit_budget) - 1
+            )
+        return digest
+
+    def on_sink(self, ctx: PacketContext, digest: int) -> None:
+        """Attribute the sample to its hop; update its sketch."""
+        carrier = reservoir_carrier(self.g, ctx.packet_id, ctx.path_len)
+        key = (ctx.flow_id, carrier)
+        sketch = self._sketches.get(key)
+        if sketch is None:
+            budget = self.query.space_budget or 64 * max(1, ctx.path_len)
+            capacity = max(4, budget // max(1, ctx.path_len))
+            sketch = SpaceSaving(capacity)
+            self._sketches[key] = sketch
+        sketch.update(digest)
+
+    # -- Inference Module --------------------------------------------------
+
+    def heavy_values(
+        self, flow_id: int, hop: int, theta: float
+    ) -> List[Tuple[Hashable, float]]:
+        """Values with frequency >= theta at (flow, hop), with their
+        estimated frequencies (fractions of the hop's sampled stream)."""
+        sketch = self._sketches.get((flow_id, hop))
+        if sketch is None or sketch.n == 0:
+            return []
+        return [
+            (value, count / sketch.n)
+            for value, count in sketch.heavy_hitters(theta)
+        ]
+
+    def samples_at(self, flow_id: int, hop: int) -> int:
+        """Samples attributed to (flow, hop)."""
+        sketch = self._sketches.get((flow_id, hop))
+        return sketch.n if sketch else 0

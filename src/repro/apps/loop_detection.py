@@ -1,0 +1,99 @@
+"""Routing-loop detection (paper Appendix A.4, Algorithm 2).
+
+A switch about to sample first checks whether the packet's digest
+already equals its own hash ``h(s, p_j)`` -- if the packet looped back,
+the match fires.  Random 2^-b matches cause false positives, so the
+packet carries a small counter ``c``: only after ``T`` consecutive
+matches is a LOOP reported, dropping the false-report rate to ~2^-b(T+1)
+per packet while adding only ceil(log2(T+1)) bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.hashing import GlobalHash
+
+
+@dataclass
+class LoopPacketState:
+    """The digest + counter a packet carries for loop detection."""
+
+    digest: int = 0
+    counter: int = 0
+
+
+class LoopDetector:
+    """Per-switch loop-detection logic (Algorithm 2).
+
+    Parameters
+    ----------
+    digest_bits:
+        Hash width b; paper examples: b=15, T=1 (16 bits total) or
+        b=14, T=3.
+    threshold:
+        Matches required before reporting (T).
+    """
+
+    def __init__(self, digest_bits: int = 15, threshold: int = 1, seed: int = 0):
+        if digest_bits < 1:
+            raise ValueError("digest_bits must be >= 1")
+        if threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        self.digest_bits = digest_bits
+        self.threshold = threshold
+        self.h = GlobalHash(seed, "loop-h")
+        self.g = GlobalHash(seed, "loop-g")
+
+    @property
+    def bit_overhead(self) -> int:
+        """Digest plus counter bits on each packet."""
+        counter_bits = max(1, (self.threshold + 1 - 1).bit_length())
+        return self.digest_bits + counter_bits
+
+    def on_switch(
+        self,
+        packet_id: int,
+        switch_id: int,
+        hop_number: int,
+        state: LoopPacketState,
+    ) -> bool:
+        """Process the packet at one switch; True means LOOP reported."""
+        mine = self.h.bits(self.digest_bits, switch_id, packet_id)
+        if state.digest == mine:
+            if state.counter == self.threshold:
+                return True
+            state.counter += 1
+        if state.counter == 0 and self.g.uniform(hop_number, packet_id) < (
+            1.0 / hop_number
+        ):
+            state.digest = mine
+        return False
+
+    def run_path(
+        self, packet_id: int, switch_ids: Sequence[int]
+    ) -> Optional[int]:
+        """Send one packet along a (possibly looping) switch sequence.
+
+        Returns the 0-based position at which a loop was reported, or
+        None.  A looping route is expressed simply by repeating switch
+        IDs in ``switch_ids``.
+        """
+        state = LoopPacketState()
+        for idx, sid in enumerate(switch_ids):
+            if self.on_switch(packet_id, sid, idx + 1, state):
+                return idx
+        return None
+
+    def false_positive_rate(
+        self, path: Sequence[int], num_packets: int, seed_base: int = 0
+    ) -> float:
+        """Measured false-report rate on a loop-free path."""
+        if len(set(path)) != len(path):
+            raise ValueError("path must be loop-free for an FP measurement")
+        reports = sum(
+            self.run_path(seed_base + pid, path) is not None
+            for pid in range(num_packets)
+        )
+        return reports / num_packets

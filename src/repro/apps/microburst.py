@@ -1,0 +1,105 @@
+"""Congestion analysis: microburst detection (paper Table 2).
+
+"Diagnosis of short-lived congestion events" from queue-occupancy
+telemetry.  Each packet carries one uniformly-sampled hop's queue
+occupancy, additively compressed to the bit budget; the Inference
+Module keeps a sliding window per (flow, hop) and flags hops whose
+recent occupancy spikes far above their long-run baseline -- the
+classic microburst signature.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.approx import AdditiveCompressor, delta_for_bits
+from repro.core.framework import QueryRuntime
+from repro.core.query import Query
+from repro.core.values import HopView, PacketContext
+from repro.hashing import GlobalHash, reservoir_carrier
+
+
+class MicroburstRuntime(QueryRuntime):
+    """Detect queue-occupancy microbursts per (flow, hop).
+
+    Parameters
+    ----------
+    query:
+        Dynamic per-flow query on QUEUE_OCCUPANCY.
+    max_queue_bytes:
+        Largest occupancy the additive codec must represent.
+    window:
+        Recent samples forming the detection window.
+    threshold_factor:
+        A hop is "bursting" when its window maximum exceeds
+        ``threshold_factor`` times its long-run mean (plus the codec's
+        quantisation error, so compression cannot self-trigger).
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        max_queue_bytes: int = 1 << 20,
+        window: int = 32,
+        threshold_factor: float = 4.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(query)
+        delta = delta_for_bits(query.bit_budget, float(max_queue_bytes))
+        self.codec = AdditiveCompressor(
+            delta, bits=query.bit_budget, max_value=float(max_queue_bytes)
+        )
+        self.window = window
+        self.threshold_factor = threshold_factor
+        self.g = GlobalHash(seed, "microburst-reservoir")
+        self._recent: Dict[Tuple[int, int], Deque[float]] = {}
+        self._sum: Dict[Tuple[int, int], float] = {}
+        self._count: Dict[Tuple[int, int], int] = {}
+
+    def on_hop(self, ctx: PacketContext, hop: HopView, digest: int) -> int:
+        """Reservoir-overwrite with this hop's compressed occupancy."""
+        if self.g.uniform(hop.hop_number, ctx.packet_id) < 1.0 / hop.hop_number:
+            return self.codec.encode(min(
+                float(hop.queue_occupancy), self.codec.max_value
+            ))
+        return digest
+
+    def on_sink(self, ctx: PacketContext, digest: int) -> None:
+        """Attribute the sample and update the per-hop window."""
+        carrier = reservoir_carrier(self.g, ctx.packet_id, ctx.path_len)
+        key = (ctx.flow_id, carrier)
+        value = self.codec.decode(digest)
+        recent = self._recent.setdefault(key, deque(maxlen=self.window))
+        recent.append(value)
+        self._sum[key] = self._sum.get(key, 0.0) + value
+        self._count[key] = self._count.get(key, 0) + 1
+
+    # -- Inference Module --------------------------------------------------
+
+    def baseline_occupancy(self, flow_id: int, hop: int) -> float:
+        """Long-run mean queue occupancy at (flow, hop)."""
+        key = (flow_id, hop)
+        if not self._count.get(key):
+            return 0.0
+        return self._sum[key] / self._count[key]
+
+    def window_peak(self, flow_id: int, hop: int) -> float:
+        """Max occupancy inside the recent window."""
+        recent = self._recent.get((flow_id, hop))
+        return max(recent) if recent else 0.0
+
+    def is_bursting(self, flow_id: int, hop: int) -> bool:
+        """Is the hop currently in a microburst?"""
+        base = self.baseline_occupancy(flow_id, hop)
+        floor = 2.0 * self.codec.delta  # quantisation noise floor
+        return self.window_peak(flow_id, hop) > max(
+            self.threshold_factor * base, floor
+        )
+
+    def bursting_hops(self, flow_id: int, path_len: int) -> List[int]:
+        """All hops of the flow currently flagged as bursting."""
+        return [
+            hop for hop in range(1, path_len + 1)
+            if self.is_bursting(flow_id, hop)
+        ]

@@ -1,0 +1,25 @@
+"""Baselines PINT is evaluated against.
+
+* :class:`PPMTraceback` -- Savage et al. fragment marking (Fig. 10).
+* :class:`AMSTraceback` -- Song-Perrig AMS2, m = 5 or 6 (Fig. 10).
+* :mod:`repro.baselines.int_classic` -- classic INT collection and the
+  §2 overhead arithmetic (Figs. 1-2, 7).
+"""
+
+from repro.baselines.ams import AMSTraceback
+from repro.baselines.int_classic import (
+    INTCollector,
+    int_overhead_bytes,
+    overhead_fraction,
+    serialization_delay_ns,
+)
+from repro.baselines.ppm import PPMTraceback
+
+__all__ = [
+    "PPMTraceback",
+    "AMSTraceback",
+    "INTCollector",
+    "int_overhead_bytes",
+    "overhead_fraction",
+    "serialization_delay_ns",
+]

@@ -1,0 +1,80 @@
+"""Classic INT: per-hop value embedding and its overhead model (paper §2).
+
+INT adds an 8-byte metadata header plus one 4-byte word per requested
+value per hop, so overhead grows linearly in both path length and value
+count -- the cost PINT eliminates.  This module provides:
+
+* the exact byte-overhead arithmetic of §2 (28B..108B for 1..5 values
+  on a 5-hop path);
+* a lossless "collector": what INT reports per packet (used as ground
+  truth against PINT's approximations);
+* the serialisation latency model of §2 item 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.values import HopView, MetadataType
+
+#: INT metadata header bytes (telemetry instructions vector).
+HEADER_BYTES = 8
+#: Each metadata value is a 4-byte number.
+VALUE_BYTES = 4
+
+
+def int_overhead_bytes(num_values: int, hops: int, with_header: bool = True) -> int:
+    """Bytes INT adds to a packet: header + 4B * values * hops.
+
+    ``int_overhead_bytes(1, 5)`` = 28, the paper's minimum for a 5-hop
+    DC topology; ``int_overhead_bytes(5, 5)`` = 108, its maximum.
+    """
+    if num_values < 1 or hops < 1:
+        raise ValueError("num_values and hops must be >= 1")
+    header = HEADER_BYTES if with_header else 0
+    return header + VALUE_BYTES * num_values * hops
+
+
+def overhead_fraction(num_values: int, hops: int, mtu: int = 1500) -> float:
+    """Overhead as a fraction of an MTU-sized packet (§2's percentages)."""
+    return int_overhead_bytes(num_values, hops) / mtu
+
+
+def serialization_delay_ns(extra_bytes: int, rate_gbps: float) -> float:
+    """Extra serialisation latency of ``extra_bytes`` at a line rate.
+
+    §2 item 2: 48 extra bytes cost ~38-76ns at 10G and ~4-6ns at 100G
+    (the paper counts both interfaces of a hop; we return one side).
+    """
+    if extra_bytes < 0 or rate_gbps <= 0:
+        raise ValueError("need extra_bytes >= 0 and positive rate")
+    return extra_bytes * 8.0 / rate_gbps
+
+
+@dataclass
+class INTCollector:
+    """Lossless per-packet INT collection (the ground-truth baseline).
+
+    ``collect`` returns every requested value at every hop, exactly what
+    the INT sink would export, and tracks cumulative byte overhead.
+    """
+
+    values: Sequence[MetadataType]
+    bytes_added: int = 0
+    packets: int = 0
+    reports: List[List[Dict[str, float]]] = field(default_factory=list)
+
+    def collect(self, hops: Sequence[HopView]) -> List[Dict[str, float]]:
+        """Run one packet: per-hop dict of requested values."""
+        report = [
+            {v.value: hop.get(v) for v in self.values} for hop in hops
+        ]
+        self.bytes_added += int_overhead_bytes(len(self.values), len(hops))
+        self.packets += 1
+        self.reports.append(report)
+        return report
+
+    def average_overhead(self) -> float:
+        """Mean bytes added per packet so far."""
+        return self.bytes_added / self.packets if self.packets else 0.0

@@ -1,0 +1,404 @@
+"""Inference-side decoders for the distributed coding schemes (§4.2).
+
+All decoders share the contract:
+
+* ``observe(packet_id, digest)`` -- feed one collected digest;
+* ``decoded`` -- mapping of 1-based hop number to recovered block;
+* ``is_complete`` -- True once all ``k`` blocks are known;
+* ``missing`` -- number of still-unknown hops (the Fig. 5 y-axis).
+
+The decoders recompute every encoder decision from the shared
+:class:`~repro.coding.encoder.CodecContext` (which layer the packet
+served, which hop the reservoir kept, which hops xor-ed), exactly as the
+paper's Recording/Inference modules do, and then run *peeling*: an XOR
+digest whose acting set contains a single unknown hop reveals (raw mode)
+or constrains (hash mode) that hop, which may unlock further digests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.coding.encoder import CodecContext
+from repro.coding.message import DistributedMessage
+from repro.coding.schemes import BASELINE, CodingScheme
+from repro.exceptions import DecodingError
+from repro.hashing import reservoir_carrier, xor_acting_hops
+
+
+class _PendingXor:
+    """An undecodable XOR digest waiting for more hops to resolve."""
+
+    __slots__ = ("packet_id", "residual", "unknown")
+
+    def __init__(self, packet_id: int, residual: List[int], unknown: Set[int]):
+        self.packet_id = packet_id
+        #: Digest with every *known* hop's contribution xor-ed out.
+        self.residual = residual
+        #: Acting hops whose block is still unknown.
+        self.unknown = unknown
+
+
+class RawDecoder:
+    """Decoder for raw digests (block value fits the budget).
+
+    Baseline packets reveal their carrier hop's block outright; XOR
+    packets peel.  Also tracks ``inconsistencies``: Baseline packets
+    whose digest contradicts an already-decoded hop, the paper's §7
+    signal for multipath/route changes.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        scheme: CodingScheme,
+        digest_bits: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.ctx = CodecContext(scheme, digest_bits, 1, seed)
+        self.decoded: Dict[int, int] = {}
+        self.inconsistencies = 0
+        self.packets_seen = 0
+        self._pending: List[_PendingXor] = []
+        #: hop -> indices into _pending that reference it.
+        self._hop_refs: Dict[int, List[_PendingXor]] = {h: [] for h in range(1, k + 1)}
+
+    @property
+    def missing(self) -> int:
+        """Hops still unknown."""
+        return self.k - len(self.decoded)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every hop's block has been recovered."""
+        return not self.missing
+
+    def observe(self, packet_id: int, digest: Tuple[int, ...]) -> None:
+        """Feed one collected digest (1-tuple in raw mode)."""
+        self.packets_seen += 1
+        value = digest[0]
+        layer_idx = self.ctx.layer_of(packet_id)
+        layer = self.ctx.scheme.layers[layer_idx]
+        g = self.ctx.g[layer_idx]
+        if layer.kind == BASELINE:
+            carrier = reservoir_carrier(g, packet_id, self.k)
+            if carrier in self.decoded:
+                if self.decoded[carrier] != value:
+                    self.inconsistencies += 1
+                return
+            self._resolve(carrier, value)
+            return
+        acting = xor_acting_hops(g, packet_id, self.k, layer.xor_p)
+        residual = value
+        unknown: Set[int] = set()
+        for hop in acting:
+            if hop in self.decoded:
+                residual ^= self.decoded[hop]
+            else:
+                unknown.add(hop)
+        if not unknown:
+            return
+        if len(unknown) == 1:
+            self._resolve(unknown.pop(), residual)
+            return
+        entry = _PendingXor(packet_id, [residual], unknown)
+        self._pending.append(entry)
+        for hop in unknown:
+            self._hop_refs[hop].append(entry)
+
+    def _resolve(self, hop: int, value: int) -> None:
+        """Record a decoded hop and peel any digests it unblocks."""
+        worklist = [(hop, value)]
+        while worklist:
+            hop, value = worklist.pop()
+            if hop in self.decoded:
+                if self.decoded[hop] != value:
+                    self.inconsistencies += 1
+                continue
+            self.decoded[hop] = value
+            for entry in self._hop_refs[hop]:
+                if hop not in entry.unknown:
+                    continue
+                entry.unknown.discard(hop)
+                entry.residual[0] ^= value
+                if len(entry.unknown) == 1:
+                    last = next(iter(entry.unknown))
+                    entry.unknown.clear()
+                    worklist.append((last, entry.residual[0]))
+            self._hop_refs[hop] = []
+
+    def path(self) -> List[int]:
+        """The recovered message, hop 1 first (raises if incomplete)."""
+        if not self.is_complete:
+            raise DecodingError(f"{self.missing} hops still unknown")
+        return [self.decoded[h] for h in range(1, self.k + 1)]
+
+
+class HashDecoder:
+    """Decoder for hash-compressed digests over a known universe V.
+
+    Maintains a candidate set per hop (NumPy array of universe values);
+    each Baseline packet from hop ``i`` keeps only candidates ``v`` with
+    ``h(v, packet) == digest`` -- an expected ``2^-b`` shrink per hash
+    instantiation.  XOR digests join the peeling pool: once all acting
+    hops but one are decoded, the leftover behaves like a Baseline
+    packet for that hop (paper §4.2).
+    """
+
+    def __init__(
+        self,
+        k: int,
+        universe,
+        scheme: CodingScheme,
+        digest_bits: int = 8,
+        num_hashes: int = 1,
+        seed: int = 0,
+        adjacency: Optional[Dict[int, Set[int]]] = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        uni = np.asarray(sorted(set(int(v) for v in universe)), dtype=np.int64)
+        if uni.size < 1:
+            raise ValueError("universe must be non-empty")
+        self.k = k
+        self.ctx = CodecContext(scheme, digest_bits, num_hashes, seed)
+        self._candidates: Dict[int, np.ndarray] = {
+            hop: uni for hop in range(1, k + 1)
+        }
+        #: Optional topology knowledge: value -> possible neighbouring
+        #: values.  When set, decoding a hop restricts the candidate
+        #: sets of the adjacent hops to the decoded switch's graph
+        #: neighbours -- the Inference Module knows the network map, so
+        #: consecutive path switches must be adjacent.  This is the
+        #: natural extension the paper's path-conformance use case
+        #: implies, and it slashes the packets needed on sparse
+        #: topologies (see bench_ext_adjacency.py).
+        self.adjacency = adjacency
+        self.decoded: Dict[int, int] = {}
+        self.inconsistencies = 0
+        self.packets_seen = 0
+        self._pending: List[_PendingXor] = []
+        self._hop_refs: Dict[int, List[_PendingXor]] = {h: [] for h in range(1, k + 1)}
+
+    @property
+    def missing(self) -> int:
+        """Hops still unknown."""
+        return self.k - len(self.decoded)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every hop has a unique candidate left."""
+        return not self.missing
+
+    def candidates_left(self, hop: int) -> int:
+        """Size of the hop's remaining candidate set (1 when decoded)."""
+        if hop in self.decoded:
+            return 1
+        return int(self._candidates[hop].size)
+
+    def observe(self, packet_id: int, digest: Tuple[int, ...]) -> None:
+        """Feed one collected digest (``num_hashes`` entries)."""
+        if len(digest) != self.ctx.num_hashes:
+            raise ValueError("digest arity does not match num_hashes")
+        self.packets_seen += 1
+        layer_idx = self.ctx.layer_of(packet_id)
+        layer = self.ctx.scheme.layers[layer_idx]
+        g = self.ctx.g[layer_idx]
+        if layer.kind == BASELINE:
+            carrier = reservoir_carrier(g, packet_id, self.k)
+            self._constrain(carrier, packet_id, list(digest))
+            return
+        acting = xor_acting_hops(g, packet_id, self.k, layer.xor_p)
+        residual = list(digest)
+        unknown: Set[int] = set()
+        for hop in acting:
+            if hop in self.decoded:
+                for rep in range(self.ctx.num_hashes):
+                    residual[rep] ^= self.ctx.value_digest(
+                        rep, packet_id, self.decoded[hop]
+                    )
+            else:
+                unknown.add(hop)
+        if not unknown:
+            return
+        if len(unknown) == 1:
+            self._constrain(unknown.pop(), packet_id, residual)
+            return
+        entry = _PendingXor(packet_id, residual, unknown)
+        self._pending.append(entry)
+        for hop in unknown:
+            self._hop_refs[hop].append(entry)
+
+    # -- internals -------------------------------------------------------
+
+    def _constrain(self, hop: int, packet_id: int, needed: List[int]) -> None:
+        """Keep only candidates of ``hop`` whose hash matches ``needed``."""
+        if hop in self.decoded:
+            value = self.decoded[hop]
+            ok = all(
+                self.ctx.value_digest(rep, packet_id, value) == needed[rep]
+                for rep in range(self.ctx.num_hashes)
+            )
+            if not ok:
+                self.inconsistencies += 1
+            return
+        cands = self._candidates[hop]
+        mask = np.ones(cands.size, dtype=bool)
+        for rep in range(self.ctx.num_hashes):
+            hashed = self.ctx.h[rep].bits_array(
+                self.ctx.digest_bits, cands, packet_id
+            )
+            mask &= hashed == np.uint64(needed[rep])
+        remaining = cands[mask]
+        if remaining.size == 0:
+            raise DecodingError(
+                f"hop {hop}: no candidate matches digest (corrupt input "
+                "or value outside the universe)"
+            )
+        self._candidates[hop] = remaining
+        if remaining.size == 1:
+            self._settle(hop, int(remaining[0]))
+
+    def _settle(self, hop: int, value: int) -> None:
+        """A hop reached a unique candidate; peel dependent XOR digests."""
+        worklist = [(hop, value)]
+        while worklist:
+            hop, value = worklist.pop()
+            if hop in self.decoded:
+                continue
+            self.decoded[hop] = value
+            self._candidates[hop] = np.asarray([value], dtype=np.int64)
+            for entry in self._hop_refs[hop]:
+                if hop not in entry.unknown:
+                    continue
+                entry.unknown.discard(hop)
+                for rep in range(self.ctx.num_hashes):
+                    entry.residual[rep] ^= self.ctx.value_digest(
+                        rep, entry.packet_id, value
+                    )
+                if len(entry.unknown) == 1:
+                    last = next(iter(entry.unknown))
+                    entry.unknown.clear()
+                    before = self.decoded.get(last)
+                    self._constrain(last, entry.packet_id, entry.residual)
+                    after_cands = self._candidates[last]
+                    if before is None and after_cands.size == 1 and last not in self.decoded:
+                        worklist.append((last, int(after_cands[0])))
+            self._hop_refs[hop] = []
+            if self.adjacency is not None:
+                for nbr_hop in (hop - 1, hop + 1):
+                    if not 1 <= nbr_hop <= self.k or nbr_hop in self.decoded:
+                        continue
+                    allowed = self.adjacency.get(value)
+                    if allowed is None:
+                        continue
+                    cands = self._candidates[nbr_hop]
+                    narrowed = cands[np.isin(cands, list(allowed))]
+                    if narrowed.size == 0:
+                        raise DecodingError(
+                            f"hop {nbr_hop}: no candidate adjacent to "
+                            f"decoded switch {value}"
+                        )
+                    if narrowed.size < cands.size:
+                        self._candidates[nbr_hop] = narrowed
+                        if narrowed.size == 1 and nbr_hop not in self.decoded:
+                            worklist.append((nbr_hop, int(narrowed[0])))
+
+    def path(self) -> List[int]:
+        """The recovered message, hop 1 first (raises if incomplete)."""
+        if not self.is_complete:
+            raise DecodingError(f"{self.missing} hops still unknown")
+        return [self.decoded[h] for h in range(1, self.k + 1)]
+
+
+class FragmentDecoder:
+    """Decoder for fragment mode: F independent raw sub-problems.
+
+    Each packet carries fragment ``f = frag(packet) in {0..F-1}`` of its
+    contributing hop(s); decoding fragment ``f`` for every hop is an
+    independent instance of the raw problem.  A hop's block is the
+    concatenation of its F decoded fragments -- the paper's observation
+    that fragmentation behaves "as if there were k*F hops".
+    """
+
+    def __init__(
+        self,
+        k: int,
+        value_bits: int,
+        scheme: CodingScheme,
+        digest_bits: int = 8,
+        seed: int = 0,
+    ) -> None:
+        if value_bits < 1:
+            raise ValueError("value_bits must be >= 1")
+        self.k = k
+        self.value_bits = value_bits
+        self.digest_bits = digest_bits
+        self.num_fragments = -(-value_bits // digest_bits)
+        self.ctx = CodecContext(scheme, digest_bits, 1, seed)
+        self._subdecoders = [
+            RawDecoder(k, scheme, digest_bits, seed)
+            for _ in range(self.num_fragments)
+        ]
+        self.packets_seen = 0
+
+    @property
+    def missing(self) -> int:
+        """Unknown (hop, fragment) pairs, scaled to whole hops."""
+        pieces = sum(dec.missing for dec in self._subdecoders)
+        return -(-pieces // self.num_fragments)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every fragment of every hop is decoded."""
+        return all(dec.is_complete for dec in self._subdecoders)
+
+    def observe(self, packet_id: int, digest: Tuple[int, ...]) -> None:
+        """Route the digest to the packet's fragment sub-problem."""
+        self.packets_seen += 1
+        frag = self.ctx.fragment_index(packet_id, self.num_fragments)
+        self._subdecoders[frag].observe(packet_id, digest)
+
+    def path(self) -> List[int]:
+        """Reassembled blocks, hop 1 first (raises if incomplete)."""
+        if not self.is_complete:
+            raise DecodingError("fragments still missing")
+        out = []
+        for hop in range(1, self.k + 1):
+            value = 0
+            for frag, dec in enumerate(self._subdecoders):
+                value |= dec.decoded[hop] << (frag * self.digest_bits)
+            out.append(value)
+        return out
+
+
+def make_decoder(
+    encoder,
+    message: Optional[DistributedMessage] = None,
+    adjacency: Optional[Dict[int, Set[int]]] = None,
+):
+    """Build the matching decoder for a :class:`PathEncoder`.
+
+    Convenience used by tests and benchmarks; pulls mode, widths and
+    seed straight from the encoder so the pair cannot drift apart.
+    ``adjacency`` enables topology-aware inference (hash mode only).
+    """
+    from repro.coding.encoder import FRAGMENT, HASH, RAW  # local: avoid cycle
+
+    msg = message if message is not None else encoder.message
+    ctx = encoder.ctx
+    if encoder.mode == HASH:
+        return HashDecoder(
+            msg.k, msg.universe, ctx.scheme, ctx.digest_bits,
+            ctx.num_hashes, ctx.seed, adjacency=adjacency,
+        )
+    if encoder.mode == RAW:
+        return RawDecoder(msg.k, ctx.scheme, ctx.digest_bits, ctx.seed)
+    return FragmentDecoder(
+        msg.k, msg.block_bits(), ctx.scheme, ctx.digest_bits, ctx.seed
+    )

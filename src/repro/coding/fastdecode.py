@@ -1,0 +1,183 @@
+"""Near-linear-time decoding via pseudo-random bit vectors (§4.2).
+
+The plain decoder evaluates ``g(packet, i)`` for all k hops of every
+packet -- O(k) per packet, super-quadratic overall.  The paper's trick:
+when the XOR probability is a power of two ``p = 2^-t``, draw ``t``
+pseudo-random k-bit vectors per packet and AND them; bit ``i`` of the
+AND is set with probability exactly ``p``, the whole acting set costs
+O(t) word operations, and extracting it costs O(#set bits) -- O(log k)
+per packet in total since E[#set bits] = k * p = O(1).
+
+:class:`FastXOREncoder` / :class:`FastXORDecoder` are a matched pair
+implementing a Baseline + single-XOR-layer scheme whose XOR acting
+sets come from the bit-vector construction.  They decode the same
+messages as the hash-per-hop path (tested), while doing exponentially
+less hashing per packet on long paths.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.coding.message import DistributedMessage
+from repro.exceptions import DecodingError
+from repro.hashing import GlobalHash, reservoir_carrier
+from repro.hashing.bitvector import acting_mask, set_bits
+
+
+class _FastCodecBase:
+    """Shared hash/mask derivations for the encoder/decoder pair."""
+
+    def __init__(
+        self,
+        k: int,
+        tau: float,
+        log2_inv_p: int,
+        seed: int,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if not 0.0 < tau <= 1.0:
+            raise ValueError("tau must be in (0, 1]")
+        if log2_inv_p < 0:
+            raise ValueError("log2_inv_p must be >= 0")
+        self.k = k
+        self.tau = tau
+        self.log2_inv_p = log2_inv_p
+        root = GlobalHash(seed, "pint-fast")
+        self.select = root.derive("layer-select")
+        self.g_baseline = root.derive("g-baseline")
+        self.g_mask = root.derive("g-mask")
+
+    def is_baseline(self, packet_id: int) -> bool:
+        """Layer choice (hash-coordinated, same at every hop)."""
+        return self.select.uniform(packet_id) < self.tau
+
+    def xor_acting(self, packet_id: int) -> List[int]:
+        """1-based acting hops via the AND-of-bitvectors trick."""
+        mask = acting_mask(self.g_mask, packet_id, self.k, self.log2_inv_p)
+        return [b + 1 for b in set_bits(mask)]
+
+
+class FastXOREncoder(_FastCodecBase):
+    """Encoder: Baseline reservoir + bit-vector XOR layer (raw digests).
+
+    Parameters
+    ----------
+    message:
+        Blocks must fit ``digest_bits`` (raw mode).
+    tau:
+        Baseline layer share.
+    log2_inv_p:
+        XOR probability exponent t (p = 2^-t); the paper notes a
+        power-of-two approximation of the target probability suffices.
+    """
+
+    def __init__(
+        self,
+        message: DistributedMessage,
+        digest_bits: int = 8,
+        tau: float = 0.75,
+        log2_inv_p: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if message.block_bits() > digest_bits:
+            raise ValueError("fast codec is raw-mode: blocks must fit digest")
+        if log2_inv_p is None:
+            log2_inv_p = max(0, round(math.log2(max(1, message.k))))
+        super().__init__(message.k, tau, log2_inv_p, seed)
+        self.message = message
+        self.digest_bits = digest_bits
+
+    def encode(self, packet_id: int) -> Tuple[int, ...]:
+        """Digest after the full path (O(log k) expected work)."""
+        if self.is_baseline(packet_id):
+            carrier = reservoir_carrier(self.g_baseline, packet_id, self.k)
+            return (self.message.blocks[carrier - 1],)
+        digest = 0
+        for hop in self.xor_acting(packet_id):
+            digest ^= self.message.blocks[hop - 1]
+        return (digest,)
+
+
+class FastXORDecoder(_FastCodecBase):
+    """Peeling decoder mirroring :class:`FastXOREncoder`.
+
+    Per packet: one layer hash, then either one reservoir replay
+    (baseline) or an O(t + #set bits) mask evaluation (XOR) -- the
+    O(log k) bound of §4.2's "Reducing the Decoding Complexity".
+    """
+
+    def __init__(
+        self,
+        k: int,
+        digest_bits: int = 8,
+        tau: float = 0.75,
+        log2_inv_p: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if log2_inv_p is None:
+            log2_inv_p = max(0, round(math.log2(max(1, k))))
+        super().__init__(k, tau, log2_inv_p, seed)
+        self.digest_bits = digest_bits
+        self.decoded: Dict[int, int] = {}
+        self.packets_seen = 0
+        self._pending: List[Tuple[Set[int], List[int]]] = []
+
+    @property
+    def missing(self) -> int:
+        """Hops still unknown."""
+        return self.k - len(self.decoded)
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every hop's block is recovered."""
+        return not self.missing
+
+    def observe(self, packet_id: int, digest: Tuple[int, ...]) -> None:
+        """Feed one digest."""
+        self.packets_seen += 1
+        value = digest[0]
+        if self.is_baseline(packet_id):
+            carrier = reservoir_carrier(self.g_baseline, packet_id, self.k)
+            self._resolve(carrier, value)
+            return
+        residual = value
+        unknown: Set[int] = set()
+        for hop in self.xor_acting(packet_id):
+            if hop in self.decoded:
+                residual ^= self.decoded[hop]
+            else:
+                unknown.add(hop)
+        if not unknown:
+            return
+        if len(unknown) == 1:
+            self._resolve(unknown.pop(), residual)
+        else:
+            self._pending.append((unknown, [residual]))
+
+    def _resolve(self, hop: int, value: int) -> None:
+        worklist = [(hop, value)]
+        while worklist:
+            hop, value = worklist.pop()
+            if hop in self.decoded:
+                continue
+            self.decoded[hop] = value
+            still_pending = []
+            for unknown, residual in self._pending:
+                if hop in unknown:
+                    unknown.discard(hop)
+                    residual[0] ^= value
+                    if len(unknown) == 1:
+                        worklist.append((unknown.pop(), residual[0]))
+                        continue
+                if unknown:
+                    still_pending.append((unknown, residual))
+            self._pending = still_pending
+
+    def path(self) -> List[int]:
+        """The recovered blocks, hop 1 first (raises if incomplete)."""
+        if not self.is_complete:
+            raise DecodingError(f"{self.missing} hops still unknown")
+        return [self.decoded[h] for h in range(1, self.k + 1)]

@@ -1,0 +1,62 @@
+"""The distributed-message abstraction of paper §4.2 (Fig. 4).
+
+A k-block message ``M_1..M_k`` is held by k encoders (switches): encoder
+``e_i`` knows only ``M_i``.  Packets traverse ``e_1..e_k`` carrying a
+b-bit digest which any encoder may modify; a Receiver collects digests
+and must reconstruct the full message.  For path tracing, ``M_i`` is the
+ID of the i-th switch and the universe V is the set of all switch IDs in
+the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DistributedMessage:
+    """An immutable k-block message distributed along a path.
+
+    Attributes
+    ----------
+    blocks:
+        The per-hop values ``(M_1, ..., M_k)``; integers (e.g. 32-bit
+        switch IDs).
+    universe:
+        Optional value universe V from which every block is drawn.
+        Required by the hash-compressed decoder ("Reducing the
+        Bit-overhead using Hashing", §4.2); ignored by raw decoding.
+    """
+
+    blocks: Tuple[int, ...]
+    universe: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ValueError("message needs at least one block")
+        if any(b < 0 for b in self.blocks):
+            raise ValueError("blocks must be non-negative integers")
+        if self.universe is not None:
+            uni = frozenset(self.universe)
+            missing = [b for b in self.blocks if b not in uni]
+            if missing:
+                raise ValueError(f"blocks {missing} not in universe")
+
+    @property
+    def k(self) -> int:
+        """Number of blocks (path length)."""
+        return len(self.blocks)
+
+    def block_bits(self) -> int:
+        """Bits needed to write the widest block raw."""
+        return max(1, max(self.blocks).bit_length())
+
+    @staticmethod
+    def from_path(path: Sequence[int], universe: Optional[Sequence[int]] = None
+                  ) -> "DistributedMessage":
+        """Build a message whose blocks are the switch IDs along a path."""
+        return DistributedMessage(
+            tuple(int(s) for s in path),
+            tuple(int(v) for v in universe) if universe is not None else None,
+        )

@@ -1,0 +1,162 @@
+"""Monte-Carlo harnesses over encoder/decoder pairs.
+
+These produce the quantities the paper plots:
+
+* :func:`packets_to_decode` -- packets until full decode (Fig. 10 data);
+* :func:`decode_progress` -- E[missing hops] vs packets (Fig. 5a);
+* :func:`decode_probability` -- P[decoded] vs packets (Fig. 5b);
+* :func:`packet_count_distribution` -- mean / percentiles over trials.
+
+Each trial re-seeds the global hashes, which is exactly how a new flow
+(new packet-id space) behaves in the real system.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.coding.decoder import make_decoder
+from repro.coding.encoder import PathEncoder
+from repro.coding.message import DistributedMessage
+from repro.coding.schemes import CodingScheme
+
+
+def packets_to_decode(
+    message: DistributedMessage,
+    scheme: CodingScheme,
+    digest_bits: int = 8,
+    num_hashes: int = 1,
+    seed: int = 0,
+    max_packets: int = 1_000_000,
+    mode: str = "auto",
+    adjacency=None,
+) -> int:
+    """Number of packets until the decoder recovers the whole message.
+
+    Raises ``RuntimeError`` if ``max_packets`` is not enough (a test
+    guard; with sane parameters this never triggers).  ``adjacency``
+    enables the topology-aware Inference Module (hash mode).
+    """
+    encoder = PathEncoder(message, scheme, digest_bits, mode, num_hashes, seed)
+    decoder = make_decoder(encoder, adjacency=adjacency)
+    for packet_id in range(1, max_packets + 1):
+        decoder.observe(packet_id, encoder.encode(packet_id))
+        if decoder.is_complete:
+            return packet_id
+    raise RuntimeError(f"not decoded after {max_packets} packets")
+
+
+def decode_progress(
+    message: DistributedMessage,
+    scheme: CodingScheme,
+    packets: int,
+    digest_bits: int = 8,
+    num_hashes: int = 1,
+    seed: int = 0,
+    mode: str = "auto",
+) -> List[int]:
+    """``missing`` after each of the first ``packets`` packets (Fig. 5a)."""
+    encoder = PathEncoder(message, scheme, digest_bits, mode, num_hashes, seed)
+    decoder = make_decoder(encoder)
+    curve = []
+    for packet_id in range(1, packets + 1):
+        decoder.observe(packet_id, encoder.encode(packet_id))
+        curve.append(decoder.missing)
+    return curve
+
+
+@dataclass
+class TrialStats:
+    """Summary of packets-to-decode over independent trials."""
+
+    counts: List[int]
+
+    @property
+    def mean(self) -> float:
+        """Average packets to decode."""
+        return sum(self.counts) / len(self.counts)
+
+    def percentile(self, q: float) -> int:
+        """q-percentile (q in [0, 100]) of packets to decode."""
+        if not 0 <= q <= 100:
+            raise ValueError("q must be in [0, 100]")
+        ordered = sorted(self.counts)
+        idx = min(len(ordered) - 1, max(0, math.ceil(q / 100 * len(ordered)) - 1))
+        return ordered[idx]
+
+    @property
+    def median(self) -> int:
+        """50th percentile."""
+        return self.percentile(50)
+
+
+def packet_count_distribution(
+    message: DistributedMessage,
+    scheme: CodingScheme,
+    trials: int = 100,
+    digest_bits: int = 8,
+    num_hashes: int = 1,
+    seed: int = 0,
+    max_packets: int = 1_000_000,
+    mode: str = "auto",
+    adjacency=None,
+) -> TrialStats:
+    """Packets-to-decode distribution over ``trials`` fresh flows."""
+    counts = [
+        packets_to_decode(
+            message, scheme, digest_bits, num_hashes, seed + trial,
+            max_packets, mode, adjacency,
+        )
+        for trial in range(trials)
+    ]
+    return TrialStats(counts)
+
+
+def decode_probability(
+    message: DistributedMessage,
+    scheme: CodingScheme,
+    packet_grid: Sequence[int],
+    trials: int = 50,
+    digest_bits: int = 8,
+    num_hashes: int = 1,
+    seed: int = 0,
+    mode: str = "auto",
+) -> List[float]:
+    """P[message decoded within n packets] for each n in packet_grid."""
+    grid = list(packet_grid)
+    done_at = [
+        packets_to_decode(
+            message,
+            scheme,
+            digest_bits,
+            num_hashes,
+            seed + trial,
+            max_packets=max(grid) * 20 + 1000,
+            mode=mode,
+        )
+        for trial in range(trials)
+    ]
+    return [sum(1 for d in done_at if d <= n) / trials for n in grid]
+
+
+def average_progress(
+    message: DistributedMessage,
+    scheme: CodingScheme,
+    packets: int,
+    trials: int = 20,
+    digest_bits: int = 8,
+    num_hashes: int = 1,
+    seed: int = 0,
+    mode: str = "auto",
+) -> List[float]:
+    """E[missing hops] after each packet, averaged over trials (Fig. 5a)."""
+    total = [0.0] * packets
+    for trial in range(trials):
+        curve = decode_progress(
+            message, scheme, packets, digest_bits, num_hashes, seed + trial, mode
+        )
+        for i, m in enumerate(curve):
+            total[i] += m
+    return [t / trials for t in total]

@@ -1,0 +1,30 @@
+"""The PINT framework core: queries, plans, engine, runtime (paper §3).
+
+* :class:`Query`, :class:`AggregationType`, :class:`MetadataType` --
+  the query language (§3.3, Tables 1-2).
+* :class:`QueryEngine` / :class:`ExecutionPlan` -- compile concurrent
+  queries into a distribution over query sets under a global bit budget
+  (§3.4).
+* :class:`PINTFramework` / :class:`QueryRuntime` -- the Source ->
+  switches -> Sink -> Recording pipeline of Fig. 3.
+"""
+
+from repro.core.engine import QueryEngine
+from repro.core.framework import PINTFramework, QueryRuntime
+from repro.core.plan import ExecutionPlan, PlanEntry
+from repro.core.query import AggregationType, FlowDefinition, Query
+from repro.core.values import HopView, MetadataType, PacketContext
+
+__all__ = [
+    "Query",
+    "AggregationType",
+    "FlowDefinition",
+    "MetadataType",
+    "HopView",
+    "PacketContext",
+    "QueryEngine",
+    "ExecutionPlan",
+    "PlanEntry",
+    "PINTFramework",
+    "QueryRuntime",
+]

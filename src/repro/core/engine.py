@@ -1,0 +1,95 @@
+"""The PINT Query Engine (paper §3.4).
+
+Compiles a set of concurrent queries plus a global per-packet bit
+budget into an :class:`ExecutionPlan`: a distribution over query sets
+such that (a) every set fits the budget and (b) every query appears on
+at least its requested fraction of packets.
+
+The paper leaves automatic plan selection as future work ("the PINT
+execution plan is manually selected", §7); we implement the natural
+greedy bin-packing compiler, which reproduces the paper's hand-built
+combined-experiment plan exactly, and also accept hand-written plans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.plan import ExecutionPlan, PlanEntry
+from repro.core.query import Query
+from repro.exceptions import BudgetError
+
+
+class QueryEngine:
+    """Compiles queries into execution plans."""
+
+    def __init__(self, global_budget: int, seed: int = 0) -> None:
+        if global_budget < 1:
+            raise BudgetError("global budget must be >= 1 bit")
+        self.global_budget = global_budget
+        self.seed = seed
+
+    def compile(self, queries: Sequence[Query]) -> ExecutionPlan:
+        """Build a plan meeting every query's frequency.
+
+        Greedy: while any query still needs probability mass, build a
+        set first-fit from the neediest queries, and run it with the
+        smallest remaining need among its members.  Raises
+        :class:`BudgetError` when the demands cannot fit (e.g. a single
+        query wider than the global budget, or total probability > 1).
+        """
+        if not queries:
+            raise BudgetError("no queries to compile")
+        names = [q.name for q in queries]
+        if len(set(names)) != len(names):
+            raise BudgetError("query names must be unique")
+        for q in queries:
+            if q.bit_budget > self.global_budget:
+                raise BudgetError(
+                    f"query {q.name!r} needs {q.bit_budget} bits > "
+                    f"global budget {self.global_budget}"
+                )
+        remaining: Dict[str, float] = {q.name: q.frequency for q in queries}
+        by_name = {q.name: q for q in queries}
+        entries: List[PlanEntry] = []
+        total_probability = 0.0
+        for _ in range(8 * len(queries) + 8):
+            needy = [n for n, r in remaining.items() if r > 1e-12]
+            if not needy:
+                break
+            needy.sort(key=lambda n: -remaining[n])
+            subset: List[Query] = []
+            bits_left = self.global_budget
+            for name in needy:
+                q = by_name[name]
+                if q.bit_budget <= bits_left:
+                    subset.append(q)
+                    bits_left -= q.bit_budget
+            if not subset:
+                raise BudgetError("no query fits the remaining budget")
+            p = min(remaining[q.name] for q in subset)
+            p = min(p, 1.0 - total_probability)
+            if p <= 1e-12:
+                raise BudgetError(
+                    "query frequencies are infeasible within the global "
+                    "budget (total demand exceeds one packet's worth)"
+                )
+            entries.append(PlanEntry(tuple(subset), p))
+            total_probability += p
+            for q in subset:
+                remaining[q.name] = max(0.0, remaining[q.name] - p)
+        if any(r > 1e-9 for r in remaining.values()):
+            raise BudgetError(
+                "could not satisfy all query frequencies: leftover "
+                f"demand {remaining}"
+            )
+        plan = ExecutionPlan(entries, self.global_budget, self.seed)
+        plan.validate_frequencies()
+        return plan
+
+    def manual_plan(
+        self, rows: Sequence[Tuple[Sequence[Query], float]]
+    ) -> ExecutionPlan:
+        """Build a hand-written plan (the paper's §6.4 configuration)."""
+        entries = [PlanEntry(tuple(qs), p) for qs, p in rows]
+        return ExecutionPlan(entries, self.global_budget, self.seed)

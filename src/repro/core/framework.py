@@ -1,0 +1,101 @@
+"""The PINT runtime: Source, per-switch encoding, Sink, Recording (§3.4).
+
+:class:`PINTFramework` wires together an execution plan and one
+*runtime* per query.  A runtime implements the three modules of Fig. 3:
+
+* ``on_hop``   -- the Encoding Module, run at every switch;
+* ``on_sink``  -- hands the extracted digest to the Recording Module;
+* inference is exposed by each concrete runtime's own query methods.
+
+The framework is transport-agnostic: callers (examples, the DES
+simulator, tests) push packets through :meth:`process_packet` with the
+list of per-hop :class:`~repro.core.values.HopView` snapshots.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.plan import ExecutionPlan
+from repro.core.query import Query
+from repro.core.values import HopView, PacketContext
+from repro.exceptions import ConfigurationError
+
+
+class QueryRuntime(abc.ABC):
+    """Per-query Encoding + Recording behaviour."""
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+
+    @abc.abstractmethod
+    def on_hop(self, ctx: PacketContext, hop: HopView, digest: int) -> int:
+        """Encoding Module: return the (possibly modified) query digest.
+
+        ``digest`` is the query's current slice of the packet digest
+        (``query.bit_budget`` bits); the return value replaces it.
+        """
+
+    @abc.abstractmethod
+    def on_sink(self, ctx: PacketContext, digest: int) -> None:
+        """Recording Module: consume the extracted digest at the sink."""
+
+
+class PINTFramework:
+    """Orchestrates concurrent queries under one execution plan."""
+
+    def __init__(self, plan: ExecutionPlan) -> None:
+        self.plan = plan
+        self._runtimes: Dict[str, QueryRuntime] = {}
+        self.packets_processed = 0
+        self.digest_bits_total = 0
+
+    def register(self, runtime: QueryRuntime) -> None:
+        """Attach the runtime implementing one of the plan's queries."""
+        name = runtime.query.name
+        if name in self._runtimes:
+            raise ConfigurationError(f"duplicate runtime for {name!r}")
+        self._runtimes[name] = runtime
+
+    def runtime(self, name: str) -> QueryRuntime:
+        """Look up a registered runtime by query name."""
+        return self._runtimes[name]
+
+    def _check_registered(self, queries: Tuple[Query, ...]) -> None:
+        for q in queries:
+            if q.name not in self._runtimes:
+                raise ConfigurationError(f"no runtime registered for {q.name!r}")
+
+    def process_packet(
+        self, ctx: PacketContext, hops: Sequence[HopView]
+    ) -> int:
+        """Simulate one packet: Source -> every switch -> Sink.
+
+        Returns the final global digest (what travelled on the wire),
+        after the sink has already dispatched each query's slice to its
+        Recording Module.  The digest is exactly ``plan.global_budget``
+        bits -- the paper's fixed-width, MTU-safe guarantee (§3.3).
+        """
+        queries = self.plan.select(ctx.packet_id)
+        self._check_registered(queries)
+        digest = 0
+        for hop in hops:
+            for query in queries:
+                offset = self.plan.digest_offset(queries, query)
+                width = query.bit_budget
+                mask = (1 << width) - 1
+                piece = (digest >> offset) & mask
+                piece = self._runtimes[query.name].on_hop(ctx, hop, piece) & mask
+                digest = (digest & ~(mask << offset)) | (piece << offset)
+        for query in queries:
+            offset = self.plan.digest_offset(queries, query)
+            piece = (digest >> offset) & ((1 << query.bit_budget) - 1)
+            self._runtimes[query.name].on_sink(ctx, piece)
+        self.packets_processed += 1
+        self.digest_bits_total += self.plan.global_budget
+        return digest
+
+    def overhead_bytes_per_packet(self) -> float:
+        """Average digest bytes added per packet (constant by design)."""
+        return self.plan.global_budget / 8.0

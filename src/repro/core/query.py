@@ -1,0 +1,83 @@
+"""The PINT query language (paper §3.3).
+
+A query is the tuple ``(val_t, agg_t, bit-budget [, space-budget,
+flow definition, frequency])``:
+
+* ``val_t`` -- which telemetry value is collected (Table 1);
+* ``agg_t`` -- the aggregation mode (§3.1);
+* ``bit_budget`` -- digest bits this query may occupy on a packet;
+* ``space_budget`` -- optional per-flow storage cap for the Recording
+  Module (in digests);
+* ``flow_def`` -- which header fields define a flow (per-flow modes);
+* ``frequency`` -- minimum fraction of packets that must carry this
+  query's digest.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.values import MetadataType
+from repro.exceptions import ConfigurationError
+
+
+class AggregationType(enum.Enum):
+    """The three aggregation modes of §3.1."""
+
+    PER_PACKET = "per_packet"
+    STATIC_PER_FLOW = "static_per_flow"
+    DYNAMIC_PER_FLOW = "dynamic_per_flow"
+
+
+class FlowDefinition(enum.Enum):
+    """Header fields that identify a flow (per-flow queries)."""
+
+    FIVE_TUPLE = "five_tuple"
+    SOURCE_IP = "source_ip"
+    SOURCE_DEST_PAIR = "source_dest_pair"
+
+
+@dataclass(frozen=True)
+class Query:
+    """One telemetry query (§3.3).
+
+    Examples
+    --------
+    Path tracing with one byte per packet::
+
+        Query("path", MetadataType.SWITCH_ID,
+              AggregationType.STATIC_PER_FLOW, bit_budget=8)
+
+    Median hop latency with a 100-digest per-flow sketch::
+
+        Query("lat", MetadataType.HOP_LATENCY,
+              AggregationType.DYNAMIC_PER_FLOW, bit_budget=8,
+              space_budget=100)
+    """
+
+    name: str
+    value_type: MetadataType
+    agg_type: AggregationType
+    bit_budget: int
+    space_budget: Optional[int] = None
+    flow_def: FlowDefinition = FlowDefinition.FIVE_TUPLE
+    frequency: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("query needs a name")
+        if self.bit_budget < 1:
+            raise ConfigurationError("bit_budget must be >= 1")
+        if not 0.0 < self.frequency <= 1.0:
+            raise ConfigurationError("frequency must be in (0, 1]")
+        if self.space_budget is not None and self.space_budget < 1:
+            raise ConfigurationError("space_budget must be >= 1")
+        if (
+            self.agg_type is AggregationType.PER_PACKET
+            and self.space_budget is not None
+        ):
+            raise ConfigurationError(
+                "per-packet aggregation keeps no per-flow state"
+            )

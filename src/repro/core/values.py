@@ -1,0 +1,83 @@
+"""Telemetry value model (paper §3, Table 1).
+
+A *value* ``v(p_j, s)`` is anything a switch can compute about a packet
+in the data plane: identity (switch ID, ports), state (timestamps,
+queue occupancy, link utilisation), or derived quantities.  The
+:class:`HopView` is the per-(packet, hop) snapshot our simulated
+switches expose to PINT's Encoding Modules -- the same information the
+INT specification lets a device export.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class MetadataType(enum.Enum):
+    """The INT metadata values of Table 1."""
+
+    SWITCH_ID = "switch_id"
+    INGRESS_PORT = "ingress_port"
+    INGRESS_TIMESTAMP = "ingress_timestamp"
+    EGRESS_PORT = "egress_port"
+    HOP_LATENCY = "hop_latency"
+    EGRESS_TX_UTILIZATION = "egress_tx_utilization"
+    QUEUE_OCCUPANCY = "queue_occupancy"
+    QUEUE_CONGESTION_STATUS = "queue_congestion_status"
+
+    @property
+    def bits(self) -> int:
+        """Raw INT encoding width: every value is a 4-byte number [75]."""
+        return 32
+
+
+@dataclass(frozen=True)
+class HopView:
+    """What one switch observes about one packet.
+
+    All times are in seconds (floats); utilisation and congestion status
+    are fractions in [0, 1]; occupancy is in bytes.
+    """
+
+    switch_id: int
+    hop_number: int
+    ingress_port: int = 0
+    egress_port: int = 0
+    ingress_timestamp: float = 0.0
+    hop_latency: float = 0.0
+    egress_tx_utilization: float = 0.0
+    queue_occupancy: int = 0
+    queue_congestion_status: float = 0.0
+
+    def get(self, kind: MetadataType) -> float:
+        """Fetch a metadata value by type (Table 1 dispatch)."""
+        mapping = {
+            MetadataType.SWITCH_ID: float(self.switch_id),
+            MetadataType.INGRESS_PORT: float(self.ingress_port),
+            MetadataType.INGRESS_TIMESTAMP: self.ingress_timestamp,
+            MetadataType.EGRESS_PORT: float(self.egress_port),
+            MetadataType.HOP_LATENCY: self.hop_latency,
+            MetadataType.EGRESS_TX_UTILIZATION: self.egress_tx_utilization,
+            MetadataType.QUEUE_OCCUPANCY: float(self.queue_occupancy),
+            MetadataType.QUEUE_CONGESTION_STATUS: self.queue_congestion_status,
+        }
+        return mapping[kind]
+
+
+@dataclass(frozen=True)
+class PacketContext:
+    """Identity of a packet as PINT sees it.
+
+    ``packet_id`` is the unique identifier global hashes are applied to
+    (derived from IPID/TCP sequence numbers in a real deployment, §4.1);
+    ``flow_id`` is the flow key under the query's flow definition;
+    ``path_len`` is the packet's total hop count (known to the sink from
+    the TTL, footnote 6).
+    """
+
+    packet_id: int
+    flow_id: int
+    path_len: int
+    payload_bytes: int = 1000

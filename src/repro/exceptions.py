@@ -1,0 +1,25 @@
+"""Exception hierarchy for the PINT reproduction library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a query, plan, or component is mis-configured."""
+
+
+class BudgetError(ConfigurationError):
+    """Raised when a set of queries cannot fit a global bit budget."""
+
+
+class DecodingError(ReproError):
+    """Raised when an inference module cannot decode the collected digests."""
+
+
+class SimulationError(ReproError):
+    """Raised on inconsistent simulator state (a bug, not user error)."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid topologies or unroutable node pairs."""

@@ -1,0 +1,39 @@
+"""Global hash functions and implicit-coordination helpers (paper §4.1).
+
+Public surface:
+
+* :class:`GlobalHash` -- seedable network-wide hash with scalar and
+  vectorised APIs.
+* :func:`reservoir_write` / :func:`reservoir_carrier` -- the distributed
+  Reservoir Sampling rule and its collector-side inverse.
+* :func:`xor_acting_hops` -- which hops xor a given packet.
+* :mod:`repro.hashing.bitvector` -- the O(log k)/packet decode variant.
+"""
+
+from repro.hashing.global_hash import (
+    GlobalHash,
+    reservoir_carrier,
+    reservoir_carrier_array,
+    reservoir_write,
+    xor_acting_hops,
+)
+from repro.hashing.bitvector import (
+    acting_hops_fast,
+    acting_mask,
+    random_bitvector,
+    set_bits,
+)
+from repro.hashing import mix
+
+__all__ = [
+    "GlobalHash",
+    "reservoir_write",
+    "reservoir_carrier",
+    "reservoir_carrier_array",
+    "xor_acting_hops",
+    "acting_hops_fast",
+    "acting_mask",
+    "random_bitvector",
+    "set_bits",
+    "mix",
+]

@@ -1,0 +1,59 @@
+"""Near-linear-time decode variant via pseudo-random bit vectors (§4.2).
+
+The straightforward decoder computes ``g(packet, i)`` for every hop
+``i``, spending O(k) per packet and O(k^2 log log* k) overall.  The paper
+observes that because the acting probability is a (power-of-two)
+``p = 2^-t``, one can instead draw ``t`` pseudo-random k-bit vectors per
+packet and AND them together: bit ``i`` of the AND survives with
+probability exactly ``p``, and extracting set bits costs O(#set bits).
+This module implements that trick; the expected number of set bits is
+``k * p = O(1)`` for the XOR layers, giving O(log k) work per packet.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hashing.global_hash import GlobalHash, Part
+
+
+def random_bitvector(g: GlobalHash, packet_id: Part, round_idx: int, k: int) -> int:
+    """Return a pseudo-random k-bit integer for (packet, round)."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    vec = 0
+    # Draw 64 bits at a time until k bits are filled.
+    for word_idx in range((k + 63) // 64):
+        word = g.raw(round_idx, word_idx, packet_id)
+        vec |= word << (64 * word_idx)
+    return vec & ((1 << k) - 1)
+
+
+def acting_mask(g: GlobalHash, packet_id: Part, k: int, log2_inv_p: int) -> int:
+    """AND of ``log2_inv_p`` random k-bit vectors: bit i set w.p. 2^-t.
+
+    Bit ``i`` (0-based) corresponds to hop ``i+1`` acting on the packet.
+    """
+    if log2_inv_p < 0:
+        raise ValueError("log2_inv_p must be >= 0")
+    mask = (1 << k) - 1
+    for round_idx in range(log2_inv_p):
+        mask &= random_bitvector(g, packet_id, round_idx, k)
+    return mask
+
+
+def set_bits(mask: int) -> List[int]:
+    """Extract 0-based indices of set bits in time O(#set bits)."""
+    out = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return out
+
+
+def acting_hops_fast(
+    g: GlobalHash, packet_id: Part, k: int, log2_inv_p: int
+) -> List[int]:
+    """1-based hops acting on the packet, via the bit-vector trick."""
+    return [b + 1 for b in set_bits(acting_mask(g, packet_id, k, log2_inv_p))]

@@ -1,0 +1,204 @@
+"""Global hash functions for implicit switch coordination (paper §4.1).
+
+A :class:`GlobalHash` is a keyed hash known to every switch and to the
+Inference Module.  Applying it to a packet identifier (and optionally a
+hop number) lets all parties agree on probabilistic outcomes -- which
+query set a packet serves, whether hop ``i`` samples the packet, which
+fragment a packet carries -- without spending a single header bit on
+coordination.
+
+Three named hashes from the paper map onto instances of this class:
+
+* ``q`` -- query-selection hash on packet ids (§4.1);
+* ``g`` -- per-(packet, hop) action hash used by reservoir sampling and
+  the XOR layers (§4.1, §4.2);
+* ``h`` -- (value, packet id) compression hash used to squeeze wide
+  values into ``q``-bit digests (§4.2, "Reducing the Bit-overhead using
+  Hashing").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+import numpy as np
+
+from repro.hashing import mix
+
+#: Accepted key-part types; strings are folded via :func:`mix.string_to_int`.
+Part = Union[int, str, bytes]
+
+
+def _as_int(part: Part) -> int:
+    """Normalise a key part to a 64-bit integer."""
+    if isinstance(part, int):
+        return part & mix.MASK64
+    if isinstance(part, str):
+        return mix.string_to_int(part)
+    if isinstance(part, bytes):
+        return mix.string_to_int(part.decode("latin-1"))
+    raise TypeError(f"unsupported hash part type: {type(part)!r}")
+
+
+class GlobalHash:
+    """A deterministic, seedable hash function shared network-wide.
+
+    Parameters
+    ----------
+    seed:
+        Integer key.  Two instances with the same seed and name are the
+        same function on every machine and in every process.
+    name:
+        Optional purpose label ("g", "h", "query-select", ...) folded
+        into the key, so independent hashes can be derived from one seed.
+    """
+
+    __slots__ = ("seed", "name", "_key")
+
+    def __init__(self, seed: int = 0, name: str = "") -> None:
+        self.seed = seed
+        self.name = name
+        self._key = mix.combine(seed, mix.string_to_int(name))
+
+    def derive(self, name: str) -> "GlobalHash":
+        """Return an independent hash derived from this one.
+
+        Used, e.g., to derive per-layer XOR hashes or the two
+        independent hashes of the ``2x(b=8)`` path-tracing variant.
+        """
+        return GlobalHash(self._key, name)
+
+    # -- scalar API ------------------------------------------------------
+
+    def raw(self, *parts: Part) -> int:
+        """Return the 64-bit hash of the given key parts."""
+        return mix.combine(self._key, *[_as_int(p) for p in parts])
+
+    def uniform(self, *parts: Part) -> float:
+        """Return a float uniform on [0, 1), determined by ``parts``."""
+        return mix.to_unit(self.raw(*parts))
+
+    def bits(self, width: int, *parts: Part) -> int:
+        """Return a ``width``-bit digest value (an int in [0, 2**width))."""
+        if not 1 <= width <= 64:
+            raise ValueError("width must be in [1, 64]")
+        return self.raw(*parts) >> (64 - width)
+
+    def bernoulli(self, p: float, *parts: Part) -> bool:
+        """Return True with probability ``p``, determined by ``parts``.
+
+        This is the paper's ``g(p_j, i) < p`` test: every switch
+        evaluating the same parts reaches the same verdict.
+        """
+        return self.uniform(*parts) < p
+
+    def choice(self, n: int, *parts: Part) -> int:
+        """Return an index uniform on {0, ..., n-1}."""
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return int(self.uniform(*parts) * n)
+
+    def weighted_choice(self, weights: Sequence[float], *parts: Part) -> int:
+        """Return index i with probability weights[i] / sum(weights).
+
+        Used by the Query Engine to pick which query set a packet
+        serves, per the execution-plan distribution (§3.4).
+        """
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("weights must have positive sum")
+        u = self.uniform(*parts) * total
+        acc = 0.0
+        for i, w in enumerate(weights):
+            acc += w
+            if u < acc:
+                return i
+        return len(weights) - 1
+
+    # -- vectorised API --------------------------------------------------
+
+    def raw_array(self, parts: np.ndarray, *salts: Part) -> np.ndarray:
+        """Vectorised :meth:`raw` over one integer part per lane.
+
+        ``salts`` are folded first, so ``raw_array(pids, hop)`` equals
+        ``[raw(hop, pid) for pid in pids]`` bit-for-bit.
+        """
+        acc = mix.begin(self._key)
+        for salt in salts:
+            acc = mix.fold(acc, _as_int(salt))
+        return mix.fold_array(acc, np.asarray(parts))
+
+    def uniform_array(self, parts: np.ndarray, *salts: Part) -> np.ndarray:
+        """Vectorised :meth:`uniform`."""
+        return mix.to_unit_array(self.raw_array(parts, *salts))
+
+    def bits_array(self, width: int, parts: np.ndarray, *salts: Part) -> np.ndarray:
+        """Vectorised :meth:`bits`."""
+        if not 1 <= width <= 64:
+            raise ValueError("width must be in [1, 64]")
+        return self.raw_array(parts, *salts) >> np.uint64(64 - width)
+
+    def bits_lanes(
+        self, width: int, lane_parts: np.ndarray, part: Part
+    ) -> np.ndarray:
+        """Per-lane first part, shared second part: h(lane_i, part).
+
+        Lane-for-lane equal to ``[bits(width, lane, part) for lane in
+        lane_parts]`` -- the shape needed to hash one block value
+        against many packet ids at once.
+        """
+        if not 1 <= width <= 64:
+            raise ValueError("width must be in [1, 64]")
+        accs = mix.fold_array(mix.begin(self._key), np.asarray(lane_parts))
+        return mix.fold_lanes(accs, _as_int(part)) >> np.uint64(64 - width)
+
+
+def reservoir_write(g: GlobalHash, packet_id: Part, hop: int) -> bool:
+    """Does hop ``hop`` (1-based) overwrite the digest of this packet?
+
+    Implements the distributed Reservoir Sampling rule of §4.1: hop ``i``
+    writes iff ``g(packet, i) < 1/i``.  Hop 1 always writes, so a packet
+    that traversed at least one hop always carries a sample.
+    """
+    if hop < 1:
+        raise ValueError("hop numbers are 1-based")
+    return g.uniform(hop, packet_id) < 1.0 / hop
+
+
+def reservoir_carrier(g: GlobalHash, packet_id: Part, path_len: int) -> int:
+    """Which hop's value does the packet carry after ``path_len`` hops?
+
+    The carrier is the *last* hop that wrote, i.e.
+    ``max{ i : g(packet, i) < 1/i }``.  The Recording Module runs exactly
+    this computation to attribute each digest to a hop (§4.1), which is
+    the implicit switch/collector coordination trick of the paper.
+    Returns a 1-based hop index; uniform on {1..path_len}.
+    """
+    carrier = 1
+    for hop in range(2, path_len + 1):
+        if reservoir_write(g, packet_id, hop):
+            carrier = hop
+    return carrier
+
+
+def reservoir_carrier_array(
+    g: GlobalHash, packet_ids: np.ndarray, path_len: int
+) -> np.ndarray:
+    """Vectorised :func:`reservoir_carrier` over many packet ids."""
+    pids = np.asarray(packet_ids)
+    carriers = np.ones(len(pids), dtype=np.int64)
+    for hop in range(2, path_len + 1):
+        wrote = g.uniform_array(pids, hop) < 1.0 / hop
+        carriers[wrote] = hop
+    return carriers
+
+
+def xor_acting_hops(
+    g: GlobalHash, packet_id: Part, path_len: int, p: float
+) -> list:
+    """Hops (1-based) that xor this packet under XOR probability ``p``.
+
+    Each hop acts independently iff ``g(packet, i) < p`` (§4.2); the
+    Recording Module recomputes this set to drive the peeling decoder.
+    """
+    return [i for i in range(1, path_len + 1) if g.uniform(i, packet_id) < p]

@@ -1,0 +1,25 @@
+"""Network substrate: topologies, paths, routing.
+
+* :class:`Topology` -- switch/host graph with path queries.
+* :func:`fat_tree` -- the paper's data-center topology (D = 5).
+* :func:`kentucky_datalink` / :func:`us_carrier` -- synthetic ISP
+  stand-ins for the Topology Zoo maps of §6.3 (same switch counts and
+  diameters).
+* :func:`linear_topology` -- minimal chain fixture.
+"""
+
+from repro.net.fattree import fat_tree
+from repro.net.isp import kentucky_datalink, synthetic_isp, us_carrier
+from repro.net.topology import HOST, KIND, SWITCH, Topology, linear_topology
+
+__all__ = [
+    "Topology",
+    "linear_topology",
+    "fat_tree",
+    "synthetic_isp",
+    "kentucky_datalink",
+    "us_carrier",
+    "SWITCH",
+    "HOST",
+    "KIND",
+]

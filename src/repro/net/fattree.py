@@ -1,0 +1,70 @@
+"""K-ary fat-tree builder (Al-Fares et al.), the paper's DC topology.
+
+A K-ary fat-tree has K pods, each with K/2 edge and K/2 aggregation
+switches, plus (K/2)^2 core switches; each edge switch serves K/2
+hosts.  Host-to-host switch paths have length 1 (same edge), 3 (same
+pod) or 5 (inter-pod) -- the D=5 of the paper's Fig. 10(c) and the
+5-hop overhead arithmetic of §2.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.exceptions import TopologyError
+from repro.net.topology import HOST, KIND, SWITCH, Topology
+
+
+def fat_tree(k: int = 4, with_hosts: bool = True) -> Topology:
+    """Build a K-ary fat-tree (K even, >= 2).
+
+    Node ids: cores first, then per-pod aggregation and edge switches,
+    then hosts.  Switch IDs double as path-tracing values.
+    """
+    if k < 2 or k % 2:
+        raise TopologyError("fat-tree parameter k must be even and >= 2")
+    half = k // 2
+    graph = nx.Graph()
+    next_id = 0
+
+    cores = []
+    for _ in range(half * half):
+        graph.add_node(next_id, **{KIND: SWITCH, "role": "core"})
+        cores.append(next_id)
+        next_id += 1
+
+    aggs_by_pod = []
+    edges_by_pod = []
+    for pod in range(k):
+        aggs = []
+        for _ in range(half):
+            graph.add_node(next_id, **{KIND: SWITCH, "role": "agg", "pod": pod})
+            aggs.append(next_id)
+            next_id += 1
+        edges = []
+        for _ in range(half):
+            graph.add_node(next_id, **{KIND: SWITCH, "role": "edge", "pod": pod})
+            edges.append(next_id)
+            next_id += 1
+        aggs_by_pod.append(aggs)
+        edges_by_pod.append(edges)
+        for agg in aggs:
+            for edge in edges:
+                graph.add_edge(agg, edge)
+
+    # Core i*half + j connects to aggregation switch i of every pod.
+    for i in range(half):
+        for j in range(half):
+            core = cores[i * half + j]
+            for pod in range(k):
+                graph.add_edge(core, aggs_by_pod[pod][i])
+
+    if with_hosts:
+        for pod in range(k):
+            for edge in edges_by_pod[pod]:
+                for _ in range(half):
+                    graph.add_node(next_id, **{KIND: HOST, "pod": pod})
+                    graph.add_edge(edge, next_id)
+                    next_id += 1
+
+    return Topology(graph, name=f"fattree-k{k}")

@@ -1,0 +1,67 @@
+"""Synthetic ISP topologies standing in for Topology Zoo (paper §6.3).
+
+The paper's path-tracing evaluation uses two large-diameter ISP maps:
+Kentucky Datalink (753 switches, diameter 59) and US Carrier (157
+switches, diameter 36).  The Topology Zoo files are not available
+offline, so we synthesise trees with the same switch count and a long
+backbone of exactly the advertised diameter; what Fig. 10 measures --
+packets to decode as a function of *path length* and the size of the
+switch-ID universe -- depends only on those two parameters, which we
+match exactly (documented in DESIGN.md, substitution 3).
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+
+from repro.exceptions import TopologyError
+from repro.net.topology import KIND, SWITCH, Topology
+
+
+def synthetic_isp(
+    num_switches: int,
+    diameter: int,
+    seed: int = 0,
+    name: str = "synthetic-isp",
+) -> Topology:
+    """A tree ISP: a backbone path of ``diameter + 1`` switches with the
+    remaining switches attached near the backbone.
+
+    Attachment keeps every non-backbone switch within one hop of a
+    backbone node, so the tree diameter stays in
+    [diameter, diameter + 2]; we then verify and, if the bound is
+    exceeded, fail loudly (it cannot, by construction).
+    """
+    if num_switches < diameter + 1:
+        raise TopologyError("need at least diameter+1 switches")
+    if diameter < 1:
+        raise TopologyError("diameter must be >= 1")
+    rng = random.Random(seed)
+    graph = nx.path_graph(diameter + 1)
+    # Attach remaining switches directly to interior backbone nodes so
+    # endpoints keep defining the diameter.
+    interior = list(range(1, diameter))
+    for node in range(diameter + 1, num_switches):
+        anchor = rng.choice(interior) if interior else 0
+        graph.add_node(node)
+        graph.add_edge(node, anchor)
+    nx.set_node_attributes(graph, SWITCH, KIND)
+    topo = Topology(graph, name=name)
+    actual = topo.diameter()
+    if not diameter <= actual <= diameter + 2:
+        raise TopologyError(
+            f"construction bug: diameter {actual} != target {diameter}"
+        )
+    return topo
+
+
+def kentucky_datalink(seed: int = 0) -> Topology:
+    """Kentucky Datalink stand-in: 753 switches, diameter 59."""
+    return synthetic_isp(753, 59, seed=seed, name="kentucky-datalink")
+
+
+def us_carrier(seed: int = 0) -> Topology:
+    """US Carrier stand-in: 157 switches, diameter 36."""
+    return synthetic_isp(157, 36, seed=seed, name="us-carrier")

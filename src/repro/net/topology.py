@@ -1,0 +1,136 @@
+"""Topology model: switches, hosts, and paths.
+
+A thin, typed wrapper over a :mod:`networkx` graph.  Switch nodes carry
+integer switch IDs (the value universe V for path tracing); host nodes
+hang off edge switches.  Path queries return the *switch* sequence a
+packet traverses, which is what PINT encodes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.exceptions import TopologyError
+
+#: Node-attribute key for the node kind ("switch" or "host").
+KIND = "kind"
+SWITCH = "switch"
+HOST = "host"
+
+
+class Topology:
+    """A network of switches (and optionally hosts) with unit-cost links."""
+
+    def __init__(self, graph: nx.Graph, name: str = "topology") -> None:
+        self.graph = graph
+        self.name = name
+        self._sp_cache: Dict[int, Dict[int, List[int]]] = {}
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def switches(self) -> List[int]:
+        """All switch node ids, sorted (the path-tracing universe V)."""
+        return sorted(
+            n for n, data in self.graph.nodes(data=True)
+            if data.get(KIND, SWITCH) == SWITCH
+        )
+
+    @property
+    def hosts(self) -> List[int]:
+        """All host node ids, sorted."""
+        return sorted(
+            n for n, data in self.graph.nodes(data=True)
+            if data.get(KIND) == HOST
+        )
+
+    @property
+    def num_switches(self) -> int:
+        """Switch count."""
+        return len(self.switches)
+
+    def switch_universe(self) -> Tuple[int, ...]:
+        """The value universe for hash-compressed path tracing."""
+        return tuple(self.switches)
+
+    def switch_adjacency(self) -> Dict[int, set]:
+        """Switch-graph adjacency: switch ID -> neighbouring switch IDs.
+
+        Feeds the topology-aware Inference Module: consecutive hops of
+        a path must be graph neighbours, which lets the decoder narrow
+        candidate sets without spending packets.
+        """
+        switches = set(self.switches)
+        return {
+            s: {n for n in self.graph.neighbors(s) if n in switches}
+            for s in switches
+        }
+
+    def diameter(self) -> int:
+        """Switch-graph diameter in hops."""
+        sub = self.graph.subgraph(self.switches)
+        return nx.diameter(sub)
+
+    # -- paths -------------------------------------------------------------
+
+    def shortest_path(self, src: int, dst: int) -> List[int]:
+        """One shortest path (node sequence, inclusive of endpoints)."""
+        if src not in self.graph or dst not in self.graph:
+            raise TopologyError(f"unknown endpoint {src} or {dst}")
+        try:
+            return nx.shortest_path(self.graph, src, dst)
+        except nx.NetworkXNoPath as exc:
+            raise TopologyError(f"no path {src} -> {dst}") from exc
+
+    def switch_path(self, src: int, dst: int) -> List[int]:
+        """Switch IDs traversed between two nodes (hosts excluded)."""
+        return [
+            n for n in self.shortest_path(src, dst)
+            if self.graph.nodes[n].get(KIND, SWITCH) == SWITCH
+        ]
+
+    def ecmp_paths(self, src: int, dst: int, limit: int = 16) -> List[List[int]]:
+        """All equal-cost shortest paths, up to ``limit``."""
+        gen = nx.all_shortest_paths(self.graph, src, dst)
+        return list(itertools.islice(gen, limit))
+
+    def pair_at_distance(
+        self, hops: int, rng: Optional[random.Random] = None
+    ) -> Tuple[int, int]:
+        """A random switch pair whose shortest path has ``hops`` switches.
+
+        ``hops`` counts switches on the path (path length in the paper's
+        Fig. 10 sense), i.e. graph distance ``hops - 1``.
+        """
+        rng = rng if rng is not None else random.Random(0)
+        switches = self.switches
+        rng.shuffle(switches)
+        for src in switches:
+            lengths = nx.single_source_shortest_path_length(
+                self.graph.subgraph(self.switches), src
+            )
+            matches = [n for n, dist in lengths.items() if dist == hops - 1]
+            if matches:
+                return src, rng.choice(matches)
+        raise TopologyError(f"no switch pair at {hops} hops in {self.name}")
+
+    def random_host_pair(self, rng: random.Random) -> Tuple[int, int]:
+        """Two distinct random hosts (traffic endpoints)."""
+        hosts = self.hosts
+        if len(hosts) < 2:
+            raise TopologyError("need at least two hosts")
+        src, dst = rng.sample(hosts, 2)
+        return src, dst
+
+
+def linear_topology(num_switches: int) -> Topology:
+    """A chain of switches: the minimal path-tracing test fixture."""
+    if num_switches < 1:
+        raise TopologyError("need at least one switch")
+    graph = nx.path_graph(num_switches)
+    nx.set_node_attributes(graph, SWITCH, KIND)
+    return Topology(graph, name=f"line-{num_switches}")

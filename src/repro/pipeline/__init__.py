@@ -1,0 +1,43 @@
+"""P4-style pipeline model and the paper's §5 stage layouts.
+
+* :class:`PipelineProgram` / :class:`Stage` / :class:`Op` -- a
+  checkable model of match-action pipeline constraints (stage budget,
+  no multiplication, no intra-stage read-after-write).
+* :func:`schedule` -- dependency-level scheduling of an op list.
+* :func:`merge_parallel` -- side-by-side execution of independent
+  query pipelines.
+* :mod:`repro.pipeline.layouts` -- the paper's path-tracing (4 stages),
+  latency (4), HPCC (8) and combined (Fig. 6) layouts.
+"""
+
+from repro.pipeline.layouts import (
+    combined_layout,
+    hpcc_layout,
+    latency_layout,
+    path_tracing_layout,
+    query_selection_layout,
+)
+from repro.pipeline.model import (
+    DEFAULT_MAX_STAGES,
+    Op,
+    OpKind,
+    PipelineProgram,
+    Stage,
+    merge_parallel,
+    schedule,
+)
+
+__all__ = [
+    "Op",
+    "OpKind",
+    "Stage",
+    "PipelineProgram",
+    "schedule",
+    "merge_parallel",
+    "DEFAULT_MAX_STAGES",
+    "path_tracing_layout",
+    "latency_layout",
+    "hpcc_layout",
+    "query_selection_layout",
+    "combined_layout",
+]

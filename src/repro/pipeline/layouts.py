@@ -1,0 +1,158 @@
+"""The paper's §5 pipeline layouts, expressed as checkable programs.
+
+* path tracing: 4 stages (choose layer, compute g, hash the switch ID,
+  write the digest); a second hash instantiation runs in parallel.
+* latency: 4 stages (compute latency, compress, compute g, overwrite).
+* HPCC: 6 stages of utilisation arithmetic + approximate + write = 8.
+* combined (Fig. 6): all three in parallel, query-subset selection
+  hidden under the HPCC arithmetic -- no deeper than HPCC alone.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.pipeline.model import (
+    Op,
+    OpKind,
+    PipelineProgram,
+    Stage,
+    merge_parallel,
+)
+
+
+def path_tracing_layout(num_hashes: int = 2,
+                        prefix: str = "pt") -> PipelineProgram:
+    """Static per-flow (path tracing) pipeline: four stages (§5).
+
+    With two hash instantiations the per-stage hash ops double but the
+    depth stays four -- "both can be executed in parallel as they are
+    independent".
+    """
+    stages: List[Stage] = [
+        Stage([Op.make(f"{prefix}.choose-layer", OpKind.HASH,
+                       reads=["pkt.id"], writes=[f"{prefix}.layer"])]),
+        Stage([Op.make(f"{prefix}.compute-g", OpKind.HASH,
+                       reads=["pkt.id", "pkt.ttl", f"{prefix}.layer"],
+                       writes=[f"{prefix}.act"])]),
+        Stage([
+            Op.make(f"{prefix}.hash-switch-id-{rep}", OpKind.HASH,
+                    reads=["switch.id", "pkt.id"],
+                    writes=[f"{prefix}.val{rep}"])
+            for rep in range(num_hashes)
+        ]),
+        Stage([
+            Op.make(f"{prefix}.write-digest-{rep}", OpKind.WRITE,
+                    reads=[f"{prefix}.act", f"{prefix}.val{rep}"],
+                    writes=[f"pkt.digest.{prefix}{rep}"])
+            for rep in range(num_hashes)
+        ]),
+    ]
+    program = PipelineProgram(f"path-tracing(x{num_hashes})", stages)
+    program.validate()
+    return program
+
+
+def latency_layout(prefix: str = "lat") -> PipelineProgram:
+    """Dynamic per-flow (latency quantile) pipeline: four stages (§5)."""
+    stages = [
+        Stage([Op.make(f"{prefix}.compute-latency", OpKind.ALU,
+                       reads=["pkt.ingress-ts", "switch.egress-ts"],
+                       writes=[f"{prefix}.latency"])]),
+        Stage([Op.make(f"{prefix}.compress", OpKind.TABLE,
+                       reads=[f"{prefix}.latency"],
+                       writes=[f"{prefix}.code"])]),
+        Stage([Op.make(f"{prefix}.compute-g", OpKind.HASH,
+                       reads=["pkt.id", "pkt.ttl"],
+                       writes=[f"{prefix}.act"])]),
+        Stage([Op.make(f"{prefix}.overwrite", OpKind.WRITE,
+                       reads=[f"{prefix}.act", f"{prefix}.code"],
+                       writes=[f"pkt.digest.{prefix}"])]),
+    ]
+    program = PipelineProgram("latency-quantiles", stages)
+    program.validate()
+    return program
+
+
+def hpcc_layout(prefix: str = "cc") -> PipelineProgram:
+    """HPCC utilisation pipeline: 6 arithmetic stages + compress + write.
+
+    The multiplications of the EWMA update go through log/exp lookup
+    tables (Appendix B/C): TCAM MSB-find, log tables, adds, exp table.
+    """
+    stages = [
+        Stage([
+            Op.make(f"{prefix}.read-state", OpKind.REGISTER,
+                    reads=["link.U"], writes=[f"{prefix}.U"]),
+            Op.make(f"{prefix}.msb-qlen", OpKind.TCAM,
+                    reads=["link.qlen"], writes=[f"{prefix}.qlen-msb"]),
+        ]),
+        Stage([
+            Op.make(f"{prefix}.log-qlen", OpKind.TABLE,
+                    reads=[f"{prefix}.qlen-msb"],
+                    writes=[f"{prefix}.log-qlen"]),
+            Op.make(f"{prefix}.log-bytes", OpKind.TABLE,
+                    reads=["pkt.bytes"], writes=[f"{prefix}.log-bytes"]),
+        ]),
+        Stage([
+            Op.make(f"{prefix}.qlen-term", OpKind.ALU,
+                    reads=[f"{prefix}.log-qlen"],
+                    writes=[f"{prefix}.qlen-term"]),
+            Op.make(f"{prefix}.byte-term", OpKind.ALU,
+                    reads=[f"{prefix}.log-bytes"],
+                    writes=[f"{prefix}.byte-term"]),
+        ]),
+        Stage([
+            Op.make(f"{prefix}.exp-qlen", OpKind.TABLE,
+                    reads=[f"{prefix}.qlen-term"],
+                    writes=[f"{prefix}.u-qlen"]),
+            Op.make(f"{prefix}.exp-byte", OpKind.TABLE,
+                    reads=[f"{prefix}.byte-term"],
+                    writes=[f"{prefix}.u-byte"]),
+        ]),
+        Stage([Op.make(f"{prefix}.decay-U", OpKind.ALU,
+                       reads=[f"{prefix}.U"], writes=[f"{prefix}.U-decayed"])]),
+        Stage([Op.make(f"{prefix}.sum-U", OpKind.REGISTER,
+                       reads=[f"{prefix}.U-decayed", f"{prefix}.u-qlen",
+                              f"{prefix}.u-byte"],
+                       writes=["link.U", f"{prefix}.U-new"])]),
+        Stage([Op.make(f"{prefix}.approximate", OpKind.TABLE,
+                       reads=[f"{prefix}.U-new"],
+                       writes=[f"{prefix}.code"])]),
+        Stage([Op.make(f"{prefix}.write-digest", OpKind.WRITE,
+                       reads=[f"{prefix}.code", f"pkt.digest.{prefix}"],
+                       writes=[f"pkt.digest.{prefix}"])]),
+    ]
+    program = PipelineProgram("hpcc-utilisation", stages)
+    program.validate()
+    return program
+
+
+def query_selection_layout(prefix: str = "qs") -> PipelineProgram:
+    """Query-subset selection: one hash stage (§3.4 / Fig. 6)."""
+    program = PipelineProgram("query-selection", [
+        Stage([Op.make(f"{prefix}.choose-subset", OpKind.HASH,
+                       reads=["pkt.id"], writes=["pkt.query-set"])]),
+    ])
+    program.validate()
+    return program
+
+
+def combined_layout() -> PipelineProgram:
+    """The Fig. 6 layout: all three queries + selection, in parallel.
+
+    Because queries are independent, the merged depth equals the
+    deepest component (HPCC's 8 stages) -- the §5 claim that the
+    combination does not add stages over running HPCC alone.
+    """
+    merged = merge_parallel(
+        "combined(path+latency+hpcc)",
+        [
+            query_selection_layout(),
+            path_tracing_layout(num_hashes=2),
+            latency_layout(),
+            hpcc_layout(),
+        ],
+    )
+    merged.validate()
+    return merged

@@ -1,0 +1,182 @@
+"""A P4-style match-action pipeline model (paper §3.5, §5).
+
+Programmable switches execute a packet through a short, one-directional
+sequence of stages; each stage can run several independent operations
+in parallel, but an operation cannot read a field written in its own
+stage, multiplication/division are unavailable (hence the log/exp
+lookup tables of Appendix C), and the stage count is hard-limited.
+
+This module models those constraints so the §5 layouts can be expressed
+and *checked*: the paper's claims ("path tracing requires four pipeline
+stages", "the combined layout does not increase the number of stages
+compared with running HPCC alone") become executable assertions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Stage budget of a contemporary programmable switch pipeline.
+DEFAULT_MAX_STAGES = 12
+
+
+class OpKind(enum.Enum):
+    """Primitive operation classes a stage can host."""
+
+    HASH = "hash"              # hash-unit computation (g, h, layer select)
+    ALU = "alu"                # add/sub/shift/compare
+    TABLE = "table"            # exact/LPM table lookup (incl. log/exp tables)
+    TCAM = "tcam"              # ternary match (MSB find)
+    REGISTER = "register"      # stateful register read-modify-write
+    WRITE = "write"            # header/digest write
+    MULTIPLY = "multiply"      # NOT available in hardware: rejected
+
+
+@dataclass(frozen=True)
+class Op:
+    """One primitive operation: what it computes, reads, and writes."""
+
+    name: str
+    kind: OpKind
+    reads: FrozenSet[str] = frozenset()
+    writes: FrozenSet[str] = frozenset()
+
+    @staticmethod
+    def make(name: str, kind: OpKind, reads: Sequence[str] = (),
+             writes: Sequence[str] = ()) -> "Op":
+        """Convenience constructor taking plain sequences."""
+        return Op(name, kind, frozenset(reads), frozenset(writes))
+
+
+@dataclass
+class Stage:
+    """One pipeline stage: operations executing in parallel."""
+
+    ops: List[Op] = field(default_factory=list)
+
+    def writes(self) -> Set[str]:
+        """All fields written by this stage."""
+        out: Set[str] = set()
+        for op in self.ops:
+            out |= op.writes
+        return out
+
+    def reads(self) -> Set[str]:
+        """All fields read by this stage."""
+        out: Set[str] = set()
+        for op in self.ops:
+            out |= op.reads
+        return out
+
+
+class PipelineProgram:
+    """An ordered sequence of stages with hardware-validity checking."""
+
+    def __init__(self, name: str, stages: Sequence[Stage],
+                 max_stages: int = DEFAULT_MAX_STAGES) -> None:
+        self.name = name
+        self.stages = list(stages)
+        self.max_stages = max_stages
+
+    @property
+    def num_stages(self) -> int:
+        """Pipeline depth."""
+        return len(self.stages)
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on any hardware-infeasible aspect.
+
+        Checks: stage budget; no multiplication; no intra-stage
+        read-after-write; every read either comes from packet/metadata
+        inputs or a previous stage's write.
+        """
+        if self.num_stages > self.max_stages:
+            raise ConfigurationError(
+                f"{self.name}: {self.num_stages} stages exceed the "
+                f"{self.max_stages}-stage budget"
+            )
+        written_before: Set[str] = set()
+        for idx, stage in enumerate(self.stages):
+            for op in stage.ops:
+                if op.kind is OpKind.MULTIPLY:
+                    raise ConfigurationError(
+                        f"{self.name}: stage {idx}: op {op.name!r} needs "
+                        "multiplication -- use log/exp tables (Appendix C)"
+                    )
+                # A field both read and written by the *same* op is a
+                # register-style update and is allowed; reading another
+                # op's same-stage output is not.
+                same_stage_written = set()
+                for other in stage.ops:
+                    if other is not op:
+                        same_stage_written |= other.writes
+                conflict = op.reads & same_stage_written
+                if conflict:
+                    raise ConfigurationError(
+                        f"{self.name}: stage {idx}: op {op.name!r} reads "
+                        f"{sorted(conflict)} written in the same stage"
+                    )
+            written_before |= stage.writes()
+
+    def total_ops(self) -> int:
+        """Operation count across all stages."""
+        return sum(len(s.ops) for s in self.stages)
+
+    def describe(self) -> str:
+        """Human-readable stage table (the Fig. 6 view)."""
+        lines = [f"pipeline {self.name!r}: {self.num_stages} stages"]
+        for idx, stage in enumerate(self.stages, 1):
+            names = ", ".join(op.name for op in stage.ops) or "(idle)"
+            lines.append(f"  stage {idx}: {names}")
+        return "\n".join(lines)
+
+
+def schedule(ops: Sequence[Op], name: str = "scheduled",
+             max_stages: int = DEFAULT_MAX_STAGES) -> PipelineProgram:
+    """Greedy list-schedule ops into the minimum number of stages.
+
+    An op is placed in the earliest stage after every producer of the
+    fields it reads -- the standard dependency-level schedule a P4
+    compiler performs.
+    """
+    produced_at: Dict[str, int] = {}
+    stages: List[List[Op]] = []
+    for op in ops:
+        earliest = 0
+        for field_name in op.reads:
+            if field_name in produced_at:
+                earliest = max(earliest, produced_at[field_name] + 1)
+        while len(stages) <= earliest:
+            stages.append([])
+        stages[earliest].append(op)
+        for field_name in op.writes:
+            produced_at[field_name] = max(produced_at.get(field_name, -1),
+                                          earliest)
+    program = PipelineProgram(name, [Stage(s) for s in stages], max_stages)
+    program.validate()
+    return program
+
+
+def merge_parallel(name: str, programs: Sequence[PipelineProgram],
+                   max_stages: int = DEFAULT_MAX_STAGES) -> PipelineProgram:
+    """Run independent query pipelines side by side (paper §5).
+
+    Queries are independent, so stage i of the merged pipeline hosts
+    stage i of every input program; the merged depth is the max of the
+    input depths -- the paper's "without increasing the number of
+    stages compared with running HPCC alone" claim.
+    """
+    depth = max(p.num_stages for p in programs)
+    stages = []
+    for i in range(depth):
+        ops: List[Op] = []
+        for prog in programs:
+            if i < prog.num_stages:
+                ops.extend(prog.stages[i].ops)
+        stages.append(Stage(ops))
+    merged = PipelineProgram(name, stages, max_stages)
+    return merged

@@ -1,0 +1,64 @@
+"""Packet-level discrete-event network simulator (the NS3 stand-in).
+
+* :class:`Simulator` -- event loop.
+* :class:`Link`, :class:`Network` -- store-and-forward fabric with
+  drop-tail queues and ECMP routing.
+* :class:`Flow` with :class:`RenoSender` / :class:`HPCCSender` --
+  transports for the Figs. 1-2 and 7-8 experiments.
+* :mod:`repro.sim.telemetry` -- None / classic INT / PINT stamping.
+* :mod:`repro.sim.workload` -- web-search & Hadoop flow sizes, Poisson
+  arrivals.
+* :mod:`repro.sim.experiment` -- the figure-level drivers.
+"""
+
+from repro.sim.events import Simulator
+from repro.sim.experiment import (
+    build_telemetry,
+    run_hpcc_experiment,
+    run_overhead_experiment,
+    run_workload,
+)
+from repro.sim.link import Link
+from repro.sim.metrics import ExperimentResult, FlowResult, percentile
+from repro.sim.network import Network
+from repro.sim.packet import INTRecord, SimPacket
+from repro.sim.telemetry import INTTelemetry, NoTelemetry, PINTTelemetry
+from repro.sim.transport import Flow, HPCCSender, Receiver, RenoSender
+from repro.sim.workload import (
+    EmpiricalCDF,
+    FlowSpec,
+    HADOOP_DECILES,
+    WEB_SEARCH_DECILES,
+    hadoop_cdf,
+    poisson_flows,
+    web_search_cdf,
+)
+
+__all__ = [
+    "Simulator",
+    "Link",
+    "Network",
+    "SimPacket",
+    "INTRecord",
+    "Flow",
+    "RenoSender",
+    "HPCCSender",
+    "Receiver",
+    "NoTelemetry",
+    "INTTelemetry",
+    "PINTTelemetry",
+    "EmpiricalCDF",
+    "FlowSpec",
+    "web_search_cdf",
+    "hadoop_cdf",
+    "WEB_SEARCH_DECILES",
+    "HADOOP_DECILES",
+    "poisson_flows",
+    "percentile",
+    "FlowResult",
+    "ExperimentResult",
+    "build_telemetry",
+    "run_workload",
+    "run_overhead_experiment",
+    "run_hpcc_experiment",
+]

@@ -1,0 +1,59 @@
+"""Discrete-event simulation core.
+
+A minimal, fast event loop: events are (time, seq, callback) triples in
+a binary heap; ``seq`` breaks ties FIFO so same-timestamp events run in
+schedule order (determinism matters -- every experiment is seeded).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+
+
+class Simulator:
+    """The event loop shared by links, hosts, and switches."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Callable, tuple]] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.at(self.now + delay, fn, *args)
+
+    def at(self, time: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at an absolute simulated time."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule into the past ({time} < {self.now})")
+        heapq.heappush(self._queue, (time, self._seq, fn, args))
+        self._seq += 1
+
+    def run(
+        self, until: Optional[float] = None, max_events: int = 50_000_000
+    ) -> None:
+        """Drain the event queue, optionally stopping at time ``until``."""
+        count = 0
+        while self._queue:
+            time, _, fn, args = self._queue[0]
+            if until is not None and time > until:
+                self.now = until
+                return
+            heapq.heappop(self._queue)
+            self.now = time
+            fn(*args)
+            count += 1
+            self.events_processed += 1
+            if count > max_events:
+                raise SimulationError(f"exceeded {max_events} events")
+
+    @property
+    def pending(self) -> int:
+        """Events still queued."""
+        return len(self._queue)

@@ -1,0 +1,178 @@
+"""End-to-end experiment drivers for the paper's simulation figures.
+
+Scaled-down substitutes for the paper's NS3 runs (see DESIGN.md,
+substitution 1): smaller fat-trees and link rates, identical mechanics.
+Each driver builds topology + telemetry + workload, runs the DES, and
+returns an :class:`~repro.sim.metrics.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.net.fattree import fat_tree
+from repro.sim.events import Simulator
+from repro.sim.metrics import ExperimentResult, FlowResult
+from repro.sim.network import Network
+from repro.sim.telemetry import INTTelemetry, NoTelemetry, PINTTelemetry
+from repro.sim.transport import Flow
+from repro.sim.workload import EmpiricalCDF, FlowSpec, poisson_flows
+
+
+def build_telemetry(
+    mode: str,
+    base_rtt: float = 1e-3,
+    int_values: int = 3,
+    pint_frequency: float = 1.0,
+    pint_bits: int = 8,
+    seed: int = 0,
+):
+    """Construct a telemetry stamp: 'none', 'int', or 'pint'."""
+    if mode == "none":
+        return NoTelemetry()
+    if mode == "int":
+        return INTTelemetry(num_values=int_values)
+    if mode == "pint":
+        return PINTTelemetry(
+            base_rtt=base_rtt,
+            bits=pint_bits,
+            frequency=pint_frequency,
+            seed=seed,
+        )
+    raise ValueError(f"unknown telemetry mode {mode!r}")
+
+
+def run_workload(
+    specs: Sequence[FlowSpec],
+    network: Network,
+    transport: str,
+    mss: int = 1000,
+    extra_overhead_bytes: int = 0,
+    run_until: Optional[float] = None,
+    **transport_kwargs,
+) -> ExperimentResult:
+    """Instantiate flows, run the event loop, collect completions."""
+    host_rate = None
+    flows: List[Flow] = []
+    for idx, spec in enumerate(specs):
+        flows.append(
+            Flow(
+                network,
+                flow_id=idx + 1,
+                src_host=spec.src_host,
+                dst_host=spec.dst_host,
+                size_bytes=spec.size_bytes,
+                start_time=spec.start_time,
+                transport=transport,
+                mss=mss,
+                extra_overhead_bytes=extra_overhead_bytes,
+                **transport_kwargs,
+            )
+        )
+    network.sim.run(until=run_until)
+    results = []
+    for flow in flows:
+        if flow.fct is None:
+            continue
+        uplink = network.link(
+            flow.src_host,
+            next(iter(network.topology.graph.neighbors(flow.src_host))),
+        )
+        results.append(
+            FlowResult(
+                flow_id=flow.flow_id,
+                size_bytes=flow.size_bytes,
+                fct=flow.fct,
+                ideal_fct=flow.ideal_fct(uplink.rate_bps),
+            )
+        )
+    return ExperimentResult(results)
+
+
+def run_overhead_experiment(
+    overhead_bytes: int,
+    load: float,
+    cdf: EmpiricalCDF,
+    k: int = 4,
+    link_rate_bps: float = 100e6,
+    duration: float = 0.4,
+    buffer_bytes: int = 150_000,
+    seed: int = 0,
+    max_flows: Optional[int] = 200,
+    run_slack: float = 3.0,
+) -> ExperimentResult:
+    """Figs. 1-2: TCP Reno with a constant per-packet byte overhead.
+
+    ``overhead_bytes`` models the INT stack (28B..108B in §2); results
+    are normalised against an ``overhead_bytes = 0`` run by the bench.
+    """
+    topo = fat_tree(k)
+    net = Network(
+        topo,
+        Simulator(),
+        link_rate_bps=link_rate_bps,
+        buffer_bytes=buffer_bytes,
+        telemetry=NoTelemetry(),
+        seed=seed,
+    )
+    rng = random.Random(seed)
+    specs = poisson_flows(
+        topo.hosts, cdf, load, link_rate_bps, duration, rng, max_flows
+    )
+    return run_workload(
+        specs,
+        net,
+        transport="reno",
+        extra_overhead_bytes=overhead_bytes,
+        run_until=duration * (1 + run_slack),
+    )
+
+
+def run_hpcc_experiment(
+    telemetry_mode: str,
+    load: float,
+    cdf: EmpiricalCDF,
+    k: int = 4,
+    link_rate_bps: float = 100e6,
+    duration: float = 0.4,
+    buffer_bytes: int = 150_000,
+    pint_frequency: float = 1.0,
+    seed: int = 0,
+    max_flows: Optional[int] = 200,
+    run_slack: float = 3.0,
+) -> ExperimentResult:
+    """Figs. 7-8: HPCC fed by classic INT vs the PINT digest.
+
+    The telemetry mode decides both the feedback channel and the bytes
+    each packet carries (INT grows 12B/hop + 8B header; PINT is a fixed
+    2-byte digest).
+    """
+    topo = fat_tree(k)
+    probe = Network(topo, Simulator(), link_rate_bps=link_rate_bps, seed=seed)
+    hosts = topo.hosts
+    base_rtt = probe.base_rtt(hosts[0], hosts[-1])
+    telemetry = build_telemetry(
+        telemetry_mode,
+        base_rtt=base_rtt,
+        pint_frequency=pint_frequency,
+        seed=seed,
+    )
+    net = Network(
+        topo,
+        Simulator(),
+        link_rate_bps=link_rate_bps,
+        buffer_bytes=buffer_bytes,
+        telemetry=telemetry,
+        seed=seed,
+    )
+    rng = random.Random(seed)
+    specs = poisson_flows(
+        hosts, cdf, load, link_rate_bps, duration, rng, max_flows
+    )
+    return run_workload(
+        specs,
+        net,
+        transport="hpcc",
+        run_until=duration * (1 + run_slack),
+    )

@@ -1,0 +1,84 @@
+"""Store-and-forward links with drop-tail queues.
+
+Each undirected topology edge becomes two :class:`Link` objects.  A
+link serialises one packet at a time (wire_bytes * 8 / rate), applies
+the telemetry stamp at dequeue, and delivers after the propagation
+delay.  Queue state (bytes, drops, EWMA utilisation) is the raw
+material of both INT and PINT telemetry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.sim.events import Simulator
+from repro.sim.packet import SimPacket
+
+
+class Link:
+    """A unidirectional link feeding a device's ``receive``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        dst_device,
+        rate_bps: float,
+        prop_delay: float,
+        buffer_bytes: int,
+        telemetry=None,
+    ) -> None:
+        if rate_bps <= 0 or prop_delay < 0 or buffer_bytes <= 0:
+            raise ValueError("invalid link parameters")
+        self.sim = sim
+        self.name = name
+        self.dst_device = dst_device
+        self.rate_bps = rate_bps
+        self.prop_delay = prop_delay
+        self.buffer_bytes = buffer_bytes
+        self.telemetry = telemetry
+        self._queue: Deque[SimPacket] = deque()
+        self.queued_bytes = 0
+        self.busy = False
+        # Counters (INT raw material + experiment accounting).
+        self.tx_bytes = 0
+        self.tx_packets = 0
+        self.drops = 0
+        # PINT EWMA state (telemetry.PINTTelemetry writes these).
+        self.ewma_util = 0.0
+        self.ewma_last_update = 0.0
+
+    def enqueue(self, pkt: SimPacket) -> bool:
+        """Admit a packet; False (and a drop) if the buffer is full."""
+        if self.queued_bytes + pkt.wire_bytes > self.buffer_bytes:
+            self.drops += 1
+            return False
+        self._queue.append(pkt)
+        self.queued_bytes += pkt.wire_bytes
+        if not self.busy:
+            self._start_transmission()
+        return True
+
+    def _start_transmission(self) -> None:
+        pkt = self._queue.popleft()
+        self.queued_bytes -= pkt.wire_bytes
+        self.busy = True
+        # Telemetry stamps at dequeue: the egress pipeline point.
+        if self.telemetry is not None:
+            self.telemetry.on_dequeue(pkt, self)
+        tx_time = pkt.wire_bytes * 8.0 / self.rate_bps
+        self.tx_bytes += pkt.wire_bytes
+        self.tx_packets += 1
+        self.sim.schedule(tx_time, self._transmission_done)
+        self.sim.schedule(tx_time + self.prop_delay, self.dst_device.receive, pkt)
+
+    def _transmission_done(self) -> None:
+        self.busy = False
+        if self._queue:
+            self._start_transmission()
+
+    @property
+    def utilization_hint(self) -> float:
+        """Instantaneous rough utilisation: queue drain time over 1ms."""
+        return min(1.0, self.queued_bytes * 8.0 / self.rate_bps / 1e-3)

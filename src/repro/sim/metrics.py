@@ -1,0 +1,93 @@
+"""Experiment metrics: FCT, slowdown, goodput (the paper's y-axes)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """q-percentile (q in [0, 100]), lower interpolation."""
+    if not values:
+        raise ValueError("no values")
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, math.ceil(q / 100 * len(ordered)) - 1))
+    return ordered[idx]
+
+
+@dataclass
+class FlowResult:
+    """Completion record of one flow."""
+
+    flow_id: int
+    size_bytes: int
+    fct: float
+    ideal_fct: float
+
+    @property
+    def slowdown(self) -> float:
+        """FCT over alone-in-the-network FCT (Fig. 7's y-axis)."""
+        return self.fct / self.ideal_fct
+
+    @property
+    def goodput_bps(self) -> float:
+        """Application throughput over the flow's lifetime."""
+        return self.size_bytes * 8.0 / self.fct
+
+
+class ExperimentResult:
+    """Aggregates completed flows into the paper's statistics."""
+
+    def __init__(self, flows: Sequence[FlowResult]) -> None:
+        self.flows = list(flows)
+
+    @property
+    def count(self) -> int:
+        """Completed flows."""
+        return len(self.flows)
+
+    def mean_fct(self) -> float:
+        """Average FCT (Fig. 1's y-axis, before normalisation)."""
+        return sum(f.fct for f in self.flows) / len(self.flows)
+
+    def mean_slowdown(self) -> float:
+        """Average slowdown across flows."""
+        return sum(f.slowdown for f in self.flows) / len(self.flows)
+
+    def slowdown_p95(self) -> float:
+        """95th-percentile slowdown (Fig. 7's y-axis)."""
+        return percentile([f.slowdown for f in self.flows], 95)
+
+    def goodput_of_large(self, threshold_bytes: int = 10_000_000) -> float:
+        """Mean goodput of flows above ``threshold`` (Fig. 2's metric)."""
+        large = [f for f in self.flows if f.size_bytes > threshold_bytes]
+        if not large:
+            raise ValueError("no flows above threshold completed")
+        return sum(f.goodput_bps for f in large) / len(large)
+
+    def by_size_buckets(
+        self, edges: Sequence[int]
+    ) -> List[Tuple[int, List[FlowResult]]]:
+        """Group flows into (upper-edge, members) size buckets."""
+        buckets: List[Tuple[int, List[FlowResult]]] = [(e, []) for e in edges]
+        for flow in self.flows:
+            for edge, members in buckets:
+                if flow.size_bytes <= edge:
+                    members.append(flow)
+                    break
+            else:
+                buckets[-1][1].append(flow)
+        return buckets
+
+    def slowdown_p95_by_bucket(
+        self, edges: Sequence[int]
+    ) -> List[Tuple[int, Optional[float]]]:
+        """Fig. 7(b)/(c): per-size-bucket 95th-percentile slowdown."""
+        out = []
+        for edge, members in self.by_size_buckets(edges):
+            if members:
+                out.append((edge, percentile([f.slowdown for f in members], 95)))
+            else:
+                out.append((edge, None))
+        return out

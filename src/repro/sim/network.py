@@ -1,0 +1,182 @@
+"""Devices and network assembly: topology -> switches, hosts, links.
+
+Routing is hop-by-hop next-hop lookup over precomputed shortest-path
+distance labels; equal-cost choices are broken by a flow hash (ECMP),
+matching the paper's NS3 setup ("standard ECMP routing").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.exceptions import SimulationError, TopologyError
+from repro.hashing import GlobalHash
+from repro.net.topology import HOST, KIND, Topology
+from repro.sim.events import Simulator
+from repro.sim.link import Link
+from repro.sim.packet import SimPacket
+
+
+class Device:
+    """Anything a link can deliver to."""
+
+    def __init__(self, network: "Network", node_id: int) -> None:
+        self.network = network
+        self.node_id = node_id
+
+    def receive(self, pkt: SimPacket) -> None:
+        """Handle an arriving packet."""
+        raise NotImplementedError
+
+
+class SwitchDevice(Device):
+    """Forwards by destination-host next-hop lookup with hashed ECMP."""
+
+    def receive(self, pkt: SimPacket) -> None:
+        dst = self.network.packet_destination(pkt)
+        options = self.network.next_hops(self.node_id, dst)
+        choice = options[
+            self.network.ecmp_hash.choice(len(options), pkt.flow_id, self.node_id)
+        ]
+        self.network.link(self.node_id, choice).enqueue(pkt)
+
+
+class HostDevice(Device):
+    """Terminates flows: hands packets to the transport endpoints."""
+
+    def receive(self, pkt: SimPacket) -> None:
+        flow = self.network.flows.get(pkt.flow_id)
+        if flow is None:
+            return  # flow already torn down
+        if pkt.is_ack:
+            flow.sender_on_ack(pkt)
+        else:
+            flow.receiver_on_data(pkt, self.node_id)
+
+
+class Network:
+    """A simulated network instantiated from a :class:`Topology`.
+
+    Parameters
+    ----------
+    topology:
+        Switch/host graph; every edge becomes two links.
+    link_rate_bps / host_rate_bps:
+        Switch-switch and host-switch rates (the paper's fabric has
+        faster core links; pass the same value for a uniform fabric).
+    prop_delay:
+        Per-link propagation delay (1us in the paper's HPCC setup).
+    buffer_bytes:
+        Per-link drop-tail buffer.
+    telemetry:
+        Telemetry stamp applied at switch egress links (None / INT /
+        PINT); host uplinks also stamp, matching first-hop behaviour.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        sim: Optional[Simulator] = None,
+        link_rate_bps: float = 1e9,
+        host_rate_bps: Optional[float] = None,
+        prop_delay: float = 1e-6,
+        buffer_bytes: int = 200_000,
+        telemetry=None,
+        seed: int = 0,
+    ) -> None:
+        self.topology = topology
+        self.sim = sim if sim is not None else Simulator()
+        self.telemetry = telemetry
+        self.ecmp_hash = GlobalHash(seed, "ecmp")
+        self.flows: Dict[int, "object"] = {}
+        self._pid_counter = 0
+        host_rate = host_rate_bps if host_rate_bps is not None else link_rate_bps
+
+        graph = topology.graph
+        self.devices: Dict[int, Device] = {}
+        for node, data in graph.nodes(data=True):
+            if data.get(KIND) == HOST:
+                self.devices[node] = HostDevice(self, node)
+            else:
+                self.devices[node] = SwitchDevice(self, node)
+
+        self._links: Dict[Tuple[int, int], Link] = {}
+        for a, b in graph.edges():
+            for src, dst in ((a, b), (b, a)):
+                is_host_side = (
+                    graph.nodes[src].get(KIND) == HOST
+                    or graph.nodes[dst].get(KIND) == HOST
+                )
+                rate = host_rate if is_host_side else link_rate_bps
+                self._links[(src, dst)] = Link(
+                    self.sim,
+                    f"{src}->{dst}",
+                    self.devices[dst],
+                    rate,
+                    prop_delay,
+                    buffer_bytes,
+                    telemetry=telemetry,
+                )
+
+        # Distance labels to every host for next-hop routing.
+        self._dist: Dict[int, Dict[int, int]] = {}
+        for host in topology.hosts:
+            self._dist[host] = nx.single_source_shortest_path_length(graph, host)
+
+    # -- wiring ------------------------------------------------------------
+
+    def link(self, src: int, dst: int) -> Link:
+        """The directed link src -> dst."""
+        return self._links[(src, dst)]
+
+    def all_links(self) -> List[Link]:
+        """Every directed link (drop/throughput accounting)."""
+        return list(self._links.values())
+
+    def next_hops(self, node: int, dst_host: int) -> List[int]:
+        """ECMP next-hop set: neighbours strictly closer to the host."""
+        dist = self._dist[dst_host]
+        here = dist[node]
+        options = [
+            nbr for nbr in self.topology.graph.neighbors(node)
+            if dist.get(nbr, here) == here - 1
+        ]
+        if not options:
+            raise SimulationError(f"no route from {node} to host {dst_host}")
+        return sorted(options)
+
+    def path_hops(self, src_host: int, dst_host: int) -> int:
+        """Number of switches between two hosts (base-RTT arithmetic)."""
+        return len(self.topology.switch_path(src_host, dst_host))
+
+    def packet_destination(self, pkt: SimPacket) -> int:
+        """Destination host of a packet (ACKs flow to the sender)."""
+        flow = self.flows[pkt.flow_id]
+        return flow.src_host if pkt.is_ack else flow.dst_host
+
+    def new_pid(self) -> int:
+        """A unique packet id (global-hash input)."""
+        self._pid_counter += 1
+        return self._pid_counter
+
+    def inject(self, from_host: int, pkt: SimPacket) -> None:
+        """Send a packet out of a host's uplink."""
+        neighbors = list(self.topology.graph.neighbors(from_host))
+        if len(neighbors) != 1:
+            raise TopologyError(f"host {from_host} must have exactly one uplink")
+        self.link(from_host, neighbors[0]).enqueue(pkt)
+
+    def base_rtt(self, src_host: int, dst_host: int, mtu_bytes: int = 1040) -> float:
+        """Unloaded RTT estimate: serialisation + propagation both ways.
+
+        Used to set transports' T horizon and the ideal FCT denominator.
+        """
+        path = self.topology.shortest_path(src_host, dst_host)
+        rtt = 0.0
+        for a, b in zip(path, path[1:]):
+            fwd, rev = self.link(a, b), self.link(b, a)
+            rtt += mtu_bytes * 8.0 / fwd.rate_bps + fwd.prop_delay
+            rtt += 64 * 8.0 / rev.rate_bps + rev.prop_delay
+        return rtt

@@ -1,0 +1,57 @@
+"""Simulated packets, including their telemetry payloads.
+
+``wire_bytes`` is what occupies link buffers and serialisation time:
+payload + base headers + telemetry overhead.  Classic INT *grows* the
+overhead at every hop (the §2 problem); PINT's digest is a fixed-width
+field set at the source (the §3.3 guarantee).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: Ethernet/IP/TCP base header bytes on every packet.
+BASE_HEADER_BYTES = 40
+#: Bytes of a bare ACK (headers only, before telemetry echo).
+ACK_BYTES = 60
+
+
+@dataclass
+class INTRecord:
+    """One hop's classic-INT export (the HPCC triple plus link rate)."""
+
+    timestamp: float
+    queue_bytes: int
+    tx_bytes: int
+    link_rate_bps: float
+
+
+@dataclass
+class SimPacket:
+    """A data or ACK packet in flight."""
+
+    pid: int                     # globally unique id (hash input)
+    flow_id: int
+    seq: int                     # packet index within the flow
+    payload_bytes: int
+    is_ack: bool = False
+    #: telemetry mode overhead added at the source (PINT: fixed digest).
+    fixed_overhead_bytes: int = 0
+    #: overhead accumulated per hop (classic INT).
+    int_overhead_bytes: int = 0
+    int_records: List[INTRecord] = field(default_factory=list)
+    #: PINT digest (max-utilisation code for the HPCC query).
+    digest: int = 0
+    hop_count: int = 0
+    send_time: float = 0.0
+    #: ACK fields: cumulative ack index + echoed telemetry.
+    ack_next_expected: int = 0
+    echo_records: Optional[List[INTRecord]] = None
+    echo_digest: Optional[int] = None
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes on the wire: payload + headers + telemetry."""
+        base = ACK_BYTES if self.is_ack else self.payload_bytes + BASE_HEADER_BYTES
+        return base + self.fixed_overhead_bytes + self.int_overhead_bytes

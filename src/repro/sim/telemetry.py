@@ -1,0 +1,134 @@
+"""Link-side telemetry stamping: none, classic INT, or PINT.
+
+Telemetry happens at *dequeue* time on each traversed link -- exactly
+the egress-pipeline point the paper instruments:
+
+* ``INTTelemetry`` appends the (timestamp, queue, txBytes) triple and
+  grows the packet by 12 bytes/hop (plus the 8B INT header at hop 1) --
+  the §2 linear-overhead cost.
+* ``PINTTelemetry`` maintains the paper's in-switch EWMA utilisation
+  ``U`` (§4.3, "Tuning HPCC calculation for switch computation"),
+  compresses it to ``bits`` with randomized multiplicative rounding,
+  and max-folds it into the fixed-width digest -- but only on packets
+  the query-frequency hash selects (the Fig. 8 knob p).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.congestion import UtilizationCodec
+from repro.baselines.int_classic import HEADER_BYTES, VALUE_BYTES
+from repro.hashing import GlobalHash
+from repro.sim.packet import INTRecord, SimPacket
+
+
+class NoTelemetry:
+    """Overhead-free baseline (the "no overhead" normalisation runs)."""
+
+    fixed_overhead_bytes = 0
+
+    def on_dequeue(self, pkt: SimPacket, link) -> None:
+        """No-op."""
+
+    def source_overhead(self) -> int:
+        """Bytes the source adds: none."""
+        return 0
+
+
+class INTTelemetry:
+    """Classic INT: per-hop append of ``num_values`` 4-byte values."""
+
+    def __init__(self, num_values: int = 3) -> None:
+        if num_values < 1:
+            raise ValueError("num_values must be >= 1")
+        self.num_values = num_values
+
+    def source_overhead(self) -> int:
+        """INT's metadata header, added once at the source."""
+        return HEADER_BYTES
+
+    def on_dequeue(self, pkt: SimPacket, link) -> None:
+        """Append this hop's record and grow the packet."""
+        if pkt.is_ack:
+            return
+        pkt.int_records.append(
+            INTRecord(
+                timestamp=link.sim.now,
+                queue_bytes=link.queued_bytes,
+                tx_bytes=link.tx_bytes,
+                link_rate_bps=link.rate_bps,
+            )
+        )
+        pkt.int_overhead_bytes += VALUE_BYTES * self.num_values
+        pkt.hop_count += 1
+
+
+class PINTTelemetry:
+    """PINT-for-HPCC: EWMA utilisation, compressed, max-aggregated.
+
+    Parameters
+    ----------
+    base_rtt:
+        The EWMA horizon T (the paper uses the network's base RTT).
+    bits:
+        Digest width (8 in the paper).
+    frequency:
+        Fraction p of packets carrying the congestion digest (Fig. 8).
+    digest_bytes:
+        Fixed per-packet overhead the PINT source reserves (2 bytes =
+        the paper's 16-bit global budget).
+    """
+
+    def __init__(
+        self,
+        base_rtt: float,
+        bits: int = 8,
+        frequency: float = 1.0,
+        digest_bytes: int = 2,
+        epsilon: float = 0.025,
+        seed: int = 0,
+    ) -> None:
+        if base_rtt <= 0:
+            raise ValueError("base_rtt must be positive")
+        if not 0.0 < frequency <= 1.0:
+            raise ValueError("frequency must be in (0, 1]")
+        self.base_rtt = base_rtt
+        self.frequency = frequency
+        self.digest_bytes = digest_bytes
+        self.codec = UtilizationCodec(bits, epsilon, seed=seed)
+        self._select = GlobalHash(seed, "hpcc-query-frequency")
+
+    def source_overhead(self) -> int:
+        """The fixed digest width, reserved on every packet."""
+        return self.digest_bytes
+
+    def carries_query(self, pid: int) -> bool:
+        """Does the query-frequency hash select this packet?"""
+        return self._select.uniform(pid) < self.frequency
+
+    def on_dequeue(self, pkt: SimPacket, link) -> None:
+        """Update the link EWMA; max-fold the encoded utilisation."""
+        if pkt.is_ack:
+            return
+        self._update_ewma(link, pkt.wire_bytes)
+        pkt.hop_count += 1
+        if not self.carries_query(pkt.pid):
+            return
+        code = self.codec.encode(link.ewma_util, pkt.pid, pkt.hop_count)
+        if code > pkt.digest:
+            pkt.digest = code
+
+    def _update_ewma(self, link, byte: int) -> None:
+        """The paper's update: U = (T-tau)/T * U + qlen*tau/(B*T^2) + byte/(B*T)."""
+        now = link.sim.now
+        tau = now - link.ewma_last_update
+        link.ewma_last_update = now
+        t_horizon = self.base_rtt
+        tau = min(tau, t_horizon)
+        b_rate = link.rate_bps / 8.0  # bytes per second
+        link.ewma_util = (
+            (t_horizon - tau) / t_horizon * link.ewma_util
+            + link.queued_bytes * tau / (b_rate * t_horizon * t_horizon)
+            + byte / (b_rate * t_horizon)
+        )

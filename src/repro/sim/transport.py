@@ -1,0 +1,363 @@
+"""Transport endpoints: TCP Reno and HPCC senders over the DES.
+
+* :class:`RenoSender` -- slow start, AIMD congestion avoidance, fast
+  retransmit, timeout; drives the Figs. 1-2 overhead experiments (the
+  paper's NS3 setup uses "standard ECMP routing with TCP Reno").
+* :class:`HPCCSender` -- the HPCC window rule (Li et al., SIGCOMM'19)
+  fed either by classic INT per-link records or by PINT's bottleneck
+  digest, with the paper's recommended settings (WAI = 80B,
+  maxStage = 0, eta = 95%).
+
+A :class:`Flow` owns both endpoints; the receiver acks every data
+packet and echoes whatever telemetry the packet carried.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.sim.network import Network
+from repro.sim.packet import INTRecord, SimPacket
+
+
+class Receiver:
+    """Cumulative-ACK receiver; echoes telemetry back to the sender."""
+
+    def __init__(self, flow: "Flow") -> None:
+        self.flow = flow
+        self.expected = 0
+        self._out_of_order: set = set()
+
+    def on_data(self, pkt: SimPacket) -> None:
+        """Accept a data packet and emit an ACK."""
+        if pkt.seq == self.expected:
+            self.expected += 1
+            while self.expected in self._out_of_order:
+                self._out_of_order.discard(self.expected)
+                self.expected += 1
+        elif pkt.seq > self.expected:
+            self._out_of_order.add(pkt.seq)
+        net = self.flow.network
+        ack = SimPacket(
+            pid=net.new_pid(),
+            flow_id=pkt.flow_id,
+            seq=pkt.seq,
+            payload_bytes=0,
+            is_ack=True,
+            ack_next_expected=self.expected,
+            send_time=net.sim.now,
+        )
+        if pkt.int_records:
+            ack.echo_records = list(pkt.int_records)
+            # The echo consumes reverse bandwidth too.
+            ack.int_overhead_bytes = pkt.int_overhead_bytes
+        telemetry = net.telemetry
+        if (
+            telemetry is not None
+            and hasattr(telemetry, "carries_query")
+            and telemetry.carries_query(pkt.pid)
+        ):
+            ack.echo_digest = pkt.digest
+            ack.fixed_overhead_bytes = telemetry.digest_bytes
+        net.inject(self.flow.dst_host, ack)
+
+
+class SenderBase:
+    """Window-based sender machinery shared by Reno and HPCC."""
+
+    def __init__(self, flow: "Flow") -> None:
+        self.flow = flow
+        self.acked = 0          # next index the receiver expects
+        self.next_seq = 0       # next new packet index
+        self.dupacks = 0
+        self.finished = False
+        self._rto_token = 0
+        self.retransmissions = 0
+
+    # -- window in packets (subclasses define it) -------------------------
+
+    def window_packets(self) -> float:
+        """Current congestion window, in packets."""
+        raise NotImplementedError
+
+    def on_feedback(self, pkt: SimPacket) -> None:
+        """Transport-specific reaction to a (new) ACK."""
+
+    def on_loss(self, timeout: bool) -> None:
+        """Transport-specific reaction to a loss signal."""
+
+    # -- shared machinery ---------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        return self.next_seq - self.acked
+
+    def start(self) -> None:
+        """Kick off transmission (scheduled at the flow's start time)."""
+        self.send_available()
+        self._arm_rto()
+
+    def send_available(self) -> None:
+        while (
+            not self.finished
+            and self.next_seq < self.flow.num_packets
+            and self.inflight < self.window_packets()
+        ):
+            self._send(self.next_seq)
+            self.next_seq += 1
+
+    def _send(self, seq: int) -> None:
+        flow = self.flow
+        net = flow.network
+        telemetry = net.telemetry
+        payload = flow.packet_payload(seq)
+        pkt = SimPacket(
+            pid=net.new_pid(),
+            flow_id=flow.flow_id,
+            seq=seq,
+            payload_bytes=payload,
+            fixed_overhead_bytes=(
+                flow.extra_overhead_bytes
+                + (telemetry.source_overhead() if telemetry else 0)
+            ),
+            send_time=net.sim.now,
+        )
+        net.inject(flow.src_host, pkt)
+
+    def on_ack(self, pkt: SimPacket) -> None:
+        if self.finished:
+            return
+        if pkt.ack_next_expected > self.acked:
+            self.acked = pkt.ack_next_expected
+            self.dupacks = 0
+            self.on_feedback(pkt)
+            if self.acked >= self.flow.num_packets:
+                self.finished = True
+                self.flow.complete()
+                return
+            self._arm_rto()
+        else:
+            self.dupacks += 1
+            if self.dupacks == 3:
+                self.retransmissions += 1
+                self.on_loss(timeout=False)
+                self._send(self.acked)  # fast retransmit
+                self._arm_rto()
+        self.send_available()
+
+    def _arm_rto(self) -> None:
+        self._rto_token += 1
+        token = self._rto_token
+        self.flow.network.sim.schedule(self.flow.rto, self._on_rto, token)
+
+    def _on_rto(self, token: int) -> None:
+        if token != self._rto_token or self.finished:
+            return
+        if self.inflight > 0:
+            self.retransmissions += 1
+            self.on_loss(timeout=True)
+            self.next_seq = self.acked  # go-back-N
+            self.send_available()
+        self._arm_rto()
+
+
+class RenoSender(SenderBase):
+    """TCP Reno: slow start, AIMD, fast retransmit, timeout recovery."""
+
+    def __init__(self, flow: "Flow", init_cwnd: float = 2.0) -> None:
+        super().__init__(flow)
+        self.cwnd = init_cwnd
+        self.ssthresh = 64.0
+
+    def window_packets(self) -> float:
+        return self.cwnd
+
+    def on_feedback(self, pkt: SimPacket) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += 1.0                      # slow start
+        else:
+            self.cwnd += 1.0 / self.cwnd          # congestion avoidance
+
+    def on_loss(self, timeout: bool) -> None:
+        self.ssthresh = max(2.0, self.cwnd / 2.0)
+        self.cwnd = 2.0 if timeout else self.ssthresh
+
+
+class HPCCSender(SenderBase):
+    """The HPCC window rule, fed by INT records or a PINT digest.
+
+    Window update (maxStage = 0 throughout, as the paper recommends)::
+
+        W = W_c / (U / eta) + W_AI
+
+    with the reference window ``W_c`` refreshed once per RTT.  ``U`` is
+    the max normalised bottleneck utilisation: from per-link INT deltas
+    (txRate/B + qlen/(B*T)) in INT mode, or decoded directly from the
+    PINT digest in PINT mode.
+    """
+
+    def __init__(
+        self,
+        flow: "Flow",
+        eta: float = 0.95,
+        wai_bytes: float = 80.0,
+        max_stage: int = 0,
+    ) -> None:
+        super().__init__(flow)
+        self.eta = eta
+        self.wai = wai_bytes
+        self.max_stage = max_stage
+        net = flow.network
+        self.base_rtt = flow.base_rtt
+        rate = net.link(flow.src_host, next(
+            iter(net.topology.graph.neighbors(flow.src_host))
+        )).rate_bps
+        self.bdp_bytes = rate / 8.0 * self.base_rtt
+        self.window_bytes = self.bdp_bytes
+        self.reference_window = self.bdp_bytes
+        self.inc_stage = 0
+        self._last_update_seq = 0
+        self._last_records: Optional[List[INTRecord]] = None
+        self.last_u = 0.0
+
+    def window_packets(self) -> float:
+        return max(1.0, self.window_bytes / self.flow.mss)
+
+    def _u_from_int(self, records: List[INTRecord]) -> Optional[float]:
+        if self._last_records is None or len(self._last_records) != len(records):
+            self._last_records = records
+            return None
+        u = 0.0
+        for last, cur in zip(self._last_records, records):
+            dt = cur.timestamp - last.timestamp
+            rate_bytes = cur.link_rate_bps / 8.0
+            q_term = cur.queue_bytes / (rate_bytes * self.base_rtt)
+            if dt > 0:
+                tx_rate = (cur.tx_bytes - last.tx_bytes) / dt
+                u = max(u, q_term + tx_rate / rate_bytes)
+            else:
+                u = max(u, q_term)
+        self._last_records = records
+        return u
+
+    def on_feedback(self, pkt: SimPacket) -> None:
+        u: Optional[float] = None
+        if pkt.echo_records is not None:
+            u = self._u_from_int(pkt.echo_records)
+        elif pkt.echo_digest is not None:
+            u = self.flow.network.telemetry.codec.decode(pkt.echo_digest)
+        if u is None:
+            return
+        self.last_u = u
+        u = max(u, 0.01)
+        if u >= self.eta or self.inc_stage >= self.max_stage:
+            new_window = self.reference_window / (u / self.eta) + self.wai
+            if pkt.ack_next_expected > self._last_update_seq:
+                self.reference_window = min(new_window, self.bdp_bytes)
+                self.inc_stage = 0
+                self._last_update_seq = self.next_seq
+        else:
+            new_window = self.reference_window + self.wai
+            if pkt.ack_next_expected > self._last_update_seq:
+                self.inc_stage += 1
+                self.reference_window = min(new_window, self.bdp_bytes)
+                self._last_update_seq = self.next_seq
+        self.window_bytes = min(max(new_window, self.flow.mss), self.bdp_bytes)
+
+    def on_loss(self, timeout: bool) -> None:
+        self.window_bytes = max(self.flow.mss, self.window_bytes / 2.0)
+
+
+class Flow:
+    """One application flow: sender + receiver + completion metrics."""
+
+    def __init__(
+        self,
+        network: Network,
+        flow_id: int,
+        src_host: int,
+        dst_host: int,
+        size_bytes: int,
+        start_time: float,
+        transport: str = "reno",
+        mss: int = 1000,
+        extra_overhead_bytes: int = 0,
+        rto: Optional[float] = None,
+        **transport_kwargs,
+    ) -> None:
+        if size_bytes < 1:
+            raise ValueError("flow size must be >= 1 byte")
+        self.network = network
+        self.flow_id = flow_id
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.size_bytes = size_bytes
+        self.start_time = start_time
+        self.mss = mss
+        self.extra_overhead_bytes = extra_overhead_bytes
+        self.num_packets = math.ceil(size_bytes / mss)
+        #: Loaded-packet RTT: the congestion-control horizon T.
+        self.base_rtt = network.base_rtt(src_host, dst_host, mtu_bytes=mss + 40)
+        #: Minimal-probe RTT: the latency floor used by the ideal FCT
+        #: (line-rate transmission + bare round trip), so solo flows
+        #: have slowdown >= 1 by construction.
+        self.probe_rtt = network.base_rtt(src_host, dst_host, mtu_bytes=64)
+        self.rto = rto if rto is not None else max(10 * self.base_rtt, 5e-3)
+        self.finish_time: Optional[float] = None
+        self.receiver = Receiver(self)
+        if transport == "reno":
+            self.sender: SenderBase = RenoSender(self, **transport_kwargs)
+        elif transport == "hpcc":
+            self.sender = HPCCSender(self, **transport_kwargs)
+        else:
+            raise ValueError(f"unknown transport {transport!r}")
+        network.flows[flow_id] = self
+        network.sim.at(start_time, self.sender.start)
+
+    # -- plumbing used by devices -------------------------------------------
+
+    def sender_on_ack(self, pkt: SimPacket) -> None:
+        """Called by the source host device."""
+        self.sender.on_ack(pkt)
+
+    def receiver_on_data(self, pkt: SimPacket, at_host: int) -> None:
+        """Called by the destination host device."""
+        if at_host == self.dst_host:
+            self.receiver.on_data(pkt)
+
+    def packet_payload(self, seq: int) -> int:
+        """Payload bytes of packet ``seq`` (last one may be short)."""
+        if seq == self.num_packets - 1:
+            return self.size_bytes - self.mss * (self.num_packets - 1)
+        return self.mss
+
+    def complete(self) -> None:
+        """Record completion (FCT endpoint)."""
+        self.finish_time = self.network.sim.now
+
+    # -- metrics --------------------------------------------------------------
+
+    @property
+    def fct(self) -> Optional[float]:
+        """Flow completion time, or None if unfinished."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.start_time
+
+    def ideal_fct(self, host_rate_bps: float) -> float:
+        """FCT of the flow alone: probe RTT + line-rate transmission."""
+        return self.probe_rtt + self.size_bytes * 8.0 / host_rate_bps
+
+    def slowdown(self, host_rate_bps: float) -> Optional[float]:
+        """The paper's slowdown: FCT over ideal FCT."""
+        if self.fct is None:
+            return None
+        return self.fct / self.ideal_fct(host_rate_bps)
+
+    @property
+    def goodput_bps(self) -> Optional[float]:
+        """Application bytes over completion time."""
+        if self.fct is None or self.fct <= 0:
+            return None
+        return self.size_bytes * 8.0 / self.fct

@@ -1,0 +1,122 @@
+"""Traffic workloads: the paper's flow-size distributions + Poisson arrivals.
+
+The web-search [3] and Hadoop [62] distributions are encoded by their
+deciles -- exactly the x-axis tick marks of the paper's Fig. 7(b)/(c),
+which are chosen "such that there are 10% of the flows between
+consecutive tick marks".  Sampling is inverse-transform with
+log-linear interpolation between deciles.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+class EmpiricalCDF:
+    """Inverse-transform sampler over (size, cumulative prob) points."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]], min_size: float):
+        if not points:
+            raise ValueError("need CDF points")
+        probs = [p for _, p in points]
+        if probs != sorted(probs) or probs[-1] != 1.0:
+            raise ValueError("CDF probabilities must be sorted and end at 1")
+        self.points: List[Tuple[float, float]] = [(min_size, 0.0)] + [
+            (float(s), float(p)) for s, p in points
+        ]
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one flow size in bytes."""
+        u = rng.random()
+        for (s0, p0), (s1, p1) in zip(self.points, self.points[1:]):
+            if u <= p1:
+                frac = 0.0 if p1 == p0 else (u - p0) / (p1 - p0)
+                log_size = math.log(s0) + frac * (math.log(s1) - math.log(s0))
+                return max(1, int(round(math.exp(log_size))))
+        return int(self.points[-1][0])
+
+    def mean(self, samples: int = 20000, seed: int = 0) -> float:
+        """Monte-Carlo mean flow size (load calibration)."""
+        rng = random.Random(seed)
+        return sum(self.sample(rng) for _ in range(samples)) / samples
+
+
+#: Web-search deciles (bytes): the Fig. 7(b) tick marks.
+WEB_SEARCH_DECILES = [
+    (7_000, 0.1), (20_000, 0.2), (30_000, 0.3), (50_000, 0.4),
+    (73_000, 0.5), (197_000, 0.6), (989_000, 0.7), (2_000_000, 0.8),
+    (5_000_000, 0.9), (30_000_000, 1.0),
+]
+
+#: Hadoop deciles (bytes): the Fig. 7(c) tick marks.
+HADOOP_DECILES = [
+    (324, 0.1), (399, 0.2), (500, 0.3), (599, 0.4), (699, 0.5),
+    (999, 0.6), (7_000, 0.7), (46_000, 0.8), (120_000, 0.9),
+    (10_000_000, 1.0),
+]
+
+
+def web_search_cdf(scale: float = 1.0) -> EmpiricalCDF:
+    """The web-search workload of [3] (DCTCP), decile-encoded.
+
+    ``scale`` multiplies all sizes: benchmarks run the shape-preserving
+    scaled-down workload on scaled-down link rates (DESIGN.md,
+    substitution 1).
+    """
+    return EmpiricalCDF(
+        [(s * scale, p) for s, p in WEB_SEARCH_DECILES],
+        min_size=max(100, 1_000 * scale),
+    )
+
+
+def hadoop_cdf(scale: float = 1.0) -> EmpiricalCDF:
+    """The Facebook Hadoop workload of [62], decile-encoded."""
+    return EmpiricalCDF(
+        [(s * scale, p) for s, p in HADOOP_DECILES],
+        min_size=max(50, 150 * scale),
+    )
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One generated flow: who, how much, when."""
+
+    src_host: int
+    dst_host: int
+    size_bytes: int
+    start_time: float
+
+
+def poisson_flows(
+    hosts: Sequence[int],
+    cdf: EmpiricalCDF,
+    load: float,
+    host_rate_bps: float,
+    duration: float,
+    rng: random.Random,
+    max_flows: Optional[int] = None,
+) -> List[FlowSpec]:
+    """Poisson arrivals hitting a target average network load.
+
+    Each host generates flows to uniformly random other hosts; the
+    aggregate arrival rate is ``load * num_hosts * host_rate / mean_size``
+    (the paper's definition of network load, header bytes excluded).
+    """
+    if not 0.0 < load < 1.0:
+        raise ValueError("load must be in (0, 1)")
+    if len(hosts) < 2:
+        raise ValueError("need at least two hosts")
+    mean_size = cdf.mean(seed=rng.randrange(1 << 30))
+    rate = load * len(hosts) * host_rate_bps / 8.0 / mean_size  # flows/sec
+    flows: List[FlowSpec] = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate)
+        if t >= duration or (max_flows is not None and len(flows) >= max_flows):
+            break
+        src, dst = rng.sample(list(hosts), 2)
+        flows.append(FlowSpec(src, dst, cdf.sample(rng), t))
+    return flows

@@ -1,0 +1,38 @@
+"""Stream summaries used by the Recording Module.
+
+* :class:`KLLSketch` -- quantile sketch (paper §6.2 uses KLL [39]).
+* :class:`SpaceSaving` -- heavy hitters for Theorem 2's frequent-values
+  aggregation.
+* :class:`ReservoirSample` / :class:`SlidingWindowSample` -- bounded
+  uniform samples, whole-stream and recent-window.
+* :mod:`repro.sketch.quantile` -- exact/sampled quantile helpers and the
+  Theorem-1 sample-size formulas.
+"""
+
+from repro.sketch.kll import KLLSketch
+from repro.sketch.quantile import (
+    all_quantiles_sample_size,
+    exact_quantile,
+    quantile_sample_size,
+    quantiles_summary,
+    rank_error,
+    relative_value_error,
+    sampled_quantile,
+)
+from repro.sketch.reservoir import CountingWindow, ReservoirSample, SlidingWindowSample
+from repro.sketch.spacesaving import SpaceSaving
+
+__all__ = [
+    "KLLSketch",
+    "SpaceSaving",
+    "ReservoirSample",
+    "SlidingWindowSample",
+    "CountingWindow",
+    "exact_quantile",
+    "sampled_quantile",
+    "rank_error",
+    "relative_value_error",
+    "quantile_sample_size",
+    "all_quantiles_sample_size",
+    "quantiles_summary",
+]

@@ -1,0 +1,76 @@
+"""Quantile helpers: exact reference quantiles and sampled estimators.
+
+Theorem 1 of the paper: after O(k / eps^2) packets, PINT produces a
+(phi +/- eps)-quantile of each hop's value stream.  These helpers give
+the exact quantiles used as ground truth in tests/benchmarks and the
+plain sampled estimator (no sketch) used by the "PINT without sketch"
+lines of Figure 9.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+
+def exact_quantile(values: Sequence[float], phi: float) -> float:
+    """Exact phi-quantile (lower interpolation) of a finite sequence."""
+    if not values:
+        raise ValueError("empty sequence has no quantiles")
+    if not 0.0 <= phi <= 1.0:
+        raise ValueError("phi must be in [0, 1]")
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, max(0, math.ceil(phi * len(ordered)) - 1))
+    return ordered[idx]
+
+
+def sampled_quantile(sample: Sequence[float], phi: float) -> float:
+    """phi-quantile of a uniform sample: the plug-in estimator."""
+    return exact_quantile(sample, phi)
+
+
+def rank_error(values: Sequence[float], estimate: float, phi: float) -> float:
+    """|rank(estimate) - phi| in the full stream: the Theorem-1 metric."""
+    if not values:
+        raise ValueError("empty sequence")
+    below = sum(1 for v in values if v <= estimate)
+    return abs(below / len(values) - phi)
+
+
+def relative_value_error(truth: float, estimate: float) -> float:
+    """|estimate - truth| / truth, the Figure-9 y-axis."""
+    if truth == 0:
+        return abs(estimate)
+    return abs(estimate - truth) / abs(truth)
+
+
+def quantile_sample_size(eps: float) -> int:
+    """Sample size O(eps^-2) sufficient for a single +-eps quantile.
+
+    Uses the standard Chernoff constant (ln(2/delta)/(2 eps^2) with
+    delta = 5%), matching the Appendix A.1 discussion.
+    """
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0, 1)")
+    return math.ceil(math.log(2.0 / 0.05) / (2.0 * eps * eps))
+
+
+def all_quantiles_sample_size(eps: float) -> int:
+    """Sample size O(eps^-2 log eps^-1) for *all* quantiles at once."""
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0, 1)")
+    return math.ceil(quantile_sample_size(eps) * max(1.0, math.log(1.0 / eps)))
+
+
+def quantiles_summary(values: Sequence[float], phis: Sequence[float]) -> List[float]:
+    """Exact quantiles at several ranks, sharing one sort."""
+    if not values:
+        raise ValueError("empty sequence")
+    ordered = sorted(values)
+    out = []
+    for phi in phis:
+        if not 0.0 <= phi <= 1.0:
+            raise ValueError("phi must be in [0, 1]")
+        idx = min(len(ordered) - 1, max(0, math.ceil(phi * len(ordered)) - 1))
+        out.append(ordered[idx])
+    return out

@@ -1,0 +1,109 @@
+"""Reservoir samplers: classic (Vitter 1985) and sliding-window.
+
+PINT's dynamic per-flow aggregation is a *distributed* reservoir sample
+(implemented in :mod:`repro.hashing`); the Recording Module additionally
+uses in-memory reservoirs / sliding-window samplers to bound per-flow
+storage (§4.1: "we can use a sliding-window sketch to reflect only the
+most recent measurements").
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Deque, Generic, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class ReservoirSample(Generic[T]):
+    """Uniform fixed-size sample of a stream (Algorithm R, Vitter [82])."""
+
+    def __init__(self, capacity: int, rng: Optional[random.Random] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._rng = rng if rng is not None else random.Random(0x5245)
+        self._items: List[T] = []
+        self._seen = 0
+
+    def update(self, item: T) -> None:
+        """Observe one stream item."""
+        self._seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(item)
+            return
+        j = self._rng.randrange(self._seen)
+        if j < self.capacity:
+            self._items[j] = item
+
+    @property
+    def seen(self) -> int:
+        """Total items observed."""
+        return self._seen
+
+    def sample(self) -> List[T]:
+        """The current uniform sample (a copy)."""
+        return list(self._items)
+
+
+class SlidingWindowSample(Generic[T]):
+    """Uniform sample over the last ``window`` stream items.
+
+    Implements priority sampling (chained reservoir): each item gets a
+    random priority; the sample is the ``capacity`` highest-priority
+    items among the most recent ``window``.  Expired items are dropped
+    lazily from a priority-ordered deque, giving O(1) amortised updates.
+    """
+
+    def __init__(
+        self, capacity: int, window: int, rng: Optional[random.Random] = None
+    ) -> None:
+        if capacity < 1 or window < 1:
+            raise ValueError("capacity and window must be >= 1")
+        self.capacity = capacity
+        self.window = window
+        self._rng = rng if rng is not None else random.Random(0x534C)
+        #: (index, priority, item), kept sorted by priority descending.
+        self._pool: List[Tuple[int, float, T]] = []
+        self._index = 0
+
+    def update(self, item: T) -> None:
+        """Observe one stream item."""
+        pri = self._rng.random()
+        self._pool.append((self._index, pri, item))
+        self._index += 1
+        horizon = self._index - self.window
+        # Keep the pool small: drop expired entries and, when over ~4x
+        # capacity, prune to the top-capacity live entries.
+        if len(self._pool) > 4 * self.capacity:
+            live = [e for e in self._pool if e[0] >= horizon]
+            live.sort(key=lambda e: -e[1])
+            self._pool = live[: self.capacity * 2]
+
+    def sample(self) -> List[T]:
+        """Uniform sample (size <= capacity) of the current window."""
+        horizon = self._index - self.window
+        live = [e for e in self._pool if e[0] >= horizon]
+        live.sort(key=lambda e: -e[1])
+        return [item for _, _, item in live[: self.capacity]]
+
+
+class CountingWindow:
+    """Exact sliding-window item counter used in tests as ground truth."""
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._items: Deque = deque()
+
+    def update(self, item) -> None:
+        """Observe one item, expiring anything beyond the window."""
+        self._items.append(item)
+        if len(self._items) > self.window:
+            self._items.popleft()
+
+    def contents(self) -> list:
+        """Items currently inside the window, oldest first."""
+        return list(self._items)

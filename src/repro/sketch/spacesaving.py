@@ -1,0 +1,80 @@
+"""SpaceSaving heavy hitters (Metwally et al., ICDT 2005).
+
+Appendix A.1 of the paper uses SpaceSaving to report, per (flow, hop),
+every value occurring in at least a theta-fraction of the sampled
+substream with additive error eps (Theorem 2).  The sketch keeps
+``capacity = O(1/eps)`` counters; on a miss, the minimum counter is
+evicted and inherits its count as overestimation error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+
+class SpaceSaving:
+    """Deterministic heavy-hitters summary with ``capacity`` counters.
+
+    Guarantees, after n updates:
+
+    * every item with true frequency > n / capacity is present;
+    * each estimate overshoots the true count by at most n / capacity.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._counts: Dict[Hashable, int] = {}
+        self._errors: Dict[Hashable, int] = {}
+        self._n = 0
+
+    def update(self, item: Hashable, weight: int = 1) -> None:
+        """Observe ``item`` (optionally ``weight`` times)."""
+        if weight < 1:
+            raise ValueError("weight must be >= 1")
+        self._n += weight
+        if item in self._counts:
+            self._counts[item] += weight
+            return
+        if len(self._counts) < self.capacity:
+            self._counts[item] = weight
+            self._errors[item] = 0
+            return
+        victim = min(self._counts, key=self._counts.__getitem__)
+        floor = self._counts.pop(victim)
+        self._errors.pop(victim)
+        self._counts[item] = floor + weight
+        self._errors[item] = floor
+
+    def extend(self, items: Iterable[Hashable]) -> None:
+        """Observe a sequence of items."""
+        for item in items:
+            self.update(item)
+
+    def estimate(self, item: Hashable) -> int:
+        """Upper-bound estimate of the item's count (0 if untracked)."""
+        return self._counts.get(item, 0)
+
+    def guaranteed(self, item: Hashable) -> int:
+        """Lower-bound (guaranteed) count: estimate minus error."""
+        return self._counts.get(item, 0) - self._errors.get(item, 0)
+
+    @property
+    def n(self) -> int:
+        """Total weight observed."""
+        return self._n
+
+    def heavy_hitters(self, theta: float) -> List[Tuple[Hashable, int]]:
+        """Items with estimated frequency >= theta * n, most frequent first.
+
+        With capacity >= 1/eps this returns every item above a
+        (theta)-fraction and nothing below a (theta - eps)-fraction,
+        matching Theorem 2's guarantee.
+        """
+        if not 0.0 < theta <= 1.0:
+            raise ValueError("theta must be in (0, 1]")
+        cut = theta * self._n
+        out = [(i, c) for i, c in self._counts.items() if c >= cut]
+        out.sort(key=lambda pair: -pair[1])
+        return out

@@ -1,0 +1,186 @@
+"""Tests for the Appendix A reference formulas."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (
+    all_but_psi_fraction,
+    baseline_packets,
+    baseline_share,
+    binomial_success_tail,
+    coupon_collector_mean,
+    coupon_collector_quantile,
+    double_dixie_cup_mean,
+    double_dixie_cup_tail,
+    fragmentation_blowup,
+    harmonic,
+    hybrid_packets,
+    hybrid_xor_probability,
+    layer_probability,
+    lnc_packets,
+    log_log_star,
+    log_star,
+    num_xor_layers,
+    partial_coupon_mean,
+    partial_coupon_tail,
+    theorem1_packets,
+    theorem1_space,
+    theorem3_packets,
+    tower,
+    xor_only_packets,
+)
+
+
+class TestHarmonicAndCoupons:
+    def test_harmonic_basics(self):
+        assert harmonic(0) == 0.0
+        assert harmonic(1) == 1.0
+        assert harmonic(3) == pytest.approx(1 + 0.5 + 1 / 3)
+
+    def test_coupon_mean_k25(self):
+        # Referenced implicitly by §4.2's k=25 example.
+        assert coupon_collector_mean(25) == pytest.approx(25 * harmonic(25))
+
+    def test_coupon_median_k25_matches_paper(self):
+        # Paper §4.2: k=25 Baseline has median ~89 packets.
+        assert 80 < coupon_collector_quantile(25, 0.5) < 100
+
+    def test_coupon_p99_k25_matches_paper(self):
+        # Paper §4.2: k=25 Baseline has 99th percentile ~189 packets.
+        assert 170 < coupon_collector_quantile(25, 0.99) < 210
+
+    def test_coupon_mean_against_simulation(self):
+        rng = random.Random(0)
+        k, trials = 10, 400
+        total = 0
+        for _ in range(trials):
+            seen, n = set(), 0
+            while len(seen) < k:
+                seen.add(rng.randrange(k))
+                n += 1
+            total += n
+        sim_mean = total / trials
+        assert abs(sim_mean - coupon_collector_mean(k)) < 3.0
+
+    def test_partial_mean_extremes(self):
+        assert partial_coupon_mean(10, 0) == 0.0
+        assert partial_coupon_mean(10, 10) == pytest.approx(coupon_collector_mean(10))
+
+    def test_partial_tail_above_mean(self):
+        assert partial_coupon_tail(20, 10, 0.05) > partial_coupon_mean(20, 10)
+
+    def test_all_but_psi_reasonable(self):
+        # Lemma 9: collecting all but 10% of 100 coupons at delta=5%.
+        bound = all_but_psi_fraction(100, 0.1, 0.05)
+        assert 100 * math.log(10) < bound < 100 * math.log(10) * 3
+
+    def test_double_dixie_mean_single_copy(self):
+        assert double_dixie_cup_mean(10, 1) == pytest.approx(
+            coupon_collector_mean(10)
+        )
+
+    def test_double_dixie_tail_grows_with_copies(self):
+        assert double_dixie_cup_tail(10, 5, 0.05) > double_dixie_cup_tail(
+            10, 1, 0.05
+        )
+
+    def test_binomial_tail_lemma4(self):
+        # Simulate: N trials at p should beat k successes w.p. >= 95%.
+        rng = random.Random(1)
+        k, p, delta = 30, 0.3, 0.05
+        n_trials = math.ceil(binomial_success_tail(k, p, delta))
+        fails = 0
+        for _ in range(300):
+            successes = sum(rng.random() < p for _ in range(n_trials))
+            fails += successes <= k
+        assert fails / 300 <= delta + 0.03
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coupon_collector_mean(0)
+        with pytest.raises(ValueError):
+            partial_coupon_mean(5, 6)
+        with pytest.raises(ValueError):
+            coupon_collector_quantile(5, 0.0)
+
+
+class TestIterated:
+    def test_log_star_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+
+    def test_log_star_tiny(self):
+        assert log_star(0.5) == 0
+
+    def test_tower(self):
+        assert tower(2, 0) == 1
+        assert tower(2, 3) == 16
+        assert tower(math.e, 2) == pytest.approx(math.e**math.e)
+
+    def test_num_layers_matches_paper(self):
+        # Appendix A.2: L=1 for d <= 15, L=2 for 16 <= d <= e^e^e.
+        assert num_xor_layers(5) == 1
+        assert num_xor_layers(10) == 1
+        assert num_xor_layers(15) == 1
+        assert num_xor_layers(16) == 2
+        assert num_xor_layers(100) == 2
+        assert num_xor_layers(1000) == 2
+
+    def test_layer_probability_tower(self):
+        # p_l = e^^(l-1) / d.
+        assert layer_probability(1, 10) == pytest.approx(0.1)
+        assert layer_probability(2, 10) == pytest.approx(math.e / 10)
+        assert layer_probability(1, 1) == 1.0
+
+    def test_baseline_share_range(self):
+        for d in (2, 5, 25, 59, 1000):
+            assert 0.3 < baseline_share(d) < 1.0
+
+    def test_hybrid_probability_footnote8(self):
+        # d <= 15: ln ln d < 1, so p = 1/ln d.
+        assert hybrid_xor_probability(10) == pytest.approx(1 / math.log(10))
+        # Large d: p = ln ln d / ln d.
+        assert hybrid_xor_probability(256) == pytest.approx(
+            math.log(math.log(256)) / math.log(256)
+        )
+
+    def test_log_log_star_positive(self):
+        assert log_log_star(2) > 0
+        assert log_log_star(1e9) > 0
+
+
+class TestBounds:
+    def test_theorem1_scaling(self):
+        assert theorem1_packets(10, 0.1) == pytest.approx(
+            2 * theorem1_packets(5, 0.1)
+        )
+        assert theorem1_packets(5, 0.05) > theorem1_packets(5, 0.1)
+
+    def test_theorem1_space(self):
+        assert theorem1_space(5, 0.1) == pytest.approx(50.0)
+
+    def test_theorem3_beats_baseline_asymptotically(self):
+        assert theorem3_packets(500) < baseline_packets(500)
+
+    def test_scheme_ordering_large_k(self):
+        # LNC < multilayer < hybrid-ish < xor-only ~ baseline for big k.
+        k = 1000
+        assert lnc_packets(k) < theorem3_packets(k)
+        assert theorem3_packets(k) < xor_only_packets(k)
+        assert hybrid_packets(k) < baseline_packets(k)
+
+    def test_fragmentation_blowup(self):
+        assert fragmentation_blowup(32, 8) == 4
+        assert fragmentation_blowup(32, 32) == 1
+        assert fragmentation_blowup(33, 8) == 5
+
+    @given(st.integers(1, 10**6))
+    @settings(max_examples=50)
+    def test_theorem3_positive(self, k):
+        assert theorem3_packets(k) >= k

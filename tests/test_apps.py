@@ -1,0 +1,274 @@
+"""Tests for the use-case applications (path tracing, latency, congestion,
+loop detection)."""
+
+import math
+import random
+
+import pytest
+
+from repro.apps import (
+    CongestionRuntime,
+    LatencyCompressor,
+    LatencyRuntime,
+    LoopDetector,
+    PathTracer,
+    PathTracingRuntime,
+    UtilizationCodec,
+    simulate_latency_estimation,
+)
+from repro.core import (
+    AggregationType,
+    HopView,
+    MetadataType,
+    PacketContext,
+    PINTFramework,
+    PlanEntry,
+    Query,
+    QueryEngine,
+)
+from repro.core.plan import ExecutionPlan
+from repro.net import fat_tree, linear_topology, us_carrier
+from repro.sketch import exact_quantile
+
+
+def _drive_runtime(runtime, path, packets, flow_id=1, latency_fn=None, util_fn=None):
+    """Push packets through a single-query framework."""
+    query = runtime.query
+    plan = ExecutionPlan([PlanEntry((query,), 1.0)], query.bit_budget)
+    fw = PINTFramework(plan)
+    fw.register(runtime)
+    for pid in range(1, packets + 1):
+        hops = [
+            HopView(
+                switch_id=s,
+                hop_number=i + 1,
+                hop_latency=latency_fn(i, pid) if latency_fn else 0.0,
+                egress_tx_utilization=util_fn(i, pid) if util_fn else 0.0,
+            )
+            for i, s in enumerate(path)
+        ]
+        fw.process_packet(
+            PacketContext(packet_id=pid, flow_id=flow_id, path_len=len(path)),
+            hops,
+        )
+    return fw
+
+
+class TestPathTracer:
+    def test_fat_tree_short_path(self):
+        topo = fat_tree(4)
+        tracer = PathTracer(topo, digest_bits=8, d=5)
+        path = topo.switch_path(topo.hosts[0], topo.hosts[-1])
+        stats = tracer.packets_for_path(path, trials=10)
+        assert stats.mean < 120  # k=5, b=8: a few dozen packets
+
+    def test_more_bits_fewer_packets(self):
+        topo = us_carrier()
+        path = topo.switch_path(*topo.pair_at_distance(10, random.Random(0)))
+        low = PathTracer(topo, digest_bits=1, d=10).packets_for_path(path, trials=8)
+        high = PathTracer(topo, digest_bits=8, d=10).packets_for_path(path, trials=8)
+        assert high.mean < low.mean
+
+    def test_two_hashes_overhead(self):
+        topo = fat_tree(4)
+        tracer = PathTracer(topo, digest_bits=8, num_hashes=2, d=5)
+        assert tracer.bit_overhead == 16
+
+    def test_sweep_returns_all_lengths(self):
+        topo = us_carrier()
+        out = PathTracer(topo, digest_bits=8, d=10).packets_vs_path_length(
+            [4, 8], trials=5
+        )
+        assert set(out) == {4, 8}
+        assert out[8].mean > out[4].mean
+
+
+class TestPathTracingRuntime:
+    def _query(self, bits=8, freq=1.0):
+        return Query(
+            "path", MetadataType.SWITCH_ID,
+            AggregationType.STATIC_PER_FLOW, bits, frequency=freq,
+        )
+
+    def test_decodes_real_path(self):
+        topo = linear_topology(6)
+        path = topo.switch_path(0, 5)
+        rt = PathTracingRuntime(self._query(), topo.switch_universe(), d=6)
+        _drive_runtime(rt, path, packets=400)
+        assert rt.flow_path(1) == path
+
+    def test_progress_monotone(self):
+        topo = linear_topology(8)
+        path = topo.switch_path(0, 7)
+        rt = PathTracingRuntime(self._query(), topo.switch_universe(), d=8)
+        plan = ExecutionPlan([PlanEntry((rt.query,), 1.0)], 8)
+        fw = PINTFramework(plan)
+        fw.register(rt)
+        last = 0
+        for pid in range(1, 300):
+            hops = [HopView(switch_id=s, hop_number=i + 1) for i, s in enumerate(path)]
+            fw.process_packet(PacketContext(pid, 1, len(path)), hops)
+            done, total = rt.progress(1)
+            assert done >= last
+            last = done
+        assert last == len(path)
+
+    def test_two_hash_variant_decodes(self):
+        topo = linear_topology(5)
+        path = topo.switch_path(0, 4)
+        rt = PathTracingRuntime(
+            self._query(bits=16), topo.switch_universe(), d=5, num_hashes=2
+        )
+        _drive_runtime(rt, path, packets=200)
+        assert rt.flow_path(1) == path
+
+    def test_budget_split_validated(self):
+        with pytest.raises(ValueError):
+            PathTracingRuntime(self._query(bits=9), (1, 2, 3), d=5, num_hashes=2)
+
+    def test_unknown_flow(self):
+        rt = PathTracingRuntime(self._query(), (1, 2, 3), d=5)
+        assert rt.flow_path(99) is None
+        assert rt.progress(99) == (0, 0)
+
+
+class TestLatency:
+    def test_compressor_roundtrip_error(self):
+        comp = LatencyCompressor(bits=8)
+        for lat in (1e-6, 5e-5, 2e-3, 0.5):
+            code = comp.encode(lat, 1, 1)
+            assert comp.decode(code) == pytest.approx(lat, rel=3 * comp.epsilon + 0.01)
+
+    def test_4bit_coarser_than_8bit(self):
+        assert LatencyCompressor(4).epsilon > LatencyCompressor(8).epsilon
+
+    def test_runtime_median_estimate(self):
+        rng = random.Random(0)
+        path = [10, 11, 12]
+        lat_streams = {
+            i: [rng.gauss(1e-4 * (i + 1), 1e-5) for _ in range(3000)]
+            for i in range(len(path))
+        }
+        query = Query(
+            "lat", MetadataType.HOP_LATENCY,
+            AggregationType.DYNAMIC_PER_FLOW, 8,
+        )
+        rt = LatencyRuntime(query)
+        _drive_runtime(
+            rt, path, packets=3000,
+            latency_fn=lambda i, pid: lat_streams[i][pid - 1],
+        )
+        for hop in (1, 2, 3):
+            truth = exact_quantile(lat_streams[hop - 1], 0.5)
+            est = rt.quantile(1, hop, 0.5)
+            assert est == pytest.approx(truth, rel=0.15)
+
+    def test_samples_split_roughly_evenly(self):
+        path = [1, 2, 3, 4]
+        query = Query(
+            "lat", MetadataType.HOP_LATENCY,
+            AggregationType.DYNAMIC_PER_FLOW, 8,
+        )
+        rt = LatencyRuntime(query)
+        _drive_runtime(rt, path, packets=4000, latency_fn=lambda i, pid: 1e-5)
+        counts = [rt.samples_at(1, h) for h in (1, 2, 3, 4)]
+        assert sum(counts) == 4000
+        for c in counts:
+            assert 800 < c < 1200  # ~uniform 1/k sampling (§4.1)
+
+    def test_simulate_harness_accuracy(self):
+        rng = random.Random(1)
+        k, n = 4, 4000
+        streams = [
+            [abs(rng.gauss(5e-5 * (h + 1), 5e-6)) for _ in range(n)]
+            for h in range(k)
+        ]
+        out = simulate_latency_estimation(streams, bits=8, num_packets=n, phi=0.5)
+        for hop, (est, truth) in out.items():
+            assert est == pytest.approx(truth, rel=0.2)
+
+    def test_sketch_mode_bounded_space(self):
+        rng = random.Random(2)
+        k, n = 2, 6000
+        streams = [[rng.expovariate(1e4) for _ in range(n)] for _ in range(k)]
+        out = simulate_latency_estimation(
+            streams, bits=8, num_packets=n, phi=0.5, sketch_size=64
+        )
+        for hop, (est, truth) in out.items():
+            assert est == pytest.approx(truth, rel=0.35)
+
+    def test_harness_validates_input(self):
+        with pytest.raises(ValueError):
+            simulate_latency_estimation([[1.0]], bits=8, num_packets=5, phi=0.5)
+
+
+class TestCongestion:
+    def test_codec_error(self):
+        codec = UtilizationCodec(bits=8, epsilon=0.025)
+        for u in (0.01, 0.25, 0.5, 0.95, 1.5):
+            # Randomized rounding: allow a couple of grid steps.
+            dec = codec.decode(codec.encode(u, 1, 1))
+            assert dec == pytest.approx(u, rel=0.12)
+
+    def test_codec_unbiased(self):
+        codec = UtilizationCodec(bits=8, epsilon=0.025)
+        u = 0.6
+        decs = [codec.decode(codec.encode(u, pid, 1)) for pid in range(4000)]
+        assert sum(decs) / len(decs) == pytest.approx(u, rel=0.02)
+
+    def test_runtime_reports_bottleneck(self):
+        query = Query(
+            "cc", MetadataType.EGRESS_TX_UTILIZATION,
+            AggregationType.PER_PACKET, 8,
+        )
+        seen = []
+        rt = CongestionRuntime(query, feedback=lambda f, u: seen.append(u))
+        _drive_runtime(
+            rt, [1, 2, 3], packets=200,
+            util_fn=lambda i, pid: [0.2, 0.9, 0.4][i],
+        )
+        assert rt.feedback_count == 200
+        mean = sum(seen) / len(seen)
+        assert mean == pytest.approx(0.9, rel=0.1)
+
+    def test_monotone_codes(self):
+        codec = UtilizationCodec(bits=8)
+        # max over codes must correspond to max over values on the
+        # deterministic grid; randomized rounding may differ by 1 step.
+        lo = codec._comp.encode(0.1 * codec.scale)
+        hi = codec._comp.encode(0.9 * codec.scale)
+        assert hi > lo
+
+
+class TestLoopDetection:
+    def test_loop_eventually_reported(self):
+        ld = LoopDetector(digest_bits=15, threshold=1)
+        loopy = [1, 2, 3] + [4, 5, 6] * 8
+        detected = sum(
+            ld.run_path(pid, loopy) is not None for pid in range(200)
+        )
+        assert detected > 150
+
+    def test_no_false_positive_loop_free(self):
+        ld = LoopDetector(digest_bits=15, threshold=1)
+        rate = ld.false_positive_rate(list(range(1, 33)), 3000)
+        # Paper: T=1, b=15 -> false rate < 5e-7; with 3000 packets we
+        # should see none.
+        assert rate == 0.0
+
+    def test_threshold_zero_more_sensitive(self):
+        # T=0 reports on the first match: faster detection, more FPs.
+        strict = LoopDetector(digest_bits=4, threshold=3, seed=1)
+        loose = LoopDetector(digest_bits=4, threshold=0, seed=1)
+        path = list(range(1, 25))
+        assert loose.false_positive_rate(path, 3000) >= strict.false_positive_rate(
+            path, 3000
+        )
+
+    def test_bit_overhead(self):
+        assert LoopDetector(digest_bits=15, threshold=1).bit_overhead == 16
+
+    def test_fp_measure_rejects_loopy_path(self):
+        ld = LoopDetector()
+        with pytest.raises(ValueError):
+            ld.false_positive_rate([1, 2, 1], 10)

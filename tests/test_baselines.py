@@ -1,0 +1,120 @@
+"""Tests for the PPM / AMS / classic-INT baselines."""
+
+import pytest
+
+from repro.baselines import (
+    AMSTraceback,
+    INTCollector,
+    PPMTraceback,
+    int_overhead_bytes,
+    overhead_fraction,
+    serialization_delay_ns,
+)
+from repro.core.values import HopView, MetadataType
+from repro.net import us_carrier
+
+
+class TestPPM:
+    def test_marks_cover_path(self):
+        ppm = PPMTraceback()
+        hops = {ppm.mark_of(pid, 6)[0] for pid in range(500)}
+        assert hops == set(range(1, 7))
+
+    def test_fragments_cover_range(self):
+        ppm = PPMTraceback(num_fragments=8)
+        frags = {ppm.mark_of(pid, 4)[1] for pid in range(500)}
+        assert frags == set(range(8))
+
+    def test_packet_count_matches_coupon_theory(self):
+        ppm = PPMTraceback()
+        stats = ppm.trial_stats(6, trials=25)
+        expected = ppm.expected_packets(6)
+        assert 0.6 * expected < stats.mean < 1.6 * expected
+
+    def test_grows_with_path_length(self):
+        ppm = PPMTraceback()
+        short = ppm.trial_stats(4, trials=10).mean
+        long = ppm.trial_stats(16, trials=10).mean
+        assert long > short
+
+    def test_overhead_constant(self):
+        assert PPMTraceback.OVERHEAD_BITS == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PPMTraceback(num_fragments=0)
+
+
+class TestAMS:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return us_carrier()
+
+    def test_identifies_path(self, topo):
+        path = topo.switch_path(*topo.pair_at_distance(6))
+        ams = AMSTraceback(topo.switch_universe(), m=5)
+        n = ams.packets_to_identify(path)
+        assert n > 6  # needs all m families per hop
+
+    def test_m6_needs_more_packets_than_m5(self, topo):
+        path = topo.switch_path(*topo.pair_at_distance(8))
+        m5 = AMSTraceback(topo.switch_universe(), m=5).trial_stats(path, trials=8)
+        m6 = AMSTraceback(topo.switch_universe(), m=6).trial_stats(path, trials=8)
+        assert m6.mean > m5.mean
+
+    def test_m6_fewer_false_positives(self, topo):
+        m5 = AMSTraceback(topo.switch_universe(), m=5, hash_bits=4)
+        m6 = AMSTraceback(topo.switch_universe(), m=6, hash_bits=4)
+        assert m6.false_positive_probability() <= m5.false_positive_probability()
+
+    def test_candidates_matching_finds_router(self, topo):
+        ams = AMSTraceback(topo.switch_universe(), m=5)
+        router = topo.switches[17]
+        values = {
+            f: ams.families[f].bits(ams.hash_bits, router) for f in range(5)
+        }
+        cands = ams.candidates_matching(values)
+        assert router in cands
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AMSTraceback([1, 2, 3], m=0)
+
+
+class TestClassicINT:
+    def test_paper_overhead_numbers(self):
+        # §2: 5-hop topology, one value/hop -> 28 bytes.
+        assert int_overhead_bytes(1, 5) == 28
+        # HPCC's 3 values + header on 5 hops.
+        assert int_overhead_bytes(3, 5) == 68
+        # Five values -> 108 bytes, 7.2% of a 1500B packet.
+        assert int_overhead_bytes(5, 5) == 108
+        assert overhead_fraction(5, 5) == pytest.approx(0.072)
+
+    def test_overhead_linear_in_hops(self):
+        assert (
+            int_overhead_bytes(2, 10) - int_overhead_bytes(2, 5)
+            == 4 * 2 * 5
+        )
+
+    def test_serialization_delay(self):
+        # §2 footnote 3: 48B at 10G ~ 38ns per interface.
+        assert serialization_delay_ns(48, 10) == pytest.approx(38.4)
+        assert serialization_delay_ns(48, 100) == pytest.approx(3.84)
+
+    def test_collector_reports_everything(self):
+        collector = INTCollector([MetadataType.SWITCH_ID, MetadataType.HOP_LATENCY])
+        hops = [
+            HopView(switch_id=3, hop_number=1, hop_latency=1e-5),
+            HopView(switch_id=9, hop_number=2, hop_latency=2e-5),
+        ]
+        report = collector.collect(hops)
+        assert report[0]["switch_id"] == 3.0
+        assert report[1]["hop_latency"] == 2e-5
+        assert collector.average_overhead() == int_overhead_bytes(2, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            int_overhead_bytes(0, 5)
+        with pytest.raises(ValueError):
+            serialization_delay_ns(-1, 10)

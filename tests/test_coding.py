@@ -1,0 +1,332 @@
+"""Tests for the distributed coding schemes (paper §4.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import coupon_collector_mean
+from repro.coding import (
+    BASELINE,
+    XOR,
+    CodingScheme,
+    DistributedMessage,
+    FragmentDecoder,
+    HashDecoder,
+    Layer,
+    LNCDecoder,
+    LNCEncoder,
+    PathEncoder,
+    RawDecoder,
+    baseline_scheme,
+    hybrid_scheme,
+    make_decoder,
+    multilayer_scheme,
+    packet_count_distribution,
+    packets_to_decode,
+    xor_scheme,
+)
+from repro.exceptions import DecodingError
+
+
+def decode_roundtrip(message, scheme, digest_bits=8, num_hashes=1, seed=0,
+                     mode="auto", max_packets=100000):
+    encoder = PathEncoder(message, scheme, digest_bits, mode, num_hashes, seed)
+    decoder = make_decoder(encoder)
+    for pid in range(1, max_packets + 1):
+        decoder.observe(pid, encoder.encode(pid))
+        if decoder.is_complete:
+            return decoder.path(), pid
+    raise AssertionError("did not decode")
+
+
+class TestMessage:
+    def test_basic(self):
+        msg = DistributedMessage((1, 2, 3))
+        assert msg.k == 3
+        assert msg.block_bits() == 2
+
+    def test_universe_checked(self):
+        with pytest.raises(ValueError):
+            DistributedMessage((1, 2), universe=(1, 3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedMessage(())
+
+    def test_from_path(self):
+        msg = DistributedMessage.from_path([10, 20], universe=[10, 20, 30])
+        assert msg.blocks == (10, 20)
+        assert 30 in msg.universe
+
+
+class TestSchemes:
+    def test_shares_must_sum(self):
+        with pytest.raises(ValueError):
+            CodingScheme((Layer(BASELINE),), (0.5,))
+
+    def test_xor_layer_needs_p(self):
+        with pytest.raises(ValueError):
+            Layer(XOR, 0.0)
+
+    def test_layer_selection_distribution(self):
+        from repro.hashing import GlobalHash
+
+        scheme = hybrid_scheme(25, tau=0.75)
+        select = GlobalHash(0, "sel")
+        picks = [scheme.layer_index(select, pid) for pid in range(10000)]
+        share0 = picks.count(0) / len(picks)
+        assert 0.72 < share0 < 0.78
+
+    def test_multilayer_structure(self):
+        scheme = multilayer_scheme(10)
+        assert scheme.layers[0].kind == BASELINE
+        assert len(scheme.layers) == 2  # L=1 for d<=15
+        scheme2 = multilayer_scheme(100)
+        assert len(scheme2.layers) == 3  # L=2 for d>=16
+
+    def test_factories_validate(self):
+        with pytest.raises(ValueError):
+            hybrid_scheme(0)
+        with pytest.raises(ValueError):
+            multilayer_scheme(-1)
+        with pytest.raises(ValueError):
+            hybrid_scheme(10, tau=1.5)
+
+
+class TestRawRoundtrip:
+    @pytest.mark.parametrize(
+        "scheme_factory",
+        [baseline_scheme, lambda: xor_scheme(0.2), lambda: hybrid_scheme(8),
+         lambda: multilayer_scheme(8)],
+    )
+    def test_all_schemes_decode(self, scheme_factory):
+        blocks = tuple((i * 37) % 256 for i in range(8))
+        msg = DistributedMessage(blocks)
+        path, _ = decode_roundtrip(msg, scheme_factory(), digest_bits=8, mode="raw")
+        assert path == list(blocks)
+
+    def test_single_hop(self):
+        msg = DistributedMessage((42,))
+        path, n = decode_roundtrip(msg, baseline_scheme(), mode="raw")
+        assert path == [42]
+        assert n == 1
+
+    def test_raw_rejects_wide_blocks(self):
+        msg = DistributedMessage((1 << 20,))
+        with pytest.raises(ValueError):
+            PathEncoder(msg, baseline_scheme(), digest_bits=8, mode="raw")
+
+    def test_baseline_packet_count_near_coupon(self):
+        k = 12
+        msg = DistributedMessage(tuple(range(k)))
+        stats = packet_count_distribution(
+            msg, baseline_scheme(), trials=40, digest_bits=8, mode="raw"
+        )
+        expected = coupon_collector_mean(k)
+        assert 0.6 * expected < stats.mean < 1.6 * expected
+
+    def test_hybrid_beats_baseline_k25(self):
+        # The headline Fig. 5 effect.
+        msg = DistributedMessage(tuple(range(25)))
+        base = packet_count_distribution(
+            msg, baseline_scheme(), trials=25, digest_bits=8, mode="raw"
+        )
+        hybrid = packet_count_distribution(
+            msg, hybrid_scheme(25), trials=25, digest_bits=8, mode="raw"
+        )
+        assert hybrid.mean < base.mean
+        assert hybrid.percentile(99) < base.percentile(99)
+
+    def test_inconsistency_counter(self):
+        # Feed digests from a *different* message: baseline packets must
+        # eventually contradict decoded hops (the §7 multipath signal).
+        msg_a = DistributedMessage((1, 2, 3, 4))
+        msg_b = DistributedMessage((1, 2, 3, 5))
+        enc_a = PathEncoder(msg_a, baseline_scheme(), 8, "raw")
+        enc_b = PathEncoder(msg_b, baseline_scheme(), 8, "raw")
+        dec = RawDecoder(4, baseline_scheme(), 8)
+        for pid in range(1, 200):
+            dec.observe(pid, enc_a.encode(pid))
+        for pid in range(200, 400):
+            dec.observe(pid, enc_b.encode(pid))
+        assert dec.inconsistencies > 0
+
+    def test_path_raises_if_incomplete(self):
+        dec = RawDecoder(5, baseline_scheme(), 8)
+        with pytest.raises(DecodingError):
+            dec.path()
+
+
+class TestHashRoundtrip:
+    def test_basic_universe_decode(self):
+        universe = tuple(range(1000, 1100))
+        msg = DistributedMessage(tuple(range(1000, 1010)), universe)
+        path, _ = decode_roundtrip(msg, multilayer_scheme(10), digest_bits=8)
+        assert path == list(msg.blocks)
+
+    def test_one_bit_budget(self):
+        # The paper's b=1 configuration must still decode.
+        universe = tuple(range(500, 532))
+        msg = DistributedMessage(tuple(range(500, 505)), universe)
+        path, n = decode_roundtrip(msg, multilayer_scheme(5), digest_bits=1)
+        assert path == list(msg.blocks)
+        assert n > 5  # 1-bit digests cannot be as fast as full values
+
+    def test_two_independent_hashes(self):
+        # 2x(b=8) needs fewer packets than 1x(b=8) on wide universes.
+        universe = tuple(range(2000, 2400))
+        msg = DistributedMessage(tuple(range(2000, 2012)), universe)
+        single = packet_count_distribution(
+            msg, multilayer_scheme(12), trials=15, digest_bits=8, num_hashes=1
+        )
+        double = packet_count_distribution(
+            msg, multilayer_scheme(12), trials=15, digest_bits=8, num_hashes=2
+        )
+        assert double.mean <= single.mean
+
+    def test_bigger_budget_fewer_packets(self):
+        universe = tuple(range(3000, 3200))
+        msg = DistributedMessage(tuple(range(3000, 3008)), universe)
+        b4 = packet_count_distribution(
+            msg, multilayer_scheme(8), trials=15, digest_bits=4
+        )
+        b8 = packet_count_distribution(
+            msg, multilayer_scheme(8), trials=15, digest_bits=8
+        )
+        assert b8.mean <= b4.mean
+
+    def test_candidates_shrink(self):
+        universe = tuple(range(100, 400))
+        msg = DistributedMessage(tuple(range(100, 105)), universe)
+        enc = PathEncoder(msg, baseline_scheme(), 4)
+        dec = make_decoder(enc)
+        assert isinstance(dec, HashDecoder)
+        before = dec.candidates_left(1)
+        for pid in range(1, 40):
+            dec.observe(pid, enc.encode(pid))
+        assert dec.candidates_left(1) < before
+
+    def test_hash_mode_needs_universe(self):
+        msg = DistributedMessage((1, 2, 3))
+        with pytest.raises(ValueError):
+            PathEncoder(msg, baseline_scheme(), 8, "hash")
+
+    def test_wrong_arity_rejected(self):
+        universe = tuple(range(10))
+        msg = DistributedMessage((1, 2), universe)
+        enc = PathEncoder(msg, baseline_scheme(), 8, num_hashes=2)
+        dec = make_decoder(enc)
+        with pytest.raises(ValueError):
+            dec.observe(1, (0,))
+
+
+class TestFragmentRoundtrip:
+    def test_wide_values_reassembled(self):
+        blocks = tuple(0xABCD0000 + i for i in range(5))
+        msg = DistributedMessage(blocks)
+        enc = PathEncoder(msg, hybrid_scheme(5), digest_bits=8, mode="fragment")
+        assert enc.num_fragments == 4
+        dec = make_decoder(enc)
+        assert isinstance(dec, FragmentDecoder)
+        for pid in range(1, 50000):
+            dec.observe(pid, enc.encode(pid))
+            if dec.is_complete:
+                break
+        assert dec.path() == list(blocks)
+
+    def test_fragment_needs_more_packets_than_hash(self):
+        universe = tuple(0xA0000 + i for i in range(64))
+        blocks = tuple(0xA0000 + i for i in range(5))
+        frag_n = packets_to_decode(
+            DistributedMessage(blocks), hybrid_scheme(5),
+            digest_bits=8, mode="fragment", seed=3,
+        )
+        hash_n = packets_to_decode(
+            DistributedMessage(blocks, universe), hybrid_scheme(5),
+            digest_bits=8, mode="hash", seed=3,
+        )
+        assert hash_n < frag_n
+
+    def test_auto_mode_selection(self):
+        wide = DistributedMessage((1 << 30,))
+        assert PathEncoder(wide, baseline_scheme(), 8).mode == "fragment"
+        small = DistributedMessage((3,))
+        assert PathEncoder(small, baseline_scheme(), 8).mode == "raw"
+        with_uni = DistributedMessage((3,), universe=(3, 4))
+        assert PathEncoder(with_uni, baseline_scheme(), 8).mode == "hash"
+
+
+class TestLNC:
+    def test_roundtrip(self):
+        msg = DistributedMessage(tuple((i * 91) % 251 for i in range(20)))
+        enc = LNCEncoder(msg, seed=1)
+        dec = LNCDecoder(20, seed=1)
+        pid = 0
+        while not dec.is_complete:
+            pid += 1
+            dec.observe(pid, enc.encode(pid))
+        assert dec.path() == list(msg.blocks)
+        # LNC should decode in ~ k + log2 k packets.
+        assert pid <= 20 + 15
+
+    def test_rank_monotone(self):
+        msg = DistributedMessage(tuple(range(10)))
+        enc = LNCEncoder(msg)
+        dec = LNCDecoder(10)
+        ranks = []
+        for pid in range(1, 30):
+            dec.observe(pid, enc.encode(pid))
+            ranks.append(dec.rank)
+        assert ranks == sorted(ranks)
+
+    def test_incomplete_raises(self):
+        with pytest.raises(DecodingError):
+            LNCDecoder(5).path()
+
+    @given(st.integers(2, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_lnc_property_roundtrip(self, k):
+        msg = DistributedMessage(tuple((i * 7 + 1) % 64 for i in range(k)))
+        enc = LNCEncoder(msg, seed=k)
+        dec = LNCDecoder(k, seed=k)
+        for pid in range(1, 40 * k + 200):
+            dec.observe(pid, enc.encode(pid))
+            if dec.is_complete:
+                break
+        assert dec.path() == list(msg.blocks)
+
+
+class TestPropertyRoundtrips:
+    @given(
+        st.integers(1, 12),
+        st.sampled_from(["baseline", "hybrid", "multilayer"]),
+        st.integers(0, 5),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_raw_roundtrip_property(self, k, scheme_name, seed):
+        factories = {
+            "baseline": baseline_scheme,
+            "hybrid": lambda: hybrid_scheme(max(2, k)),
+            "multilayer": lambda: multilayer_scheme(max(2, k)),
+        }
+        blocks = tuple((i * 13 + seed) % 256 for i in range(k))
+        msg = DistributedMessage(blocks)
+        path, _ = decode_roundtrip(
+            msg, factories[scheme_name](), digest_bits=8, seed=seed, mode="raw"
+        )
+        assert path == list(blocks)
+
+    @given(st.integers(2, 8), st.integers(1, 8), st.integers(0, 3))
+    @settings(max_examples=12, deadline=None)
+    def test_hash_roundtrip_property(self, k, bits, seed):
+        universe = tuple(range(7000, 7000 + 50))
+        blocks = tuple(7000 + (i * 11 + seed) % 50 for i in range(k))
+        # Hash mode assumes distinct switch IDs along the path.
+        if len(set(blocks)) != len(blocks):
+            blocks = tuple(7000 + ((i * 17 + seed) % 50 + i) % 50 for i in range(k))
+            if len(set(blocks)) != len(blocks):
+                return
+        msg = DistributedMessage(blocks, universe)
+        path, _ = decode_roundtrip(
+            msg, hybrid_scheme(k), digest_bits=bits, seed=seed
+        )
+        assert path == list(blocks)

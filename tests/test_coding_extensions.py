@@ -1,0 +1,174 @@
+"""Tests for the decoding extensions: topology-aware inference and the
+fast bit-vector codec (§4.2 "Reducing the Decoding Complexity")."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding import (
+    DistributedMessage,
+    FastXORDecoder,
+    FastXOREncoder,
+    HashDecoder,
+    PathEncoder,
+    make_decoder,
+    multilayer_scheme,
+    packet_count_distribution,
+    packets_to_decode,
+)
+from repro.exceptions import DecodingError
+from repro.net import linear_topology, us_carrier
+
+
+class TestAdjacencyInference:
+    def test_roundtrip_on_chain(self):
+        topo = linear_topology(12)
+        path = topo.switch_path(0, 11)
+        msg = DistributedMessage.from_path(path, topo.switch_universe())
+        n = packets_to_decode(
+            msg, multilayer_scheme(12), digest_bits=4,
+            adjacency=topo.switch_adjacency(),
+        )
+        assert n > 0
+
+    def test_adjacency_reduces_packets(self):
+        topo = us_carrier()
+        rng = random.Random(3)
+        src, dst = topo.pair_at_distance(20, rng)
+        path = topo.switch_path(src, dst)
+        msg = DistributedMessage.from_path(path, topo.switch_universe())
+        plain = packet_count_distribution(
+            msg, multilayer_scheme(10), trials=10, digest_bits=4
+        )
+        aware = packet_count_distribution(
+            msg, multilayer_scheme(10), trials=10, digest_bits=4,
+            adjacency=topo.switch_adjacency(),
+        )
+        assert aware.mean < plain.mean
+
+    def test_decoded_path_is_correct(self):
+        topo = us_carrier()
+        src, dst = topo.pair_at_distance(12, random.Random(5))
+        path = topo.switch_path(src, dst)
+        msg = DistributedMessage.from_path(path, topo.switch_universe())
+        enc = PathEncoder(msg, multilayer_scheme(10), digest_bits=8)
+        dec = make_decoder(enc, adjacency=topo.switch_adjacency())
+        pid = 0
+        while not dec.is_complete:
+            pid += 1
+            dec.observe(pid, enc.encode(pid))
+        assert dec.path() == path
+
+    def test_chain_infers_interior_hops_for_free(self):
+        # On a pure chain, decoding hops i-1 and i+1 forces hop i: the
+        # decoder should finish with fewer packets than hops that were
+        # individually pinned by packets.
+        topo = linear_topology(30)
+        path = topo.switch_path(0, 29)
+        msg = DistributedMessage.from_path(path, topo.switch_universe())
+        plain = packet_count_distribution(
+            msg, multilayer_scheme(30), trials=8, digest_bits=8
+        )
+        aware = packet_count_distribution(
+            msg, multilayer_scheme(30), trials=8, digest_bits=8,
+            adjacency=topo.switch_adjacency(),
+        )
+        # A chain is maximally constrained: huge savings expected.
+        assert aware.mean < plain.mean * 0.8
+
+    def test_inconsistent_adjacency_raises(self):
+        # Claim the universe is fully disconnected: once one hop
+        # decodes, its neighbours have no consistent candidates.
+        universe = (1, 2, 3)
+        msg = DistributedMessage((1, 2, 3), universe)
+        enc = PathEncoder(msg, multilayer_scheme(3), digest_bits=8)
+        dec = HashDecoder(
+            3, universe, multilayer_scheme(3), 8,
+            adjacency={1: set(), 2: set(), 3: set()},
+        )
+        with pytest.raises(DecodingError):
+            for pid in range(1, 500):
+                dec.observe(pid, enc.encode(pid))
+
+
+class TestFastXORCodec:
+    def test_roundtrip(self):
+        blocks = tuple((i * 29 + 5) % 256 for i in range(20))
+        msg = DistributedMessage(blocks)
+        enc = FastXOREncoder(msg, digest_bits=8, seed=2)
+        dec = FastXORDecoder(20, digest_bits=8, seed=2)
+        pid = 0
+        while not dec.is_complete:
+            pid += 1
+            dec.observe(pid, enc.encode(pid))
+            assert pid < 10000
+        assert dec.path() == list(blocks)
+
+    def test_acting_probability_is_power_of_two(self):
+        msg = DistributedMessage(tuple(range(32)))
+        enc = FastXOREncoder(msg, digest_bits=8, log2_inv_p=3, seed=1)
+        total = sum(len(enc.xor_acting(pid)) for pid in range(4000))
+        assert total / (4000 * 32) == pytest.approx(2**-3, rel=0.15)
+
+    def test_encoder_decoder_agree_on_layers(self):
+        msg = DistributedMessage(tuple(range(10)))
+        enc = FastXOREncoder(msg, seed=7)
+        dec = FastXORDecoder(10, seed=7)
+        for pid in range(200):
+            assert enc.is_baseline(pid) == dec.is_baseline(pid)
+            assert enc.xor_acting(pid) == dec.xor_acting(pid)
+
+    def test_wide_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            FastXOREncoder(DistributedMessage((1 << 20,)), digest_bits=8)
+
+    def test_incomplete_raises(self):
+        with pytest.raises(DecodingError):
+            FastXORDecoder(5).path()
+
+    def test_packet_cost_comparable_to_plain_scheme(self):
+        k = 25
+        msg = DistributedMessage(tuple(range(k)))
+        counts = []
+        for seed in range(10):
+            enc = FastXOREncoder(msg, seed=seed)
+            dec = FastXORDecoder(k, seed=seed)
+            pid = 0
+            while not dec.is_complete:
+                pid += 1
+                dec.observe(pid, enc.encode(pid))
+            counts.append(pid)
+        mean = sum(counts) / len(counts)
+        # Within the Baseline ballpark (k ln k ~ 80): the fast variant
+        # trades a constant for per-packet speed, not correctness.
+        assert mean < 220
+
+    @given(st.integers(2, 24), st.integers(0, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_property(self, k, seed):
+        blocks = tuple((i * 13 + seed) % 200 for i in range(k))
+        msg = DistributedMessage(blocks)
+        enc = FastXOREncoder(msg, seed=seed)
+        dec = FastXORDecoder(k, seed=seed)
+        for pid in range(1, 20000):
+            dec.observe(pid, enc.encode(pid))
+            if dec.is_complete:
+                break
+        assert dec.path() == list(blocks)
+
+
+class TestEncoderStepEquivalence:
+    @given(st.integers(1, 10), st.integers(0, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_step_fold_equals_encode(self, k, seed):
+        # The per-switch step() folded along the path must equal the
+        # whole-path encode() -- the switch semantics are the paper's.
+        blocks = tuple((i * 31 + 7) % 256 for i in range(k))
+        msg = DistributedMessage(blocks)
+        enc = PathEncoder(msg, multilayer_scheme(max(2, k)), 8, "raw", seed=seed)
+        for pid in range(1, 60):
+            digest = (0,)
+            for hop in range(1, k + 1):
+                digest = enc.step(pid, hop, digest)
+            assert digest == enc.encode(pid)

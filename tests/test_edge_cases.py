@@ -1,0 +1,162 @@
+"""Edge cases and failure-injection across modules."""
+
+import pytest
+
+from repro.coding import (
+    DistributedMessage,
+    FragmentDecoder,
+    PathEncoder,
+    baseline_scheme,
+    hybrid_scheme,
+)
+from repro.exceptions import (
+    BudgetError,
+    ConfigurationError,
+    DecodingError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+)
+from repro.hashing import GlobalHash, random_bitvector, set_bits
+from repro.sim import INTRecord, SimPacket
+from repro.sim.packet import ACK_BYTES, BASE_HEADER_BYTES
+
+
+class TestExceptionHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (BudgetError, ConfigurationError, DecodingError,
+                    SimulationError, TopologyError):
+            assert issubclass(exc, ReproError)
+
+    def test_budget_is_configuration(self):
+        assert issubclass(BudgetError, ConfigurationError)
+
+
+class TestBitvectorMultiWord:
+    def test_k_beyond_64_bits(self):
+        g = GlobalHash(3, "bv")
+        k = 150
+        vec = random_bitvector(g, 42, 0, k)
+        assert 0 <= vec < (1 << k)
+        # Bits beyond one machine word must actually get set sometimes.
+        high_bits = sum(
+            1 for pid in range(200)
+            if random_bitvector(g, pid, 0, k) >> 64
+        )
+        assert high_bits > 150
+
+    def test_set_bits_roundtrip(self):
+        mask = (1 << 3) | (1 << 77) | (1 << 149)
+        assert set_bits(mask) == [3, 77, 149]
+
+    def test_set_bits_empty(self):
+        assert set_bits(0) == []
+
+    def test_invalid_k(self):
+        g = GlobalHash(0)
+        with pytest.raises(ValueError):
+            random_bitvector(g, 1, 0, 0)
+
+
+class TestPacketAccounting:
+    def test_wire_bytes_data(self):
+        pkt = SimPacket(pid=1, flow_id=1, seq=0, payload_bytes=1000)
+        assert pkt.wire_bytes == 1000 + BASE_HEADER_BYTES
+
+    def test_wire_bytes_ack_ignores_payload_field(self):
+        ack = SimPacket(pid=1, flow_id=1, seq=0, payload_bytes=0, is_ack=True)
+        assert ack.wire_bytes == ACK_BYTES
+
+    def test_telemetry_grows_wire(self):
+        pkt = SimPacket(pid=1, flow_id=1, seq=0, payload_bytes=500,
+                        fixed_overhead_bytes=2, int_overhead_bytes=24)
+        assert pkt.wire_bytes == 500 + BASE_HEADER_BYTES + 26
+
+    def test_int_record_fields(self):
+        rec = INTRecord(timestamp=1.0, queue_bytes=100, tx_bytes=5000,
+                        link_rate_bps=1e9)
+        assert rec.queue_bytes == 100
+
+
+class TestFragmentDecoderEdges:
+    def test_missing_counts_in_whole_hops(self):
+        dec = FragmentDecoder(k=3, value_bits=32, scheme=baseline_scheme(),
+                              digest_bits=8)
+        assert dec.num_fragments == 4
+        assert dec.missing == 3  # nothing decoded yet
+        assert not dec.is_complete
+
+    def test_path_raises_before_complete(self):
+        dec = FragmentDecoder(k=2, value_bits=16, scheme=baseline_scheme(),
+                              digest_bits=8)
+        with pytest.raises(DecodingError):
+            dec.path()
+
+    def test_value_bits_validation(self):
+        with pytest.raises(ValueError):
+            FragmentDecoder(k=2, value_bits=0, scheme=baseline_scheme())
+
+
+class TestEncoderValidation:
+    def test_zero_digest_packets_exist_in_xor_scheme(self):
+        # Packets no encoder touched keep the zero digest the source
+        # wrote; the decoder must simply skip them (no crash).
+        from repro.coding import xor_scheme
+
+        msg = DistributedMessage((5, 9))
+        enc = PathEncoder(msg, xor_scheme(0.1), digest_bits=8, mode="raw")
+        zeros = sum(
+            1 for pid in range(500) if enc.encode(pid) == (0,)
+        )
+        assert zeros > 300  # P(no encoder acts) = 0.81
+
+    def test_bad_mode(self):
+        with pytest.raises(ValueError):
+            PathEncoder(DistributedMessage((1,)), baseline_scheme(),
+                        mode="bogus")
+
+    def test_num_hashes_requires_hash_mode(self):
+        with pytest.raises(ValueError):
+            PathEncoder(DistributedMessage((1,)), baseline_scheme(),
+                        digest_bits=8, mode="raw", num_hashes=2)
+
+    def test_bit_overhead_property(self):
+        uni = tuple(range(10))
+        enc = PathEncoder(DistributedMessage((1, 2), uni), baseline_scheme(),
+                          digest_bits=4, num_hashes=2)
+        assert enc.bit_overhead == 8
+
+
+class TestHPCCRecordHandling:
+    def test_first_ack_gives_no_u(self):
+        """The INT feedback needs two samples for a rate delta."""
+        from repro.net import fat_tree
+        from repro.sim import Flow, INTTelemetry, Network, Simulator
+
+        topo = fat_tree(4)
+        net = Network(topo, Simulator(), link_rate_bps=1e8,
+                      telemetry=INTTelemetry(3))
+        h = topo.hosts
+        flow = Flow(net, 1, h[0], h[-1], 5_000, 0.0, transport="hpcc")
+        sender = flow.sender
+        recs = [INTRecord(1.0, 0, 1000, 1e8)]
+        assert sender._u_from_int(recs) is None  # first sample
+        recs2 = [INTRecord(1.001, 0, 2000, 1e8)]
+        u = sender._u_from_int(recs2)
+        assert u is not None and u > 0
+
+    def test_path_change_resets_records(self):
+        from repro.net import fat_tree
+        from repro.sim import Flow, INTTelemetry, Network, Simulator
+
+        topo = fat_tree(4)
+        net = Network(topo, Simulator(), link_rate_bps=1e8,
+                      telemetry=INTTelemetry(3))
+        h = topo.hosts
+        flow = Flow(net, 1, h[0], h[-1], 5_000, 0.0, transport="hpcc")
+        sender = flow.sender
+        sender._u_from_int([INTRecord(1.0, 0, 1000, 1e8)])
+        # Different record count (ECMP reroute): must re-baseline.
+        assert sender._u_from_int(
+            [INTRecord(1.1, 0, 9999, 1e8), INTRecord(1.1, 0, 1, 1e8)]
+        ) is None

@@ -1,0 +1,58 @@
+"""Smoke tests: every shipped example must run end-to-end.
+
+These keep deliverable (b) honest -- if an API change breaks an
+example, the suite fails.  Heavy examples are trimmed via monkeypatched
+parameters where needed; each still exercises its full code path.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        _load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "decoded path" in out
+        assert "bottleneck util" in out
+
+    def test_loop_detection(self, capsys):
+        _load("loop_detection").main()
+        out = capsys.readouterr().out
+        assert "false positives" in out
+
+    def test_pipeline_layouts(self, capsys):
+        _load("pipeline_layouts").main()
+        out = capsys.readouterr().out
+        assert "4 stages" in out
+        assert "8 stages" in out
+
+    def test_latency_monitoring(self, capsys):
+        _load("latency_monitoring").main()
+        out = capsys.readouterr().out
+        assert "regression detected" in out
+
+    @pytest.mark.slow
+    def test_congestion_control(self, capsys):
+        _load("congestion_control").main()
+        out = capsys.readouterr().out
+        assert "HPCC(PINT)" in out
+
+    @pytest.mark.slow
+    def test_path_tracing_isp(self, capsys):
+        _load("path_tracing_isp").main()
+        out = capsys.readouterr().out
+        assert "PINT 2x(b=8)" in out

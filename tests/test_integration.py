@@ -1,0 +1,156 @@
+"""End-to-end integration tests: the paper's §6.4 combined scenario.
+
+Three concurrent queries share a 16-bit budget over a real topology;
+every layer of the stack is exercised together: QueryEngine -> plan ->
+framework -> per-hop encoding -> sink -> per-query inference.
+"""
+
+import random
+
+import pytest
+
+from repro.apps import (
+    CongestionRuntime,
+    LatencyRuntime,
+    PathTracer,
+    PathTracingRuntime,
+)
+from repro.core import (
+    AggregationType,
+    HopView,
+    MetadataType,
+    PacketContext,
+    PINTFramework,
+    Query,
+    QueryEngine,
+)
+from repro.net import fat_tree, us_carrier
+from repro.sketch import exact_quantile, relative_value_error
+
+
+@pytest.fixture(scope="module")
+def combined():
+    """The combined framework after 1200 packets of one flow."""
+    topo = fat_tree(4)
+    path_q = Query("path", MetadataType.SWITCH_ID,
+                   AggregationType.STATIC_PER_FLOW, 8, frequency=1.0)
+    lat_q = Query("lat", MetadataType.HOP_LATENCY,
+                  AggregationType.DYNAMIC_PER_FLOW, 8, frequency=15 / 16)
+    cc_q = Query("cc", MetadataType.EGRESS_TX_UTILIZATION,
+                 AggregationType.PER_PACKET, 8, frequency=1 / 16)
+    plan = QueryEngine(16).compile([path_q, lat_q, cc_q])
+    fw = PINTFramework(plan)
+    path_rt = PathTracingRuntime(path_q, topo.switch_universe(), d=5)
+    lat_rt = LatencyRuntime(lat_q)
+    cc_rt = CongestionRuntime(cc_q)
+    for rt in (path_rt, lat_rt, cc_rt):
+        fw.register(rt)
+
+    rng = random.Random(11)
+    path = topo.switch_path(topo.hosts[0], topo.hosts[-1])
+    true_lat = {h: [] for h in range(1, len(path) + 1)}
+    utils = [0.1, 0.8, 0.4, 0.2, 0.5]
+    n = 1200
+    for pid in range(1, n + 1):
+        hops = []
+        for i, sid in enumerate(path):
+            lat = rng.expovariate(1.0 / (30e-6 * (i + 1)))
+            true_lat[i + 1].append(lat)
+            hops.append(HopView(switch_id=sid, hop_number=i + 1,
+                                hop_latency=lat,
+                                egress_tx_utilization=utils[i]))
+        fw.process_packet(PacketContext(pid, flow_id=1, path_len=len(path)),
+                          hops)
+    return fw, path_rt, lat_rt, cc_rt, path, true_lat, n
+
+
+class TestCombinedScenario:
+    def test_budget_is_two_bytes(self, combined):
+        fw = combined[0]
+        assert fw.overhead_bytes_per_packet() == 2.0
+
+    def test_path_decoded(self, combined):
+        _, path_rt, _, _, path, _, _ = combined
+        assert path_rt.flow_path(1) == path
+
+    def test_no_spurious_route_change(self, combined):
+        _, path_rt, _, _, _, _, _ = combined
+        assert path_rt.route_change_signals(1) == 0
+
+    def test_latency_median_each_hop(self, combined):
+        _, _, lat_rt, _, path, true_lat, _ = combined
+        for hop in range(1, len(path) + 1):
+            truth = exact_quantile(true_lat[hop], 0.5)
+            est = lat_rt.quantile(1, hop, 0.5)
+            assert relative_value_error(truth, est) < 0.35
+
+    def test_latency_sample_share(self, combined):
+        _, _, lat_rt, _, path, _, n = combined
+        total = sum(lat_rt.samples_at(1, h) for h in range(1, len(path) + 1))
+        # Latency runs on ~15/16 of packets, one sample per packet.
+        assert total == pytest.approx(n * 15 / 16, rel=0.08)
+
+    def test_congestion_bottleneck(self, combined):
+        _, _, _, cc_rt, _, _, n = combined
+        assert cc_rt.bottleneck(1) == pytest.approx(0.8, rel=0.12)
+        # cc runs on ~1/16 of packets.
+        assert cc_rt.feedback_count == pytest.approx(n / 16, rel=0.45)
+
+
+class TestRouteChangeDetection:
+    def test_reroute_signalled_and_recoverable(self):
+        topo = us_carrier()
+        rng = random.Random(2)
+        src, dst = topo.pair_at_distance(8, rng)
+        path_a = topo.switch_path(src, dst)
+        # A different path of the same length (synthetic reroute):
+        # reverse the middle section to change interior switch order.
+        path_b = [path_a[0]] + path_a[1:-1][::-1] + [path_a[-1]]
+        query = Query("path", MetadataType.SWITCH_ID,
+                      AggregationType.STATIC_PER_FLOW, 8, frequency=1.0)
+        from repro.core.plan import ExecutionPlan, PlanEntry
+
+        plan = ExecutionPlan([PlanEntry((query,), 1.0)], 8)
+        fw = PINTFramework(plan)
+        rt = PathTracingRuntime(query, topo.switch_universe(), d=10)
+        fw.register(rt)
+
+        def send(path, pids):
+            for pid in pids:
+                hops = [HopView(switch_id=s, hop_number=i + 1)
+                        for i, s in enumerate(path)]
+                fw.process_packet(PacketContext(pid, 1, len(path)), hops)
+
+        send(path_a, range(1, 600))
+        assert rt.flow_path(1) == path_a
+        send(path_b, range(600, 900))
+        # The changed interior hops contradict the decoded path.
+        assert rt.route_change_signals(1) > 0
+        # Operator resets the flow and re-learns the new path.
+        rt.reset_flow(1)
+        send(path_b, range(900, 1900))
+        assert rt.flow_path(1) == path_b
+
+
+class TestDESIntegration:
+    def test_pint_hpcc_full_stack(self):
+        """DES + PINT telemetry + HPCC: digests flow sender<->receiver."""
+        from repro.net import fat_tree as ft
+        from repro.sim import Flow, Network, PINTTelemetry, Simulator
+
+        topo = ft(4)
+        probe = Network(topo, Simulator(), link_rate_bps=1e8)
+        rtt = probe.base_rtt(topo.hosts[0], topo.hosts[-1])
+        net = Network(topo, Simulator(), link_rate_bps=1e8,
+                      telemetry=PINTTelemetry(base_rtt=rtt, frequency=1.0))
+        h = topo.hosts
+        flows = [
+            Flow(net, i + 1, h[i], h[8 + i], 150_000, 0.002 * i,
+                 transport="hpcc")
+            for i in range(4)
+        ]
+        net.sim.run(until=10.0)
+        for flow in flows:
+            assert flow.fct is not None
+            assert flow.receiver.expected == flow.num_packets
+            assert flow.sender.last_u > 0.0

@@ -1,0 +1,88 @@
+"""Tests for the microburst-detection use case (Table 2)."""
+
+import random
+
+import pytest
+
+from repro.apps import MicroburstRuntime
+from repro.core import (
+    AggregationType,
+    HopView,
+    MetadataType,
+    PacketContext,
+    PINTFramework,
+    Query,
+)
+from repro.core.plan import ExecutionPlan, PlanEntry
+
+
+def _runtime(bits=8, **kwargs):
+    query = Query("burst", MetadataType.QUEUE_OCCUPANCY,
+                  AggregationType.DYNAMIC_PER_FLOW, bits)
+    rt = MicroburstRuntime(query, **kwargs)
+    plan = ExecutionPlan([PlanEntry((query,), 1.0)], bits)
+    fw = PINTFramework(plan)
+    fw.register(rt)
+    return fw, rt
+
+
+def _send(fw, path, pids, occupancy_fn):
+    for pid in pids:
+        hops = [
+            HopView(switch_id=s, hop_number=i + 1,
+                    queue_occupancy=occupancy_fn(i, pid))
+            for i, s in enumerate(path)
+        ]
+        fw.process_packet(PacketContext(pid, 1, len(path)), hops)
+
+
+class TestMicroburst:
+    PATH = [10, 11, 12, 13]
+
+    def test_quiet_network_no_bursts(self):
+        fw, rt = _runtime()
+        rng = random.Random(0)
+        _send(fw, self.PATH, range(1, 2001),
+              lambda i, pid: rng.randint(1000, 3000))
+        assert rt.bursting_hops(1, len(self.PATH)) == []
+
+    def test_burst_detected_at_right_hop(self):
+        fw, rt = _runtime(window=64)
+        rng = random.Random(1)
+        # Long quiet phase...
+        _send(fw, self.PATH, range(1, 3001),
+              lambda i, pid: rng.randint(1000, 3000))
+        # ...then hop 3's queue explodes.
+        _send(fw, self.PATH, range(3001, 4001),
+              lambda i, pid: 500_000 if i == 2 else rng.randint(1000, 3000))
+        bursting = rt.bursting_hops(1, len(self.PATH))
+        assert 3 in bursting
+        assert 1 not in bursting and 4 not in bursting
+
+    def test_baseline_tracks_mean(self):
+        fw, rt = _runtime()
+        _send(fw, self.PATH, range(1, 4001), lambda i, pid: 50_000)
+        for hop in range(1, 5):
+            base = rt.baseline_occupancy(1, hop)
+            assert base == pytest.approx(50_000, rel=0.1)
+
+    def test_compression_noise_does_not_trigger(self):
+        # Coarse 4-bit codec: quantisation alone must not raise alarms.
+        fw, rt = _runtime(bits=4)
+        _send(fw, self.PATH, range(1, 3001), lambda i, pid: 0)
+        assert rt.bursting_hops(1, len(self.PATH)) == []
+
+    def test_window_peak_decays_after_burst(self):
+        fw, rt = _runtime(window=16)
+        _send(fw, self.PATH, range(1, 501), lambda i, pid: 400_000)
+        peak_during = rt.window_peak(1, 1)
+        _send(fw, self.PATH, range(501, 3501), lambda i, pid: 1000)
+        peak_after = rt.window_peak(1, 1)
+        assert peak_after < peak_during
+
+    def test_samples_attributed_to_all_hops(self):
+        fw, rt = _runtime()
+        _send(fw, self.PATH, range(1, 2001), lambda i, pid: 100)
+        for hop in range(1, 5):
+            assert rt.baseline_occupancy(1, hop) >= 0
+            assert (1, hop) in rt._recent

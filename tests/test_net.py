@@ -1,0 +1,118 @@
+"""Tests for topologies and path queries."""
+
+import random
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.net import (
+    Topology,
+    fat_tree,
+    kentucky_datalink,
+    linear_topology,
+    synthetic_isp,
+    us_carrier,
+)
+
+
+class TestFatTree:
+    def test_k4_counts(self):
+        topo = fat_tree(4)
+        # (k/2)^2 cores + k*(k/2 agg + k/2 edge) = 4 + 16 = 20 switches.
+        assert topo.num_switches == 20
+        # k^3/4 hosts.
+        assert len(topo.hosts) == 16
+
+    def test_k8_counts(self):
+        topo = fat_tree(8)
+        assert topo.num_switches == 16 + 64
+        assert len(topo.hosts) == 128
+
+    def test_path_lengths(self):
+        topo = fat_tree(4)
+        hosts = topo.hosts
+        # Same-edge pair: 1 switch; inter-pod: 5 switches.
+        same_edge = topo.switch_path(hosts[0], hosts[1])
+        assert len(same_edge) == 1
+        inter_pod = topo.switch_path(hosts[0], hosts[-1])
+        assert len(inter_pod) == 5
+
+    def test_switch_diameter_5(self):
+        # Edge-to-edge across pods: 5 switch hops -> diameter 4 edges.
+        assert fat_tree(4).diameter() == 4
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(TopologyError):
+            fat_tree(3)
+
+    def test_ecmp_multipath_exists(self):
+        topo = fat_tree(4)
+        hosts = topo.hosts
+        paths = topo.ecmp_paths(hosts[0], hosts[-1])
+        assert len(paths) > 1
+        lengths = {len(p) for p in paths}
+        assert len(lengths) == 1  # equal cost
+
+
+class TestISP:
+    def test_kentucky_parameters(self):
+        topo = kentucky_datalink()
+        assert topo.num_switches == 753
+        assert 59 <= topo.diameter() <= 61
+
+    def test_us_carrier_parameters(self):
+        topo = us_carrier()
+        assert topo.num_switches == 157
+        assert 36 <= topo.diameter() <= 38
+
+    def test_pair_at_distance(self):
+        topo = us_carrier()
+        for hops in (4, 12, 24, 36):
+            src, dst = topo.pair_at_distance(hops, random.Random(1))
+            assert len(topo.switch_path(src, dst)) == hops
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TopologyError):
+            synthetic_isp(5, 10)
+        with pytest.raises(TopologyError):
+            synthetic_isp(10, 0)
+
+    def test_universe_is_switch_ids(self):
+        topo = synthetic_isp(30, 10)
+        uni = topo.switch_universe()
+        assert len(uni) == 30
+        assert len(set(uni)) == 30
+
+
+class TestLinearAndBasics:
+    def test_linear(self):
+        topo = linear_topology(7)
+        assert topo.diameter() == 6
+        assert topo.switch_path(0, 6) == [0, 1, 2, 3, 4, 5, 6]
+
+    def test_no_path_raises(self):
+        import networkx as nx
+        from repro.net.topology import KIND, SWITCH
+
+        g = nx.Graph()
+        g.add_node(0, **{KIND: SWITCH})
+        g.add_node(1, **{KIND: SWITCH})
+        topo = Topology(g)
+        with pytest.raises(TopologyError):
+            topo.shortest_path(0, 1)
+
+    def test_unknown_node_raises(self):
+        topo = linear_topology(3)
+        with pytest.raises(TopologyError):
+            topo.shortest_path(0, 99)
+
+    def test_random_host_pair(self):
+        topo = fat_tree(4)
+        a, b = topo.random_host_pair(random.Random(0))
+        assert a != b
+        assert a in topo.hosts and b in topo.hosts
+
+    def test_host_pair_requires_hosts(self):
+        topo = linear_topology(4)
+        with pytest.raises(TopologyError):
+            topo.random_host_pair(random.Random(0))

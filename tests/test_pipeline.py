@@ -1,0 +1,146 @@
+"""Tests for the P4 pipeline model and the §5 layouts."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.pipeline import (
+    DEFAULT_MAX_STAGES,
+    Op,
+    OpKind,
+    PipelineProgram,
+    Stage,
+    combined_layout,
+    hpcc_layout,
+    latency_layout,
+    merge_parallel,
+    path_tracing_layout,
+    query_selection_layout,
+    schedule,
+)
+
+
+class TestModelValidation:
+    def test_stage_budget_enforced(self):
+        stages = [Stage([Op.make(f"op{i}", OpKind.ALU)]) for i in range(13)]
+        with pytest.raises(ConfigurationError):
+            PipelineProgram("deep", stages).validate()
+
+    def test_multiplication_rejected(self):
+        program = PipelineProgram("mul", [
+            Stage([Op.make("ewma-mult", OpKind.MULTIPLY,
+                           reads=["a"], writes=["b"])])
+        ])
+        with pytest.raises(ConfigurationError):
+            program.validate()
+
+    def test_intra_stage_raw_rejected(self):
+        program = PipelineProgram("raw", [
+            Stage([
+                Op.make("producer", OpKind.ALU, writes=["x"]),
+                Op.make("consumer", OpKind.ALU, reads=["x"], writes=["y"]),
+            ])
+        ])
+        with pytest.raises(ConfigurationError):
+            program.validate()
+
+    def test_register_self_update_allowed(self):
+        program = PipelineProgram("reg", [
+            Stage([Op.make("bump", OpKind.REGISTER,
+                           reads=["state"], writes=["state"])])
+        ])
+        program.validate()  # read-modify-write of one op is legal
+
+    def test_describe_lists_stages(self):
+        text = latency_layout().describe()
+        assert "4 stages" in text
+        assert "compress" in text
+
+
+class TestScheduler:
+    def test_independent_ops_share_stage(self):
+        ops = [
+            Op.make("a", OpKind.HASH, reads=["pkt"], writes=["x"]),
+            Op.make("b", OpKind.HASH, reads=["pkt"], writes=["y"]),
+        ]
+        program = schedule(ops)
+        assert program.num_stages == 1
+
+    def test_chain_makes_stages(self):
+        ops = [
+            Op.make("a", OpKind.ALU, reads=["in"], writes=["x"]),
+            Op.make("b", OpKind.ALU, reads=["x"], writes=["y"]),
+            Op.make("c", OpKind.ALU, reads=["y"], writes=["z"]),
+        ]
+        assert schedule(ops).num_stages == 3
+
+    def test_diamond_dependency(self):
+        ops = [
+            Op.make("src", OpKind.HASH, writes=["x"]),
+            Op.make("left", OpKind.ALU, reads=["x"], writes=["l"]),
+            Op.make("right", OpKind.ALU, reads=["x"], writes=["r"]),
+            Op.make("join", OpKind.ALU, reads=["l", "r"], writes=["out"]),
+        ]
+        assert schedule(ops).num_stages == 3
+
+    def test_scheduled_program_is_valid(self):
+        ops = [
+            Op.make("a", OpKind.ALU, writes=["x"]),
+            Op.make("b", OpKind.ALU, reads=["x"], writes=["x2"]),
+        ]
+        schedule(ops).validate()
+
+
+class TestPaperLayouts:
+    def test_path_tracing_four_stages(self):
+        # §5: "running the path tracing application requires four
+        # pipeline stages".
+        program = path_tracing_layout(num_hashes=1)
+        assert program.num_stages == 4
+        program.validate()
+
+    def test_two_hashes_same_depth(self):
+        # §5: "If we use more than one hash ... executed in parallel".
+        assert path_tracing_layout(2).num_stages == 4
+        assert path_tracing_layout(2).total_ops() > path_tracing_layout(
+            1
+        ).total_ops()
+
+    def test_latency_four_stages(self):
+        # §5: "Computing the median/tail latency also requires four
+        # pipeline stages".
+        assert latency_layout().num_stages == 4
+
+    def test_hpcc_eight_stages(self):
+        # §5: six stages of utilisation arithmetic, one approximation,
+        # one digest write.
+        program = hpcc_layout()
+        assert program.num_stages == 8
+        program.validate()
+
+    def test_hpcc_has_no_multiply(self):
+        kinds = {
+            op.kind for st in hpcc_layout().stages for op in st.ops
+        }
+        assert OpKind.MULTIPLY not in kinds
+        assert OpKind.TABLE in kinds  # log/exp tables instead
+
+    def test_combined_no_deeper_than_hpcc(self):
+        # §5 / Fig. 6: the three-query combination does not increase
+        # stage count over HPCC alone.
+        combined = combined_layout()
+        assert combined.num_stages == hpcc_layout().num_stages
+        assert combined.num_stages <= DEFAULT_MAX_STAGES
+        combined.validate()
+
+    def test_combined_hosts_all_queries(self):
+        names = {
+            op.name for st in combined_layout().stages for op in st.ops
+        }
+        assert any(n.startswith("pt.") for n in names)
+        assert any(n.startswith("lat.") for n in names)
+        assert any(n.startswith("cc.") for n in names)
+        assert any(n.startswith("qs.") for n in names)
+
+    def test_merge_parallel_depth(self):
+        merged = merge_parallel("m", [latency_layout(), hpcc_layout()])
+        assert merged.num_stages == 8

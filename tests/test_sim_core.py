@@ -1,0 +1,257 @@
+"""Tests for the DES core: events, links, network assembly, workloads."""
+
+import random
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.net import fat_tree, linear_topology
+from repro.sim import (
+    EmpiricalCDF,
+    INTTelemetry,
+    Link,
+    Network,
+    NoTelemetry,
+    PINTTelemetry,
+    SimPacket,
+    Simulator,
+    hadoop_cdf,
+    percentile,
+    poisson_flows,
+    web_search_cdf,
+)
+from repro.sim.packet import BASE_HEADER_BYTES
+
+
+class TestSimulator:
+    def test_event_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, log.append, "b")
+        sim.schedule(1.0, log.append, "a")
+        sim.schedule(3.0, log.append, "c")
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_ties(self):
+        sim = Simulator()
+        log = []
+        sim.at(1.0, log.append, 1)
+        sim.at(1.0, log.append, 2)
+        sim.run()
+        assert log == [1, 2]
+
+    def test_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, log.append, "x")
+        sim.schedule(5.0, log.append, "y")
+        sim.run(until=2.0)
+        assert log == ["x"]
+        assert sim.now == 2.0
+
+    def test_no_past_scheduling(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.at(0.5, lambda: None)
+
+    def test_negative_delay(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+
+class _Sink:
+    def __init__(self):
+        self.got = []
+
+    def receive(self, pkt):
+        self.got.append(pkt)
+
+
+def _pkt(pid=1, payload=1000):
+    return SimPacket(pid=pid, flow_id=1, seq=0, payload_bytes=payload)
+
+
+class TestLink:
+    def test_serialization_plus_prop_delay(self):
+        sim = Simulator()
+        sink = _Sink()
+        link = Link(sim, "l", sink, rate_bps=1e6, prop_delay=0.01,
+                    buffer_bytes=10_000)
+        pkt = _pkt()
+        link.enqueue(pkt)
+        sim.run()
+        wire = pkt.wire_bytes
+        assert sim.now == pytest.approx(wire * 8 / 1e6 + 0.01)
+        assert sink.got == [pkt]
+
+    def test_fifo_back_to_back(self):
+        sim = Simulator()
+        sink = _Sink()
+        link = Link(sim, "l", sink, 1e6, 0.0, 100_000)
+        p1, p2 = _pkt(1), _pkt(2)
+        link.enqueue(p1)
+        link.enqueue(p2)
+        sim.run()
+        assert [p.pid for p in sink.got] == [1, 2]
+        assert sim.now == pytest.approx(2 * p1.wire_bytes * 8 / 1e6)
+
+    def test_drop_tail(self):
+        sim = Simulator()
+        sink = _Sink()
+        link = Link(sim, "l", sink, 1e3, 0.0, buffer_bytes=1500)
+        assert link.enqueue(_pkt(1)) is True       # starts transmitting
+        assert link.enqueue(_pkt(2)) is True       # queued (1040 wire B)
+        assert link.enqueue(_pkt(3)) is False      # buffer full
+        assert link.drops == 1
+
+    def test_counters(self):
+        sim = Simulator()
+        sink = _Sink()
+        link = Link(sim, "l", sink, 1e6, 0.0, 100_000)
+        link.enqueue(_pkt())
+        sim.run()
+        assert link.tx_packets == 1
+        assert link.tx_bytes == 1000 + BASE_HEADER_BYTES
+
+
+class TestTelemetryStamps:
+    def test_int_grows_packet(self):
+        sim = Simulator()
+        sink = _Sink()
+        telem = INTTelemetry(num_values=3)
+        link = Link(sim, "l", sink, 1e6, 0.0, 100_000, telemetry=telem)
+        pkt = _pkt()
+        before = pkt.wire_bytes
+        link.enqueue(pkt)
+        sim.run()
+        assert pkt.wire_bytes == before + 12
+        assert len(pkt.int_records) == 1
+        assert pkt.int_records[0].link_rate_bps == 1e6
+
+    def test_int_skips_acks(self):
+        sim = Simulator()
+        sink = _Sink()
+        link = Link(sim, "l", sink, 1e6, 0.0, 100_000,
+                    telemetry=INTTelemetry(3))
+        ack = SimPacket(pid=1, flow_id=1, seq=0, payload_bytes=0, is_ack=True)
+        link.enqueue(ack)
+        sim.run()
+        assert ack.int_records == []
+
+    def test_pint_fixed_size_and_digest(self):
+        sim = Simulator()
+        sink = _Sink()
+        telem = PINTTelemetry(base_rtt=1e-3, frequency=1.0)
+        link = Link(sim, "l", sink, 1e6, 0.0, 100_000, telemetry=telem)
+        pkt = _pkt()
+        pkt.fixed_overhead_bytes = telem.source_overhead()
+        before = pkt.wire_bytes
+        link.enqueue(pkt)
+        sim.run()
+        assert pkt.wire_bytes == before  # fixed-width: no growth
+        assert link.ewma_util > 0.0
+
+    def test_pint_frequency_selects_fraction(self):
+        telem = PINTTelemetry(base_rtt=1e-3, frequency=1 / 16)
+        hits = sum(telem.carries_query(pid) for pid in range(16000))
+        assert 700 < hits < 1300
+
+    def test_pint_ewma_rises_under_congestion(self):
+        sim = Simulator()
+        sink = _Sink()
+        telem = PINTTelemetry(base_rtt=1e-3)
+        link = Link(sim, "l", sink, 1e6, 0.0, 1_000_000, telemetry=telem)
+        for pid in range(50):
+            link.enqueue(_pkt(pid))
+        sim.run()
+        # Sustained full-rate arrivals: EWMA should approach/exceed ~1.
+        assert link.ewma_util > 0.5
+
+
+class TestNetworkAssembly:
+    def test_links_both_directions(self):
+        topo = fat_tree(4)
+        net = Network(topo, Simulator())
+        edge = next(iter(topo.graph.edges()))
+        assert net.link(edge[0], edge[1]) is not net.link(edge[1], edge[0])
+
+    def test_next_hops_move_closer(self):
+        topo = fat_tree(4)
+        net = Network(topo, Simulator())
+        dst = topo.hosts[-1]
+        node = topo.hosts[0]
+        # walk greedily: must reach dst within the path length bound
+        steps = 0
+        while node != dst:
+            node = net.next_hops(node, dst)[0]
+            steps += 1
+            assert steps <= 8
+        assert node == dst
+
+    def test_base_rtt_positive_and_monotone(self):
+        topo = fat_tree(4)
+        net = Network(topo, Simulator(), link_rate_bps=1e8)
+        near = net.base_rtt(topo.hosts[0], topo.hosts[1])
+        far = net.base_rtt(topo.hosts[0], topo.hosts[-1])
+        assert 0 < near < far
+
+    def test_pid_unique(self):
+        topo = linear_topology(2)
+        # attach two fake hosts for Network's host logic not needed here
+        net = Network(fat_tree(2), Simulator())
+        pids = {net.new_pid() for _ in range(100)}
+        assert len(pids) == 100
+
+
+class TestWorkload:
+    def test_cdf_deciles_respected(self):
+        cdf = web_search_cdf()
+        rng = random.Random(0)
+        samples = sorted(cdf.sample(rng) for _ in range(4000))
+        med = samples[len(samples) // 2]
+        # Median decile is 73K; log-interp puts the median in its decade.
+        assert 20_000 < med < 200_000
+
+    def test_hadoop_mostly_tiny(self):
+        cdf = hadoop_cdf()
+        rng = random.Random(1)
+        small = sum(cdf.sample(rng) < 1000 for _ in range(2000))
+        assert small > 1000  # 60% of Hadoop flows are < 1KB
+
+    def test_scaled_cdf(self):
+        assert web_search_cdf(0.1).mean(2000) < web_search_cdf(1.0).mean(2000)
+
+    def test_poisson_load_calibration(self):
+        cdf = hadoop_cdf()
+        rng = random.Random(2)
+        hosts = list(range(8))
+        flows = poisson_flows(hosts, cdf, load=0.5, host_rate_bps=1e8,
+                              duration=0.5, rng=rng)
+        offered = sum(f.size_bytes for f in flows) * 8 / 0.5
+        target = 0.5 * 8 * 1e8
+        assert 0.5 * target < offered < 1.8 * target
+
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            poisson_flows([1], hadoop_cdf(), 0.5, 1e8, 1.0, random.Random(0))
+        with pytest.raises(ValueError):
+            poisson_flows([1, 2], hadoop_cdf(), 0.0, 1e8, 1.0, random.Random(0))
+
+    def test_cdf_validation(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF([(100, 0.5)], min_size=10)  # doesn't end at 1
+        with pytest.raises(ValueError):
+            EmpiricalCDF([], min_size=10)
+
+
+class TestPercentile:
+    def test_basics(self):
+        assert percentile([1, 2, 3, 4], 50) == 2
+        assert percentile([1, 2, 3, 4], 100) == 4
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)

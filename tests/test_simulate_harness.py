@@ -1,0 +1,69 @@
+"""Tests for the Monte-Carlo harnesses in repro.coding.simulate."""
+
+import pytest
+
+from repro.coding import (
+    DistributedMessage,
+    TrialStats,
+    average_progress,
+    baseline_scheme,
+    decode_probability,
+    decode_progress,
+    hybrid_scheme,
+    packets_to_decode,
+)
+
+
+class TestTrialStats:
+    def test_mean_median(self):
+        stats = TrialStats([1, 2, 3, 4, 100])
+        assert stats.mean == 22
+        assert stats.median == 3
+
+    def test_percentiles(self):
+        stats = TrialStats(list(range(1, 101)))
+        assert stats.percentile(50) == 50
+        assert stats.percentile(99) == 99
+        assert stats.percentile(100) == 100
+
+    def test_bad_percentile(self):
+        with pytest.raises(ValueError):
+            TrialStats([1]).percentile(150)
+
+
+class TestProgressCurves:
+    def test_progress_monotone_nonincreasing(self):
+        msg = DistributedMessage(tuple(range(10)))
+        curve = decode_progress(msg, baseline_scheme(), packets=150,
+                                digest_bits=8, mode="raw")
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+        assert curve[0] <= 10
+
+    def test_average_progress_reaches_zero(self):
+        msg = DistributedMessage(tuple(range(6)))
+        curve = average_progress(msg, hybrid_scheme(6), packets=400,
+                                 trials=5, digest_bits=8, mode="raw")
+        assert curve[-1] == 0.0
+
+    def test_decode_probability_monotone(self):
+        msg = DistributedMessage(tuple(range(8)))
+        grid = [10, 40, 80, 200]
+        probs = decode_probability(msg, baseline_scheme(), grid, trials=15,
+                                   digest_bits=8, mode="raw")
+        assert all(a <= b + 1e-9 for a, b in zip(probs, probs[1:]))
+        assert probs[-1] > 0.8
+
+    def test_packets_to_decode_guard(self):
+        msg = DistributedMessage(tuple(range(30)))
+        with pytest.raises(RuntimeError):
+            packets_to_decode(msg, baseline_scheme(), digest_bits=8,
+                              mode="raw", max_packets=3)
+
+    def test_different_seeds_different_counts(self):
+        msg = DistributedMessage(tuple(range(12)))
+        counts = {
+            packets_to_decode(msg, baseline_scheme(), digest_bits=8,
+                              mode="raw", seed=s)
+            for s in range(8)
+        }
+        assert len(counts) > 1

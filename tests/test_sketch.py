@@ -1,0 +1,218 @@
+"""Tests for KLL, SpaceSaving, and reservoir samplers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sketch import (
+    CountingWindow,
+    KLLSketch,
+    ReservoirSample,
+    SlidingWindowSample,
+    SpaceSaving,
+    all_quantiles_sample_size,
+    exact_quantile,
+    quantile_sample_size,
+    quantiles_summary,
+    rank_error,
+    relative_value_error,
+)
+
+
+class TestKLL:
+    def test_small_stream_exact(self):
+        sk = KLLSketch(k_param=64)
+        sk.extend(range(10))
+        assert sk.quantile(0.0) == 0
+        assert sk.quantile(1.0) == 9
+
+    def test_median_rank_error(self):
+        rng = random.Random(1)
+        values = [rng.gauss(100, 15) for _ in range(20000)]
+        sk = KLLSketch(k_param=128, rng=random.Random(2))
+        sk.extend(values)
+        est = sk.quantile(0.5)
+        assert rank_error(values, est, 0.5) < 0.05
+
+    def test_tail_rank_error(self):
+        rng = random.Random(3)
+        values = [rng.expovariate(0.01) for _ in range(20000)]
+        sk = KLLSketch(k_param=128, rng=random.Random(4))
+        sk.extend(values)
+        est = sk.quantile(0.99)
+        assert rank_error(values, est, 0.99) < 0.03
+
+    def test_space_bounded(self):
+        sk = KLLSketch(k_param=64)
+        sk.extend(range(100000))
+        # Space must stay O(k_param), far below the stream length.
+        assert sk.size < 64 * 8
+        assert sk.count == 100000
+
+    def test_merge_matches_union(self):
+        rng = random.Random(5)
+        a_vals = [rng.random() for _ in range(5000)]
+        b_vals = [rng.random() + 0.5 for _ in range(5000)]
+        a = KLLSketch(k_param=128, rng=random.Random(6))
+        b = KLLSketch(k_param=128, rng=random.Random(7))
+        a.extend(a_vals)
+        b.extend(b_vals)
+        a.merge(b)
+        assert a.count == 10000
+        est = a.quantile(0.5)
+        assert rank_error(a_vals + b_vals, est, 0.5) < 0.06
+
+    def test_rank_monotone(self):
+        sk = KLLSketch(k_param=64)
+        sk.extend(range(1000))
+        assert sk.rank(100) <= sk.rank(500) <= sk.rank(900)
+
+    def test_errors_shrink_with_k(self):
+        rng = random.Random(8)
+        values = [rng.random() for _ in range(30000)]
+        errs = []
+        for k_param in (16, 256):
+            sk = KLLSketch(k_param=k_param, rng=random.Random(9))
+            sk.extend(values)
+            errs.append(rank_error(values, sk.quantile(0.5), 0.5))
+        assert errs[1] <= errs[0] + 0.01
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            KLLSketch().quantile(0.5)
+
+    def test_bad_phi(self):
+        sk = KLLSketch()
+        sk.update(1.0)
+        with pytest.raises(ValueError):
+            sk.quantile(1.5)
+
+    def test_stored_bytes(self):
+        sk = KLLSketch(k_param=32)
+        sk.extend(range(1000))
+        assert sk.stored_bytes(4) == sk.size * 4
+
+
+class TestSpaceSaving:
+    def test_exact_when_under_capacity(self):
+        ss = SpaceSaving(capacity=10)
+        ss.extend([1, 1, 2, 3, 1])
+        assert ss.estimate(1) == 3
+        assert ss.guaranteed(1) == 3
+
+    def test_overestimate_bound(self):
+        rng = random.Random(10)
+        stream = [rng.randint(0, 99) for _ in range(10000)]
+        ss = SpaceSaving(capacity=20)
+        ss.extend(stream)
+        bound = ss.n / 20
+        for item in range(100):
+            true = stream.count(item)
+            est = ss.estimate(item)
+            if est:
+                assert est <= true + bound
+
+    def test_heavy_hitter_found(self):
+        # An item at 30% frequency must survive capacity 10 (eps = 10%).
+        rng = random.Random(11)
+        stream = [7] * 3000 + [rng.randint(100, 10000) for _ in range(7000)]
+        rng.shuffle(stream)
+        ss = SpaceSaving(capacity=10)
+        ss.extend(stream)
+        hh = dict(ss.heavy_hitters(0.2))
+        assert 7 in hh
+
+    def test_theta_cut(self):
+        ss = SpaceSaving(capacity=5)
+        ss.extend([1] * 80 + [2] * 20)
+        assert [item for item, _ in ss.heavy_hitters(0.5)] == [1]
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+        with pytest.raises(ValueError):
+            SpaceSaving(5).heavy_hitters(0.0)
+        with pytest.raises(ValueError):
+            SpaceSaving(5).update("x", weight=0)
+
+
+class TestReservoir:
+    def test_under_capacity_keeps_all(self):
+        rs = ReservoirSample(10, rng=random.Random(0))
+        for i in range(5):
+            rs.update(i)
+        assert sorted(rs.sample()) == list(range(5))
+
+    def test_uniformity(self):
+        hits = [0] * 20
+        for seed in range(2000):
+            rs = ReservoirSample(1, rng=random.Random(seed))
+            for i in range(20):
+                rs.update(i)
+            hits[rs.sample()[0]] += 1
+        for h in hits:
+            assert 50 < h < 150
+
+    def test_seen_counter(self):
+        rs = ReservoirSample(2, rng=random.Random(0))
+        for i in range(100):
+            rs.update(i)
+        assert rs.seen == 100
+        assert len(rs.sample()) == 2
+
+
+class TestSlidingWindow:
+    def test_sample_from_window_only(self):
+        sw = SlidingWindowSample(capacity=5, window=50, rng=random.Random(1))
+        for i in range(500):
+            sw.update(i)
+        assert all(v >= 450 for v in sw.sample())
+
+    def test_sample_size(self):
+        sw = SlidingWindowSample(capacity=8, window=100, rng=random.Random(2))
+        for i in range(1000):
+            sw.update(i)
+        assert 1 <= len(sw.sample()) <= 8
+
+    def test_counting_window(self):
+        cw = CountingWindow(3)
+        for i in range(10):
+            cw.update(i)
+        assert cw.contents() == [7, 8, 9]
+
+
+class TestQuantileHelpers:
+    def test_exact_quantile_median(self):
+        assert exact_quantile([1, 2, 3, 4, 5], 0.5) == 3
+
+    def test_exact_quantile_bounds(self):
+        assert exact_quantile([5, 1, 9], 0.0) == 1
+        assert exact_quantile([5, 1, 9], 1.0) == 9
+
+    def test_rank_error_zero_for_truth(self):
+        vals = list(range(100))
+        assert rank_error(vals, 49, 0.5) < 0.01
+
+    def test_relative_value_error(self):
+        assert relative_value_error(100.0, 110.0) == pytest.approx(0.1)
+        assert relative_value_error(0.0, 2.0) == 2.0
+
+    def test_sample_sizes_monotone(self):
+        assert quantile_sample_size(0.05) > quantile_sample_size(0.2)
+        assert all_quantiles_sample_size(0.1) >= quantile_sample_size(0.1)
+
+    def test_quantiles_summary(self):
+        vals = list(range(1, 101))
+        med, p99 = quantiles_summary(vals, [0.5, 0.99])
+        assert med == 50
+        assert p99 == 99
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            exact_quantile([], 0.5)
+
+    @given(st.lists(st.floats(0, 1000, allow_nan=False), min_size=1), st.floats(0, 1))
+    @settings(max_examples=100)
+    def test_quantile_is_element(self, vals, phi):
+        assert exact_quantile(vals, phi) in vals

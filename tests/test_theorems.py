@@ -1,0 +1,134 @@
+"""Statistical validation of the paper's theorems against simulation.
+
+Each test runs the actual PINT pipeline at the sample sizes the
+theorems prescribe and checks the promised guarantee holds (with the
+5% failure budget baked into our constants, validated loosely).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    theorem1_packets,
+    theorem1_space,
+    theorem2_packets,
+    theorem3_packets,
+)
+from repro.apps import FrequentValueRuntime
+from repro.apps.latency import simulate_latency_estimation
+from repro.coding import (
+    DistributedMessage,
+    multilayer_scheme,
+    packet_count_distribution,
+)
+from repro.core import (
+    AggregationType,
+    HopView,
+    MetadataType,
+    PacketContext,
+    PINTFramework,
+    Query,
+)
+from repro.core.plan import ExecutionPlan, PlanEntry
+from repro.sketch import rank_error
+
+
+class TestTheorem1Quantiles:
+    """O(k/eps^2) packets -> (phi +- eps)-quantile per hop."""
+
+    def test_rank_error_within_eps(self):
+        k, eps, phi = 4, 0.15, 0.5
+        packets = int(theorem1_packets(k, eps))
+        rng = random.Random(0)
+        streams = [
+            [rng.expovariate(1.0 / (2e-5 * (h + 1))) for _ in range(packets)]
+            for h in range(k)
+        ]
+        out = simulate_latency_estimation(
+            streams, bits=12, num_packets=packets, phi=phi
+        )
+        failures = 0
+        for hop, (est, truth) in out.items():
+            err = rank_error(streams[hop - 1][:packets], est, phi)
+            if err > eps:
+                failures += 1
+        # Allow one hop to exceed (the bound holds w.h.p., not surely).
+        assert failures <= 1
+
+    def test_space_bound_formula(self):
+        assert theorem1_space(8, 0.1) == pytest.approx(80.0)
+
+
+class TestTheorem2FrequentValues:
+    """O(k/eps^2) packets -> theta-frequent values per hop."""
+
+    def test_heavy_value_found_no_light_value(self):
+        k, eps, theta = 3, 0.15, 0.4
+        packets = int(theorem2_packets(k, eps))
+        query = Query("freq", MetadataType.EGRESS_PORT,
+                      AggregationType.DYNAMIC_PER_FLOW, 8, space_budget=120)
+        plan = ExecutionPlan([PlanEntry((query,), 1.0)], 8)
+        fw = PINTFramework(plan)
+        rt = FrequentValueRuntime(query)
+        fw.register(rt)
+        rng = random.Random(1)
+        # Hop 2 emits value 7 sixty percent of the time; others uniform.
+        path = [100, 101, 102]
+        for pid in range(1, packets + 1):
+            hops = []
+            for i, sid in enumerate(path):
+                if i == 1 and rng.random() < 0.6:
+                    port = 7
+                else:
+                    port = rng.randint(20, 60)
+                hops.append(HopView(switch_id=sid, hop_number=i + 1,
+                                    egress_port=port))
+            fw.process_packet(PacketContext(pid, 1, k), hops)
+        heavy = dict(rt.heavy_values(1, 2, theta))
+        assert 7 in heavy
+        assert heavy[7] == pytest.approx(0.6, abs=0.15)
+        # No uniform value (each < 3% of the stream) may be reported
+        # above theta.
+        for value, freq in heavy.items():
+            if value != 7:
+                assert freq < theta + eps
+
+    def test_samples_cover_all_hops(self):
+        query = Query("freq", MetadataType.EGRESS_PORT,
+                      AggregationType.DYNAMIC_PER_FLOW, 8)
+        plan = ExecutionPlan([PlanEntry((query,), 1.0)], 8)
+        fw = PINTFramework(plan)
+        rt = FrequentValueRuntime(query)
+        fw.register(rt)
+        path = [1, 2, 3, 4, 5]
+        for pid in range(1, 1001):
+            hops = [HopView(switch_id=s, hop_number=i + 1, egress_port=9)
+                    for i, s in enumerate(path)]
+            fw.process_packet(PacketContext(pid, 1, 5), hops)
+        for hop in range(1, 6):
+            assert rt.samples_at(1, hop) > 100
+
+
+class TestTheorem3StaticDecoding:
+    """k log log* k (1 + o(1)) packets decode a k-block message."""
+
+    @pytest.mark.parametrize("k", [10, 25, 50])
+    def test_multilayer_within_bound(self, k):
+        msg = DistributedMessage(tuple(range(k)))
+        stats = packet_count_distribution(
+            msg, multilayer_scheme(k), trials=20, digest_bits=8, mode="raw"
+        )
+        bound = theorem3_packets(k)
+        # The mean must sit at or below ~1.5x the evaluated bound
+        # (the bound's o(1) hides constants; we check the right order).
+        assert stats.mean < 1.5 * bound
+
+    def test_bound_grows_subloglinear(self):
+        # theorem3(k)/k grows far slower than H_k: the headline gap.
+        import math
+
+        ratio_small = theorem3_packets(10) / 10
+        ratio_big = theorem3_packets(10_000) / 10_000
+        assert ratio_big - ratio_small < 1.0
+        assert math.log(10_000) - math.log(10) > 5 * (ratio_big - ratio_small)
