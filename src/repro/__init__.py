@@ -15,11 +15,14 @@ Subpackages
 ``repro.sketch``    KLL / SpaceSaving / reservoirs (Recording Module)
 ``repro.core``      queries, engine, execution plans (§3)
 ``repro.net``       packets, switches, topologies, routing
-``repro.sim``       discrete-event network simulator (NS3 stand-in)
-``repro.hpcc``      HPCC congestion control, INT- and PINT-fed
+``repro.sim``       discrete-event network simulator (NS3 stand-in);
+                    HPCC congestion control (INT- and PINT-fed) lives
+                    in ``repro.sim.transport`` + ``repro.apps.congestion``
 ``repro.apps``      the three use cases + loop detection
 ``repro.baselines`` PPM, AMS, classic INT
 ``repro.analysis``  Appendix A reference formulas
+``repro.collector`` sink-side streaming collector (sharded flow state,
+                    batched ingestion; see DESIGN.md)
 """
 
 __version__ = "1.0.0"

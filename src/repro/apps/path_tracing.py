@@ -22,7 +22,9 @@ from repro.coding import (
     HashDecoder,
     PathEncoder,
     multilayer_scheme,
+    pack_reps,
     packet_count_distribution,
+    unpack_reps,
 )
 from repro.coding.schemes import BASELINE
 from repro.coding.simulate import TrialStats
@@ -138,18 +140,10 @@ class PathTracingRuntime(QueryRuntime):
     # -- digest slicing: reps packed low-to-high inside the query slice --
 
     def _unpack(self, digest: int) -> List[int]:
-        b = self.hash_bits
-        return [
-            (digest >> (rep * b)) & ((1 << b) - 1)
-            for rep in range(self.ctx.num_hashes)
-        ]
+        return list(unpack_reps(digest, self.hash_bits, self.ctx.num_hashes))
 
     def _pack(self, reps: Sequence[int]) -> int:
-        b = self.hash_bits
-        out = 0
-        for rep, val in enumerate(reps):
-            out |= (val & ((1 << b) - 1)) << (rep * b)
-        return out
+        return pack_reps(reps, self.hash_bits)
 
     def on_hop(self, ctx: PacketContext, hop: HopView, digest: int) -> int:
         """Switch-side encoding (stateless, hash-driven)."""

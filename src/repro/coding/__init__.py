@@ -21,7 +21,15 @@ from repro.coding.decoder import (
     RawDecoder,
     make_decoder,
 )
-from repro.coding.encoder import FRAGMENT, HASH, RAW, CodecContext, PathEncoder
+from repro.coding.encoder import (
+    FRAGMENT,
+    HASH,
+    RAW,
+    CodecContext,
+    PathEncoder,
+    pack_reps,
+    unpack_reps,
+)
 from repro.coding.fastdecode import FastXORDecoder, FastXOREncoder
 from repro.coding.lnc import LNCDecoder, LNCEncoder
 from repro.coding.message import DistributedMessage
@@ -61,6 +69,8 @@ __all__ = [
     "RAW",
     "HASH",
     "FRAGMENT",
+    "pack_reps",
+    "unpack_reps",
     "RawDecoder",
     "HashDecoder",
     "FragmentDecoder",

@@ -315,6 +315,16 @@ class HashDecoder:
             raise DecodingError(f"{self.missing} hops still unknown")
         return [self.decoded[h] for h in range(1, self.k + 1)]
 
+    def state_bytes(self) -> int:
+        """Rough resident-state estimate (candidate arrays dominate).
+
+        Kept next to the state it measures so memory-accounting callers
+        (e.g. the collector's snapshots) need no knowledge of decoder
+        internals.
+        """
+        cand = sum(arr.nbytes for arr in self._candidates.values())
+        return cand + 64 * len(self._pending)
+
 
 class FragmentDecoder:
     """Decoder for fragment mode: F independent raw sub-problems.

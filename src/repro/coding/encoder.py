@@ -39,6 +39,29 @@ HASH = "hash"
 FRAGMENT = "fragment"
 
 
+def pack_reps(reps, digest_bits: int) -> int:
+    """Pack per-hash digests into one int, rep 0 in the low bits.
+
+    The wire layout of a "multiple instantiations" digest: ``reps[i]``
+    occupies bits ``[i*b, (i+1)*b)``.  Shared by every component that
+    serialises or parses packed digests (runtime, collector, tests) so
+    the layout cannot drift between them.
+    """
+    mask = (1 << digest_bits) - 1
+    out = 0
+    for rep, val in enumerate(reps):
+        out |= (val & mask) << (rep * digest_bits)
+    return out
+
+
+def unpack_reps(digest: int, digest_bits: int, num_hashes: int) -> Tuple[int, ...]:
+    """Inverse of :func:`pack_reps`: split a packed digest into reps."""
+    mask = (1 << digest_bits) - 1
+    return tuple(
+        (digest >> (rep * digest_bits)) & mask for rep in range(num_hashes)
+    )
+
+
 class CodecContext:
     """Derived hash functions shared by encoder and decoder.
 

@@ -1,0 +1,49 @@
+"""Sink-side streaming telemetry collector (the servable PINT sink).
+
+The paper makes per-packet digests tiny by moving reconstruction work
+to the sink (§3-§4); this subpackage is that sink as a service layer:
+a :class:`Collector` front door routing ``(flow_id, pid, hop_count,
+digest)`` records to hash-sharded, share-nothing partitions, each
+holding an LRU/TTL-bounded :class:`FlowTable` of per-flow
+:class:`DigestConsumer`s that wrap the existing decoders (path peeling,
+latency KLL, congestion max).  Batched columnar ingestion
+(:meth:`Collector.ingest_batch`) amortises per-record overhead; a
+:class:`Snapshot` surface exports operational metrics.
+
+See DESIGN.md ("Collector architecture") for the layer diagram and
+``examples/collector_service.py`` for an end-to-end run.
+"""
+
+from repro.collector.collector import Collector
+from repro.collector.consumers import (
+    CongestionDigestConsumer,
+    DigestConsumer,
+    LatencyDigestConsumer,
+    PathDigestConsumer,
+    congestion_consumer_factory,
+    latency_consumer_factory,
+    path_consumer_factory,
+)
+from repro.collector.flowtable import FlowEntry, FlowTable
+from repro.collector.records import TelemetryRecord, normalize_batch
+from repro.collector.shard import Shard, ShardRouter
+from repro.collector.snapshot import ShardStats, Snapshot
+
+__all__ = [
+    "Collector",
+    "CongestionDigestConsumer",
+    "DigestConsumer",
+    "FlowEntry",
+    "FlowTable",
+    "LatencyDigestConsumer",
+    "PathDigestConsumer",
+    "Shard",
+    "ShardRouter",
+    "ShardStats",
+    "Snapshot",
+    "TelemetryRecord",
+    "congestion_consumer_factory",
+    "latency_consumer_factory",
+    "normalize_batch",
+    "path_consumer_factory",
+]

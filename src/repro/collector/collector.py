@@ -1,0 +1,232 @@
+"""The collector front door: sharded, batched sink-side ingestion.
+
+``Collector`` is the service boundary a telemetry sink exposes: feed it
+``(flow_id, pid, hop_count, digest)`` tuples -- one at a time from a DES
+hook, or in columnar batches from a capture pipeline -- and query
+per-flow answers and operational metrics back out.
+
+Two ingestion paths:
+
+* :meth:`ingest` -- scalar; routes with one hash, touches one flow
+  table entry, dispatches one consumer call.  Per-record Python
+  overhead dominates at scale.
+* :meth:`ingest_batch` -- columnar; routes the whole batch with one
+  vectorised hash, lexsorts by (shard, flow) in C, and hands each
+  flow's contiguous slice to its consumer in a single
+  ``consume_batch`` call.  The sort replaces per-record routing and
+  table touches with per-*group* work, which is where the >=5x
+  throughput of ``benchmarks/bench_collector_throughput.py`` comes
+  from (mirroring the vectorised-encoder work on the switch side).
+
+Time: every ingest accepts an optional ``now`` (sim seconds when driven
+from the DES).  When omitted the collector free-runs on a logical clock
+of records ingested, so TTLs are then expressed in records.  The first
+ingest pins the mode; mixing the two on one collector raises (record
+counts added to a seconds clock would TTL-evict everything).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.collector.consumers import ConsumerFactory, DigestConsumer
+from repro.collector.records import Column, normalize_batch
+from repro.collector.shard import Shard, ShardRouter
+from repro.collector.snapshot import Snapshot
+
+
+class Collector:
+    """Sharded streaming collector over per-flow digest consumers.
+
+    Parameters
+    ----------
+    consumer_factory:
+        Called once per live flow to build its :class:`DigestConsumer`
+        (see :mod:`repro.collector.consumers` for the three queries).
+    num_shards:
+        Share-nothing partitions; flows hash-route to one shard each.
+    max_flows_per_shard / ttl:
+        Flow-table bounds (LRU capacity, idle expiry) applied per shard.
+    router:
+        Optional :class:`ShardRouter` override (custom placement).
+    """
+
+    def __init__(
+        self,
+        consumer_factory: ConsumerFactory,
+        num_shards: int = 8,
+        max_flows_per_shard: Optional[int] = None,
+        ttl: Optional[float] = None,
+        seed: int = 0,
+        router: Optional[ShardRouter] = None,
+    ) -> None:
+        if router is not None and router.num_shards != num_shards:
+            raise ValueError("router/num_shards mismatch")
+        self.router = router if router is not None else ShardRouter(
+            num_shards, seed
+        )
+        self.num_shards = self.router.num_shards
+        self.shards: List[Shard] = [
+            Shard(i, consumer_factory, max_flows_per_shard, ttl)
+            for i in range(self.num_shards)
+        ]
+        self._clock = 0.0
+        #: "time" (caller supplies now) or "records" (free-running),
+        #: fixed by the first ingest; the two units cannot mix.
+        self._clock_mode: Optional[str] = None
+
+    # -- clock -------------------------------------------------------------
+
+    def _tick(self, now: Optional[float], records: int) -> float:
+        """Advance the collector clock (caller time wins when given).
+
+        Mixing ``now``-driven and free-running ingests would add raw
+        record counts onto a seconds clock and TTL-evict everything on
+        the next sweep, so the first ingest pins the mode and a mixed
+        call fails loudly instead.
+        """
+        mode = "records" if now is None else "time"
+        if self._clock_mode is None:
+            self._clock_mode = mode
+        elif self._clock_mode != mode:
+            hint = "without" if now is None else "with"
+            raise ValueError(
+                f"collector clock is {self._clock_mode}-driven; cannot "
+                f"ingest {hint} an explicit 'now' (mixing units corrupts "
+                "TTL accounting)"
+            )
+        if now is None:
+            self._clock += records
+        else:
+            self._clock = max(self._clock, float(now))
+        return self._clock
+
+    @property
+    def now(self) -> float:
+        """The collector's current clock reading."""
+        return self._clock
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest(
+        self,
+        flow_id: int,
+        pid: int,
+        hop_count: int,
+        digest: int,
+        now: Optional[float] = None,
+    ) -> None:
+        """Fold one record into its flow's consumer (scalar path)."""
+        t = self._tick(now, 1)
+        shard = self.shards[self.router.shard_of(flow_id)]
+        shard.ingest(flow_id, pid, hop_count, digest, t)
+
+    def ingest_batch(
+        self,
+        flow_ids: Column,
+        pids: Column,
+        hop_counts: Column,
+        digests: Column,
+        now: Optional[float] = None,
+    ) -> int:
+        """Fold a columnar batch; returns the number of records.
+
+        Records of the same flow are applied in their batch order;
+        ordering *across* flows is unspecified.  Decoding state never
+        notices (flows are independent problems), but LRU recency is
+        per-*batch* under batched ingestion: every flow in the batch
+        is touched at the same clock reading, so with
+        ``max_flows_per_shard`` set, eviction victims among same-batch
+        flows can differ from a record-at-a-time replay of the stream.
+        """
+        fids, ps, hops, digs = normalize_batch(
+            flow_ids, pids, hop_counts, digests
+        )
+        n = int(fids.shape[0])
+        if n == 0:
+            return 0
+        t = self._tick(now, n)
+        if self.num_shards == 1:
+            shard_ids = None
+            order = np.argsort(fids, kind="stable")
+        else:
+            shard_ids = self.router.shard_of_array(fids)
+            # Stable grouping: shard-major, flow-minor; ties keep batch
+            # order so per-flow streams stay sequential.
+            order = np.lexsort((fids, shard_ids))
+        fids = fids[order]
+        ps = ps[order]
+        hops = hops[order]
+        digs = digs[order]
+        # Group boundaries: wherever the flow id changes (a shard change
+        # implies a flow change, so flow boundaries cover both).  Group
+        # keys are pulled out as Python lists in one shot: per-group
+        # NumPy scalar indexing would cost more than the group body.
+        cuts = np.flatnonzero(fids[1:] != fids[:-1]) + 1
+        starts = np.concatenate(([0], cuts))
+        bounds = np.append(starts, n).tolist()
+        group_fids = fids[starts].tolist()
+        if shard_ids is None:
+            group_sids = [0] * len(group_fids)
+        else:
+            group_sids = shard_ids[order[starts]].tolist()
+        shards = self.shards
+        touched = set()
+        for idx, fid in enumerate(group_fids):
+            sid = group_sids[idx]
+            shards[sid].ingest_group(
+                fid, ps, hops, digs, t, bounds[idx], bounds[idx + 1]
+            )
+            touched.add(sid)
+        for sid in touched:
+            shards[sid].batches += 1
+            shards[sid].table.maybe_expire(t)
+        return n
+
+    # -- queries -----------------------------------------------------------
+
+    def flow(self, flow_id: int) -> Optional[DigestConsumer]:
+        """The flow's live consumer, or None if absent/evicted."""
+        shard = self.shards[self.router.shard_of(flow_id)]
+        entry = shard.table.get(flow_id)
+        return entry.consumer if entry is not None else None
+
+    def result(self, flow_id: int):
+        """The flow's query answer, or None (unknown flow / undecoded)."""
+        consumer = self.flow(flow_id)
+        return consumer.result() if consumer is not None else None
+
+    def __len__(self) -> int:
+        """Live flows across all shards."""
+        return sum(len(s.table) for s in self.shards)
+
+    # -- operations --------------------------------------------------------
+
+    def expire(self, now: Optional[float] = None) -> int:
+        """Force a TTL sweep on every shard; returns evicted flows.
+
+        Subject to the same clock-mode guard as ingestion: a
+        wall-clock ``now`` against a records-driven collector would
+        silently evict everything.
+        """
+        if now is not None and self._clock_mode == "records":
+            raise ValueError(
+                "collector clock is records-driven; cannot expire with "
+                "an explicit 'now' (mixing units corrupts TTL accounting)"
+            )
+        t = self._clock if now is None else float(now)
+        return sum(shard.expire(t) for shard in self.shards)
+
+    def evict(self, flow_id: int) -> bool:
+        """Drop one flow's state (e.g. its FIN was observed)."""
+        shard = self.shards[self.router.shard_of(flow_id)]
+        return shard.table.evict(flow_id)
+
+    def snapshot(self) -> Snapshot:
+        """Point-in-time metrics across all shards."""
+        return Snapshot(
+            taken_at=self._clock,
+            shards=[shard.stats() for shard in self.shards],
+        )

@@ -1,0 +1,375 @@
+"""Per-flow digest consumers: the collector-side Recording/Inference glue.
+
+A :class:`DigestConsumer` owns the decoding state for one flow under one
+query and is fed digests incrementally as the collector ingests packets.
+Each concrete consumer wraps an existing decoder stack so the collector
+adds the *service* layer (sharding, eviction, batching) without forking
+any decoding logic:
+
+* :class:`PathDigestConsumer` -- incremental path decoding via
+  :class:`repro.coding.HashDecoder` (the §4.2 peeling decoder);
+* :class:`LatencyDigestConsumer` -- per-hop latency samples attributed by
+  the reservoir-carrier hash, stored in :class:`repro.sketch.KLLSketch`;
+* :class:`CongestionDigestConsumer` -- running bottleneck (max) link
+  utilisation via :class:`repro.apps.congestion.UtilizationCodec`.
+
+Consumers expose ``consume_batch`` so shards can hand over a whole
+per-flow column slice at once; the default implementation loops, and
+consumers whose aggregation vectorises (congestion max) override it.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.apps.congestion import UtilizationCodec
+from repro.apps.latency import HopLatencyStore, LatencyCompressor
+from repro.coding import (
+    CodingScheme,
+    HashDecoder,
+    multilayer_scheme,
+    unpack_reps,
+)
+from repro.exceptions import DecodingError
+from repro.hashing import GlobalHash, reservoir_carrier
+
+#: A factory the flow table calls to build one consumer per live flow.
+ConsumerFactory = Callable[[int], "DigestConsumer"]
+
+
+class DigestConsumer:
+    """Base class: per-flow decoding state fed one digest at a time."""
+
+    #: Human-readable query kind, surfaced in snapshots.
+    kind = "abstract"
+
+    def consume(self, pid: int, hop_count: int, digest: int) -> None:
+        """Fold one packet's digest into the flow state."""
+        raise NotImplementedError
+
+    def consume_batch(
+        self,
+        pids: Sequence[int],
+        hop_counts: Sequence[int],
+        digests: Sequence[int],
+    ) -> None:
+        """Fold a column slice of records (default: scalar loop)."""
+        for pid, hops, digest in zip(pids, hop_counts, digests):
+            self.consume(int(pid), int(hops), int(digest))
+
+    def consume_slice(
+        self,
+        pids: np.ndarray,
+        hop_counts: np.ndarray,
+        digests: np.ndarray,
+        lo: int,
+        hi: int,
+    ) -> None:
+        """Fold rows ``[lo, hi)`` of whole batch columns.
+
+        The batched hot path: consumers that only read some columns
+        override this to skip slicing the rest (slice views cost real
+        time when a batch fans out into thousands of groups).
+        """
+        self.consume_batch(pids[lo:hi], hop_counts[lo:hi], digests[lo:hi])
+
+    @property
+    def is_complete(self) -> bool:
+        """True when the flow's query has a decodable answer."""
+        return False
+
+    def result(self):
+        """The query answer so far (None while undecodable)."""
+        return None
+
+    def state_bytes(self) -> int:
+        """Rough resident-state estimate (snapshot memory accounting)."""
+        return sys.getsizeof(self)
+
+
+class PathDigestConsumer(DigestConsumer):
+    """Incremental per-flow path decoding (paper §4.2 peeling).
+
+    The :class:`HashDecoder` is built lazily from the first record's
+    ``hop_count`` (the sink learns the path length from the packet
+    itself), so one factory serves flows of any length: by default the
+    coding scheme is likewise derived per flow from that hop count,
+    matching encoders tuned to each flow's actual path.  Pass ``d`` to
+    pin the scheme to a typical diameter (the :class:`PathTracer`
+    harness convention) or ``scheme`` to pin it outright -- the scheme
+    must match the flow's encoder or nothing decodes.  A digest that
+    contradicts the candidate sets -- a reroute mid-flow, or state that
+    was evicted and re-created against a stale path -- raises
+    :class:`DecodingError` inside the decoder; the consumer counts it
+    and resets, so the flow re-converges on the new path instead of
+    wedging the shard.
+    """
+
+    kind = "path"
+
+    def __init__(
+        self,
+        universe: Sequence[int],
+        digest_bits: int = 8,
+        num_hashes: int = 1,
+        seed: int = 0,
+        scheme: Optional[CodingScheme] = None,
+        d: Optional[int] = None,
+        adjacency=None,
+    ) -> None:
+        self.universe = tuple(universe)
+        self.digest_bits = digest_bits
+        self.num_hashes = num_hashes
+        self.seed = seed
+        # Scheme resolution: explicit scheme > tuned-for-d scheme >
+        # (default) per-flow scheme derived from the observed hop
+        # count, for sinks whose encoders tune to each flow's length.
+        if scheme is not None:
+            self.scheme: Optional[CodingScheme] = scheme
+        elif d is not None:
+            self.scheme = multilayer_scheme(d)
+        else:
+            self.scheme = None
+        self.adjacency = adjacency
+        self.decode_errors = 0
+        self._decoder: Optional[HashDecoder] = None
+
+    def _unpack(self, digest: int) -> tuple:
+        return unpack_reps(digest, self.digest_bits, self.num_hashes)
+
+    def consume(self, pid: int, hop_count: int, digest: int) -> None:
+        """Feed one digest to the flow's peeling decoder."""
+        if self._decoder is None:
+            scheme = (
+                self.scheme
+                if self.scheme is not None
+                else multilayer_scheme(hop_count)
+            )
+            self._decoder = HashDecoder(
+                hop_count,
+                self.universe,
+                scheme,
+                self.digest_bits,
+                self.num_hashes,
+                self.seed,
+                adjacency=self.adjacency,
+            )
+        try:
+            self._decoder.observe(pid, self._unpack(digest))
+        except DecodingError:
+            self.decode_errors += 1
+            self._decoder = None
+
+    @property
+    def is_complete(self) -> bool:
+        """True once every hop has a unique candidate."""
+        return self._decoder is not None and self._decoder.is_complete
+
+    @property
+    def progress(self) -> tuple:
+        """(decoded hops, total hops) so far."""
+        if self._decoder is None:
+            return (0, 0)
+        return (self._decoder.k - self._decoder.missing, self._decoder.k)
+
+    def result(self) -> Optional[List[int]]:
+        """The decoded switch path, or None while incomplete."""
+        if not self.is_complete:
+            return None
+        return self._decoder.path()
+
+    def state_bytes(self) -> int:
+        """Candidate arrays dominate the decoder's footprint."""
+        if self._decoder is None:
+            return sys.getsizeof(self)
+        return sys.getsizeof(self) + self._decoder.state_bytes()
+
+
+class LatencyDigestConsumer(DigestConsumer):
+    """Per-hop latency quantiles from reservoir-sampled digests (§6.2).
+
+    Recomputes the reservoir-carrier hash to attribute each digest to
+    its hop and feeds a per-hop KLL sketch (or raw list when
+    ``sketch_size`` is None), mirroring
+    :class:`repro.apps.latency.LatencyRuntime` flow-locally.
+    """
+
+    kind = "latency"
+
+    def __init__(
+        self,
+        bits: int = 8,
+        seed: int = 0,
+        sketch_size: Optional[int] = None,
+        max_latency_s: float = 4.0,
+    ) -> None:
+        self.compressor = LatencyCompressor(bits, max_latency_s, seed)
+        self.g = GlobalHash(seed, "latency-reservoir")
+        self.sketch_size = sketch_size
+        self._stores: Dict[int, HopLatencyStore] = {}
+
+    def consume(self, pid: int, hop_count: int, digest: int) -> None:
+        """Attribute the sample to its carrier hop and record it."""
+        carrier = reservoir_carrier(self.g, pid, hop_count)
+        store = self._stores.get(carrier)
+        if store is None:
+            per_hop = None
+            if self.sketch_size:
+                per_hop = max(4, self.sketch_size // max(1, hop_count))
+            store = HopLatencyStore(per_hop)
+            self._stores[carrier] = store
+        store.add(self.compressor.decode(digest))
+
+    @property
+    def is_complete(self) -> bool:
+        """A latency stream is answerable once any hop has samples."""
+        return bool(self._stores)
+
+    def quantile(self, hop: int, phi: float) -> float:
+        """Estimated phi-quantile of this flow's latency at ``hop``.
+
+        Raises a descriptive ``KeyError`` when the reservoir carrier
+        never attributed a sample to ``hop`` (short flows routinely
+        miss hops); probe with :meth:`samples_at` first.
+        """
+        store = self._stores.get(hop)
+        if store is None:
+            raise KeyError(
+                f"hop {hop}: no samples attributed yet "
+                f"(samples_at({hop}) == 0)"
+            )
+        return store.quantile(phi)
+
+    def samples_at(self, hop: int) -> int:
+        """Samples attributed to ``hop`` so far."""
+        store = self._stores.get(hop)
+        return store.count if store else 0
+
+    def result(self) -> Dict[int, int]:
+        """Per-hop sample counts (the cheap always-available answer)."""
+        return {hop: s.count for hop, s in sorted(self._stores.items())}
+
+    def state_bytes(self) -> int:
+        """Stored digests across hops, at 8 bytes apiece."""
+        items = sum(s.stored_items() for s in self._stores.values())
+        return sys.getsizeof(self) + 8 * items + 64 * len(self._stores)
+
+
+class CongestionDigestConsumer(DigestConsumer):
+    """Running bottleneck-utilisation aggregation (§4.3 Example #3).
+
+    The multiplicative code is monotone in the value, so the max over
+    codes equals the code of the max -- aggregation is a compare on the
+    *encoded* digests and one decode at query time, which is also why
+    ``consume_batch`` is a single vectorised ``max``.
+    """
+
+    kind = "congestion"
+
+    def __init__(
+        self,
+        bits: int = 8,
+        epsilon: float = 0.025,
+        seed: int = 0,
+        codec: Optional[UtilizationCodec] = None,
+    ) -> None:
+        self.codec = codec if codec is not None else UtilizationCodec(
+            bits, epsilon, seed=seed
+        )
+        self.max_code = -1
+        self.last_code = -1
+        self.records = 0
+
+    def consume(self, pid: int, hop_count: int, digest: int) -> None:
+        """Keep the running max of the encoded utilisation."""
+        self.records += 1
+        self.last_code = digest
+        if digest > self.max_code:
+            self.max_code = digest
+
+    def consume_batch(
+        self,
+        pids: Sequence[int],
+        hop_counts: Sequence[int],
+        digests: Sequence[int],
+    ) -> None:
+        """Vectorised fold over a whole column slice."""
+        n = len(digests)
+        if n == 0:
+            return
+        digs = np.asarray(digests)
+        self.consume_slice(pids, hop_counts, digs, 0, n)
+
+    def consume_slice(
+        self,
+        pids: np.ndarray,
+        hop_counts: np.ndarray,
+        digests: np.ndarray,
+        lo: int,
+        hi: int,
+    ) -> None:
+        """Group fold touching only the digest column.
+
+        NumPy reductions carry ~microseconds of fixed dispatch cost, so
+        small slices (the common case when a batch spans many flows)
+        take a plain-Python ``max`` over ``tolist()`` instead.
+        """
+        n = hi - lo
+        self.records += n
+        if n > 64:
+            digs = digests[lo:hi]
+            self.last_code = int(digs[-1])
+            top = int(digs.max())
+        else:
+            lst = digests[lo:hi].tolist()
+            self.last_code = lst[-1]
+            top = max(lst)
+        if top > self.max_code:
+            self.max_code = top
+
+    @property
+    def is_complete(self) -> bool:
+        """Answerable as soon as one digest arrived."""
+        return self.records > 0
+
+    def bottleneck(self) -> Optional[float]:
+        """Decoded max path utilisation seen so far."""
+        if self.max_code < 0:
+            return None
+        return self.codec.decode(self.max_code)
+
+    def latest(self) -> Optional[float]:
+        """Decoded most-recent digest (the per-ACK HPCC feedback)."""
+        if self.last_code < 0:
+            return None
+        return self.codec.decode(self.last_code)
+
+    def result(self) -> Optional[float]:
+        """The bottleneck utilisation (None before any record)."""
+        return self.bottleneck()
+
+    def state_bytes(self) -> int:
+        """Constant-size state: two codes and a counter."""
+        return sys.getsizeof(self)
+
+
+def path_consumer_factory(universe: Sequence[int], **kwargs) -> ConsumerFactory:
+    """Factory of :class:`PathDigestConsumer`, one per flow."""
+    return lambda flow_id: PathDigestConsumer(universe, **kwargs)
+
+
+def latency_consumer_factory(**kwargs) -> ConsumerFactory:
+    """Factory of :class:`LatencyDigestConsumer`, one per flow."""
+    return lambda flow_id: LatencyDigestConsumer(**kwargs)
+
+
+def congestion_consumer_factory(**kwargs) -> ConsumerFactory:
+    """Factory of :class:`CongestionDigestConsumer`, sharing one codec."""
+    codec = UtilizationCodec(
+        kwargs.pop("bits", 8), kwargs.pop("epsilon", 0.025),
+        seed=kwargs.pop("seed", 0), **kwargs,
+    )
+    return lambda flow_id: CongestionDigestConsumer(codec=codec)

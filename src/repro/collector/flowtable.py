@@ -1,0 +1,147 @@
+"""Per-shard flow state: LRU/TTL-bounded table of digest consumers.
+
+A production sink cannot keep state for every flow it ever saw; the
+paper's storage argument (O(1) digests per packet, bounded per-flow
+state) only pays off if the collector also *bounds the number of live
+flows*.  The table enforces two orthogonal limits:
+
+* ``max_flows`` -- hard capacity; inserting past it evicts the least
+  recently touched flow (LRU, via ``OrderedDict`` move-to-end);
+* ``ttl`` -- idle expiry; a periodic sweep evicts flows whose last
+  record is older than ``ttl`` on the caller's clock (sim seconds when
+  driven from the DES, ingested-record count when free-running).
+
+Evicted state is simply dropped: PINT's decoders are rebuildable from
+future packets of the same flow (every packet re-selects its layer and
+carrier by global hash), so eviction costs extra packets, not
+correctness -- the same trade BASEL makes between buffer occupancy and
+admission (PAPERS.md).
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import OrderedDict
+from typing import Iterator, Optional, Tuple
+
+from repro.collector.consumers import ConsumerFactory, DigestConsumer
+
+
+class FlowEntry:
+    """One live flow: its consumer plus bookkeeping."""
+
+    __slots__ = ("flow_id", "consumer", "last_seen", "records", "generation")
+
+    def __init__(
+        self, flow_id: int, consumer: DigestConsumer, now: float, generation: int
+    ) -> None:
+        self.flow_id = flow_id
+        self.consumer = consumer
+        self.last_seen = now
+        self.records = 0
+        #: Table-wide creation sequence number: a re-created entry
+        #: (post-eviction) always carries a higher generation than its
+        #: predecessor, letting tests assert clean re-init without the
+        #: table remembering every flow_id it ever saw.
+        self.generation = generation
+
+
+class FlowTable:
+    """LRU/TTL-bounded mapping of flow_id -> :class:`FlowEntry`."""
+
+    def __init__(
+        self,
+        consumer_factory: ConsumerFactory,
+        max_flows: Optional[int] = None,
+        ttl: Optional[float] = None,
+    ) -> None:
+        if max_flows is not None and max_flows < 1:
+            raise ValueError("max_flows must be >= 1")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.consumer_factory = consumer_factory
+        self.max_flows = max_flows
+        self.ttl = ttl
+        self._entries: "OrderedDict[int, FlowEntry]" = OrderedDict()
+        # Counters surfaced in snapshots.
+        self.created = 0
+        self.lru_evictions = 0
+        self.ttl_evictions = 0
+        self._last_sweep = float("-inf")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, flow_id: int) -> bool:
+        return flow_id in self._entries
+
+    def get(self, flow_id: int) -> Optional[FlowEntry]:
+        """Look up a flow without touching LRU order."""
+        return self._entries.get(flow_id)
+
+    def touch(self, flow_id: int, now: float) -> FlowEntry:
+        """Fetch-or-create the flow's entry and mark it most recent."""
+        entry = self._entries.get(flow_id)
+        if entry is not None:
+            entry.last_seen = now
+            self._entries.move_to_end(flow_id)
+            return entry
+        self.created += 1
+        entry = FlowEntry(
+            flow_id, self.consumer_factory(flow_id), now, self.created
+        )
+        self._entries[flow_id] = entry
+        if self.max_flows is not None:
+            while len(self._entries) > self.max_flows:
+                self._entries.popitem(last=False)
+                self.lru_evictions += 1
+        return entry
+
+    def evict(self, flow_id: int) -> bool:
+        """Drop one flow's state explicitly (e.g. on flow FIN)."""
+        return self._entries.pop(flow_id, None) is not None
+
+    def expire(self, now: float) -> int:
+        """Sweep out flows idle for longer than ``ttl``; return count."""
+        if self.ttl is None:
+            return 0
+        deadline = now - self.ttl
+        evicted = 0
+        # Entries are LRU-ordered, so expiry stops at the first keeper.
+        while self._entries:
+            flow_id, entry = next(iter(self._entries.items()))
+            if entry.last_seen > deadline:
+                break
+            del self._entries[flow_id]
+            evicted += 1
+        self.ttl_evictions += evicted
+        return evicted
+
+    def maybe_expire(self, now: float) -> int:
+        """Amortised expiry: sweep at most every ``ttl / 4`` clock units."""
+        if self.ttl is None:
+            return 0
+        if now - self._last_sweep < self.ttl / 4.0:
+            return 0
+        self._last_sweep = now
+        return self.expire(now)
+
+    # -- accounting --------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[int, FlowEntry]]:
+        """Iterate (flow_id, entry), LRU-oldest first."""
+        return iter(self._entries.items())
+
+    def completed_flows(self) -> int:
+        """Flows whose consumer currently has a decodable answer."""
+        return sum(
+            1 for e in self._entries.values() if e.consumer.is_complete
+        )
+
+    def state_bytes(self) -> int:
+        """Estimated resident bytes across all live consumers."""
+        per_entry = 96  # dict slot + FlowEntry slots, roughly
+        return sum(
+            e.consumer.state_bytes() + per_entry
+            for e in self._entries.values()
+        ) + sys.getsizeof(self._entries)

@@ -1,0 +1,94 @@
+"""Metrics export: point-in-time snapshots of collector state.
+
+The operational surface a monitoring stack scrapes: per-shard flow
+counts, ingest counters, eviction counters, decode-completion rates and
+estimated resident bytes, plus whole-collector aggregates.  Snapshots
+are plain frozen dataclasses -- cheap to take, trivially serialisable
+(``as_dict``) and comparable in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """One shard's counters at snapshot time."""
+
+    shard_id: int
+    flows: int
+    records: int
+    batches: int
+    created: int
+    lru_evictions: int
+    ttl_evictions: int
+    completed_flows: int
+    state_bytes: int
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of live flows with a decodable answer."""
+        return self.completed_flows / self.flows if self.flows else 0.0
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Whole-collector view: per-shard stats + aggregates."""
+
+    taken_at: float
+    shards: List[ShardStats] = field(default_factory=list)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def flows(self) -> int:
+        """Live flows across all shards."""
+        return sum(s.flows for s in self.shards)
+
+    @property
+    def records(self) -> int:
+        """Records ingested since construction."""
+        return sum(s.records for s in self.shards)
+
+    @property
+    def evictions(self) -> int:
+        """LRU + TTL evictions across all shards."""
+        return sum(s.lru_evictions + s.ttl_evictions for s in self.shards)
+
+    @property
+    def completed_flows(self) -> int:
+        """Flows with a decodable answer across all shards."""
+        return sum(s.completed_flows for s in self.shards)
+
+    @property
+    def completion_rate(self) -> float:
+        """Decode-completion rate over all live flows."""
+        flows = self.flows
+        return self.completed_flows / flows if flows else 0.0
+
+    @property
+    def state_bytes(self) -> int:
+        """Estimated resident consumer state, bytes."""
+        return sum(s.state_bytes for s in self.shards)
+
+    @property
+    def max_shard_flows(self) -> int:
+        """Hottest shard's flow count (skew / balance check)."""
+        return max((s.flows for s in self.shards), default=0)
+
+    def as_dict(self) -> Dict:
+        """JSON-friendly dump, aggregates included."""
+        return {
+            "taken_at": self.taken_at,
+            "flows": self.flows,
+            "records": self.records,
+            "evictions": self.evictions,
+            "completed_flows": self.completed_flows,
+            "completion_rate": self.completion_rate,
+            "state_bytes": self.state_bytes,
+            "shards": [asdict(s) for s in self.shards],
+        }

@@ -27,8 +27,21 @@ def build_telemetry(
     pint_frequency: float = 1.0,
     pint_bits: int = 8,
     seed: int = 0,
+    collector=None,
 ):
-    """Construct a telemetry stamp: 'none', 'int', or 'pint'."""
+    """Construct a telemetry stamp: 'none', 'int', or 'pint'.
+
+    ``collector`` (a :class:`repro.collector.Collector`) attaches a
+    streaming sink to the PINT stamp, so digests are ingested live at
+    the receiving hosts instead of post-processed.  Only the 'pint'
+    mode exports digests, so a collector with any other mode would
+    silently stay empty -- that combination is rejected.
+    """
+    if collector is not None and mode != "pint":
+        raise ValueError(
+            f"collector requires telemetry mode 'pint', not {mode!r} "
+            "(only PINT streams digests to a sink)"
+        )
     if mode == "none":
         return NoTelemetry()
     if mode == "int":
@@ -39,6 +52,7 @@ def build_telemetry(
             bits=pint_bits,
             frequency=pint_frequency,
             seed=seed,
+            collector=collector,
         )
     raise ValueError(f"unknown telemetry mode {mode!r}")
 
@@ -141,12 +155,15 @@ def run_hpcc_experiment(
     seed: int = 0,
     max_flows: Optional[int] = 200,
     run_slack: float = 3.0,
+    collector=None,
 ) -> ExperimentResult:
     """Figs. 7-8: HPCC fed by classic INT vs the PINT digest.
 
     The telemetry mode decides both the feedback channel and the bytes
     each packet carries (INT grows 12B/hop + 8B header; PINT is a fixed
-    2-byte digest).
+    2-byte digest).  Passing a ``collector`` makes the run
+    collector-backed: sinks stream every selected digest into it, and
+    the caller can snapshot per-flow bottleneck state afterwards.
     """
     topo = fat_tree(k)
     probe = Network(topo, Simulator(), link_rate_bps=link_rate_bps, seed=seed)
@@ -157,6 +174,7 @@ def run_hpcc_experiment(
         base_rtt=base_rtt,
         pint_frequency=pint_frequency,
         seed=seed,
+        collector=collector,
     )
     net = Network(
         topo,

@@ -36,6 +36,10 @@ class SwitchDevice(Device):
 
     def receive(self, pkt: SimPacket) -> None:
         dst = self.network.packet_destination(pkt)
+        if dst is None:
+            # In-flight packet of a torn-down flow: drop, don't crash.
+            self.network.orphan_drops += 1
+            return
         options = self.network.next_hops(self.node_id, dst)
         choice = options[
             self.network.ecmp_hash.choice(len(options), pkt.flow_id, self.node_id)
@@ -91,6 +95,8 @@ class Network:
         self.telemetry = telemetry
         self.ecmp_hash = GlobalHash(seed, "ecmp")
         self.flows: Dict[int, "object"] = {}
+        #: Packets dropped mid-fabric because their flow was torn down.
+        self.orphan_drops = 0
         self._pid_counter = 0
         host_rate = host_rate_bps if host_rate_bps is not None else link_rate_bps
 
@@ -151,9 +157,16 @@ class Network:
         """Number of switches between two hosts (base-RTT arithmetic)."""
         return len(self.topology.switch_path(src_host, dst_host))
 
-    def packet_destination(self, pkt: SimPacket) -> int:
-        """Destination host of a packet (ACKs flow to the sender)."""
-        flow = self.flows[pkt.flow_id]
+    def packet_destination(self, pkt: SimPacket) -> Optional[int]:
+        """Destination host of a packet (ACKs flow to the sender).
+
+        Returns None for in-flight packets of an already-torn-down
+        flow; switches drop those (counted in ``orphan_drops``) the way
+        :class:`HostDevice` already discards them at the edge.
+        """
+        flow = self.flows.get(pkt.flow_id)
+        if flow is None:
+            return None
         return flow.src_host if pkt.is_ack else flow.dst_host
 
     def new_pid(self) -> int:

@@ -11,6 +11,13 @@ the egress-pipeline point the paper instruments:
   compresses it to ``bits`` with randomized multiplicative rounding,
   and max-folds it into the fixed-width digest -- but only on packets
   the query-frequency hash selects (the Fig. 8 knob p).
+
+Every stamp also exposes ``on_sink(pkt, now)``, invoked by the
+receiving endpoint when a data packet terminates.  With a
+:class:`repro.collector.Collector` attached (``PINTTelemetry``'s
+``collector`` argument), digests stream into the collector *during*
+the DES run instead of being post-processed from echoes afterwards --
+the sink-side half of the paper's architecture.
 """
 
 from __future__ import annotations
@@ -30,6 +37,11 @@ class NoTelemetry:
 
     def on_dequeue(self, pkt: SimPacket, link) -> None:
         """No-op."""
+
+    def on_sink(
+        self, pkt: SimPacket, now: float = 0.0, selected: Optional[bool] = None
+    ) -> None:
+        """No-op: nothing is exported."""
 
     def source_overhead(self) -> int:
         """Bytes the source adds: none."""
@@ -63,6 +75,11 @@ class INTTelemetry:
         pkt.int_overhead_bytes += VALUE_BYTES * self.num_values
         pkt.hop_count += 1
 
+    def on_sink(
+        self, pkt: SimPacket, now: float = 0.0, selected: Optional[bool] = None
+    ) -> None:
+        """No-op: classic INT exports via the ACK echo, not a collector."""
+
 
 class PINTTelemetry:
     """PINT-for-HPCC: EWMA utilisation, compressed, max-aggregated.
@@ -78,6 +95,10 @@ class PINTTelemetry:
     digest_bytes:
         Fixed per-packet overhead the PINT source reserves (2 bytes =
         the paper's 16-bit global budget).
+    collector:
+        Optional :class:`repro.collector.Collector`; when set, every
+        digest-carrying data packet that reaches its sink is streamed
+        into it as a ``(flow_id, pid, hop_count, digest)`` record.
     """
 
     def __init__(
@@ -88,6 +109,7 @@ class PINTTelemetry:
         digest_bytes: int = 2,
         epsilon: float = 0.025,
         seed: int = 0,
+        collector=None,
     ) -> None:
         if base_rtt <= 0:
             raise ValueError("base_rtt must be positive")
@@ -97,6 +119,7 @@ class PINTTelemetry:
         self.frequency = frequency
         self.digest_bytes = digest_bytes
         self.codec = UtilizationCodec(bits, epsilon, seed=seed)
+        self.collector = collector
         self._select = GlobalHash(seed, "hpcc-query-frequency")
 
     def source_overhead(self) -> int:
@@ -118,6 +141,24 @@ class PINTTelemetry:
         code = self.codec.encode(link.ewma_util, pkt.pid, pkt.hop_count)
         if code > pkt.digest:
             pkt.digest = code
+
+    def on_sink(
+        self, pkt: SimPacket, now: float = 0.0, selected: Optional[bool] = None
+    ) -> None:
+        """Stream the terminated packet's digest into the collector.
+
+        ``selected`` forwards an already-computed ``carries_query``
+        verdict so the sink hashes each pid only once.
+        """
+        if self.collector is None or pkt.is_ack:
+            return
+        if selected is None:
+            selected = self.carries_query(pkt.pid)
+        if not selected:
+            return
+        self.collector.ingest(
+            pkt.flow_id, pkt.pid, pkt.hop_count, pkt.digest, now=now
+        )
 
     def _update_ewma(self, link, byte: int) -> None:
         """The paper's update: U = (T-tau)/T * U + qlen*tau/(B*T^2) + byte/(B*T)."""

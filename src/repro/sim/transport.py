@@ -53,13 +53,17 @@ class Receiver:
             # The echo consumes reverse bandwidth too.
             ack.int_overhead_bytes = pkt.int_overhead_bytes
         telemetry = net.telemetry
-        if (
-            telemetry is not None
-            and hasattr(telemetry, "carries_query")
-            and telemetry.carries_query(pkt.pid)
-        ):
-            ack.echo_digest = pkt.digest
-            ack.fixed_overhead_bytes = telemetry.digest_bytes
+        selected = None
+        if telemetry is not None and hasattr(telemetry, "carries_query"):
+            selected = telemetry.carries_query(pkt.pid)
+            if selected:
+                ack.echo_digest = pkt.digest
+                ack.fixed_overhead_bytes = telemetry.digest_bytes
+        # Sink-side export: the terminating host streams the packet's
+        # digest to an attached collector (repro.collector).  The
+        # query-selection verdict is forwarded so it is hashed once.
+        if telemetry is not None and hasattr(telemetry, "on_sink"):
+            telemetry.on_sink(pkt, net.sim.now, selected)
         net.inject(self.flow.dst_host, ack)
 
 

@@ -1,0 +1,392 @@
+"""Tests for the sink-side streaming collector (repro.collector)."""
+
+import numpy as np
+import pytest
+
+from repro.coding import (
+    DistributedMessage,
+    PathEncoder,
+    make_decoder,
+    multilayer_scheme,
+    pack_reps,
+)
+from repro.collector import (
+    Collector,
+    CongestionDigestConsumer,
+    FlowTable,
+    LatencyDigestConsumer,
+    ShardRouter,
+    congestion_consumer_factory,
+    latency_consumer_factory,
+    normalize_batch,
+    path_consumer_factory,
+)
+from repro.net import fat_tree
+from repro.sim.experiment import run_hpcc_experiment
+from repro.sim.workload import hadoop_cdf
+
+
+_pack = pack_reps
+
+
+class TestShardRouting:
+    def test_same_flow_same_shard(self):
+        router = ShardRouter(16, seed=5)
+        for flow_id in range(1, 500):
+            first = router.shard_of(flow_id)
+            assert all(router.shard_of(flow_id) == first for _ in range(3))
+            assert 0 <= first < 16
+
+    def test_scalar_matches_vectorised(self):
+        router = ShardRouter(8, seed=1)
+        fids = np.arange(1, 4000, dtype=np.int64)
+        arr = router.shard_of_array(fids)
+        assert all(
+            router.shard_of(int(f)) == int(s) for f, s in zip(fids, arr)
+        )
+
+    def test_spread_across_shards(self):
+        router = ShardRouter(8, seed=0)
+        counts = np.bincount(
+            router.shard_of_array(np.arange(8000)), minlength=8
+        )
+        assert counts.min() > 0.5 * 1000  # roughly balanced
+
+    def test_collector_places_flow_once(self):
+        col = Collector(congestion_consumer_factory(), num_shards=8, seed=2)
+        for i in range(200):
+            col.ingest(42, i, 5, i % 256)
+        snap = col.snapshot()
+        assert snap.flows == 1
+        assert snap.records == 200
+        assert snap.max_shard_flows == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+
+class TestFlowTable:
+    def test_lru_eviction_order(self):
+        table = FlowTable(lambda fid: CongestionDigestConsumer(), max_flows=3)
+        for fid in (1, 2, 3):
+            table.touch(fid, now=float(fid))
+        table.touch(1, now=4.0)       # 2 is now the least recent
+        table.touch(4, now=5.0)       # evicts 2
+        assert 2 not in table and {1, 3, 4} <= set(f for f, _ in table.items())
+        assert table.lru_evictions == 1
+
+    def test_evicted_flow_reinitializes_cleanly(self):
+        table = FlowTable(lambda fid: CongestionDigestConsumer(), max_flows=1)
+        first = table.touch(7, now=0.0)
+        first.consumer.consume(1, 5, 200)
+        table.touch(8, now=1.0)       # evicts 7
+        again = table.touch(7, now=2.0)
+        assert again.generation > first.generation
+        assert again.consumer is not first.consumer
+        assert again.consumer.records == 0
+        assert again.consumer.max_code == -1
+
+    def test_ttl_expiry(self):
+        table = FlowTable(lambda fid: CongestionDigestConsumer(), ttl=10.0)
+        table.touch(1, now=0.0)
+        table.touch(2, now=8.0)
+        assert table.expire(now=15.0) == 1    # flow 1 idle > ttl
+        assert 1 not in table and 2 in table
+        assert table.ttl_evictions == 1
+
+    def test_ttl_via_collector(self):
+        col = Collector(congestion_consumer_factory(), num_shards=2, ttl=5.0)
+        col.ingest(1, 1, 3, 10, now=0.0)
+        col.ingest(2, 2, 3, 10, now=4.0)
+        evicted = col.expire(now=20.0)
+        assert evicted == 2
+        assert len(col) == 0
+        assert col.flow(1) is None
+
+    def test_clock_modes_cannot_mix(self):
+        col = Collector(congestion_consumer_factory(), num_shards=2, ttl=5.0)
+        col.ingest(1, 1, 3, 10, now=1.0)
+        with pytest.raises(ValueError):
+            col.ingest(1, 2, 3, 10)            # free-running after timed
+        with pytest.raises(ValueError):
+            col.ingest_batch([1], [3], [3], [1])
+        free = Collector(congestion_consumer_factory(), num_shards=2)
+        free.ingest(1, 1, 3, 10)
+        with pytest.raises(ValueError):
+            free.ingest(1, 2, 3, 10, now=2.0)  # timed after free-running
+        with pytest.raises(ValueError):
+            free.expire(now=2.0)               # wall-clock sweep, too
+        assert free.expire() == 0              # clock-native sweep is fine
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlowTable(lambda fid: CongestionDigestConsumer(), max_flows=0)
+        with pytest.raises(ValueError):
+            FlowTable(lambda fid: CongestionDigestConsumer(), ttl=0.0)
+
+
+class TestBatchedIngest:
+    def test_batch_matches_scalar_state(self):
+        rng = np.random.default_rng(3)
+        n = 4000
+        fids = rng.integers(1, 100, n)
+        pids = np.arange(1, n + 1)
+        hops = np.full(n, 5)
+        digs = rng.integers(0, 256, n)
+        scalar = Collector(congestion_consumer_factory(), num_shards=4, seed=7)
+        batched = Collector(congestion_consumer_factory(), num_shards=4, seed=7)
+        for i in range(n):
+            scalar.ingest(int(fids[i]), int(pids[i]), int(hops[i]), int(digs[i]))
+        batched.ingest_batch(fids, pids, hops, digs)
+        for fid in np.unique(fids):
+            a, b = scalar.flow(int(fid)), batched.flow(int(fid))
+            assert a.max_code == b.max_code
+            assert a.last_code == b.last_code
+            assert a.records == b.records
+        assert scalar.snapshot().records == batched.snapshot().records == n
+        assert scalar.snapshot().flows == batched.snapshot().flows
+
+    def test_batch_accepts_plain_lists(self):
+        col = Collector(congestion_consumer_factory(), num_shards=1)
+        assert col.ingest_batch([1, 1, 2], [1, 2, 3], [4, 4, 4], [9, 3, 5]) == 3
+        assert col.flow(1).max_code == 9
+        assert col.flow(2).max_code == 5
+
+    def test_empty_batch(self):
+        col = Collector(congestion_consumer_factory(), num_shards=2)
+        assert col.ingest_batch([], [], [], []) == 0
+        assert len(col) == 0
+
+    def test_ragged_batch_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_batch([1, 2], [1], [1, 1], [0, 0])
+
+    def test_2d_flow_column_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_batch([[1, 2], [3, 4], [5, 6]], [1, 2, 3],
+                            [1, 1, 1], [7, 8, 9])
+
+    def test_single_shard_fast_path(self):
+        col = Collector(congestion_consumer_factory(), num_shards=1)
+        col.ingest_batch([3, 4, 3], [1, 2, 3], [2, 2, 2], [7, 1, 2])
+        assert col.flow(3).records == 2
+        assert col.flow(4).records == 1
+
+    def test_batches_counted_per_call_not_per_group(self):
+        col = Collector(congestion_consumer_factory(), num_shards=2, seed=0)
+        n = 200  # 100 distinct flows spread over both shards
+        col.ingest_batch(
+            np.arange(n) % 100, np.arange(n), np.full(n, 3), np.arange(n)
+        )
+        snap = col.snapshot()
+        # One ingest_batch call bumps each touched shard once, however
+        # many flow groups it fans out into.
+        assert sum(s.batches for s in snap.shards) <= col.num_shards
+        assert snap.records == n
+
+
+class TestPathCollector:
+    def test_decodes_same_path_as_harness(self):
+        """Acceptance: collector-backed decode == PathTracer's decode.
+
+        Same topology path, scheme, digest layout and seed as the
+        ``PathTracer`` harness uses internally (PathEncoder +
+        make_decoder): the collector must recover the identical switch
+        path, and in the identical number of packets.
+        """
+        topo = fat_tree(4)
+        src, dst = topo.hosts[0], topo.hosts[-1]
+        path = topo.switch_path(src, dst)
+        universe = topo.switch_universe()
+        seed, bits, hashes = 42, 8, 2
+        scheme = multilayer_scheme(len(path))
+        message = DistributedMessage.from_path(path, universe)
+        encoder = PathEncoder(message, scheme, bits, "hash", hashes, seed)
+        reference = make_decoder(encoder)
+
+        col = Collector(
+            path_consumer_factory(
+                universe, digest_bits=bits, num_hashes=hashes,
+                seed=seed, scheme=scheme,
+            ),
+            num_shards=4,
+            seed=seed,
+        )
+        flow_id = 11
+        harness_done = None
+        collector_done = None
+        for pid in range(1, 100_000):
+            reps = encoder.encode(pid)
+            if harness_done is None:
+                reference.observe(pid, reps)
+                if reference.is_complete:
+                    harness_done = pid
+            if collector_done is None:
+                col.ingest(flow_id, pid, len(path), _pack(reps, bits))
+                if col.flow(flow_id).is_complete:
+                    collector_done = pid
+            if harness_done and collector_done:
+                break
+        assert harness_done == collector_done
+        assert reference.path() == path
+        assert col.result(flow_id) == path
+
+    def test_many_flows_batched(self):
+        topo = fat_tree(4)
+        universe = topo.switch_universe()
+        rng = np.random.default_rng(0)
+        flows = {}
+        for fid in range(1, 9):
+            src, dst = rng.choice(topo.hosts, 2, replace=False)
+            flows[fid] = topo.switch_path(int(src), int(dst))
+        seed, bits = 5, 8
+        encoders = {
+            fid: PathEncoder(
+                DistributedMessage.from_path(p, universe),
+                multilayer_scheme(len(p)), bits, "hash", 1, seed,
+            )
+            for fid, p in flows.items() if len(p) >= 1
+        }
+        # Default factory: the scheme adapts per flow to the observed
+        # hop count, matching each encoder's multilayer_scheme(len(p)).
+        col = Collector(
+            path_consumer_factory(universe, digest_bits=bits, seed=seed),
+            num_shards=4,
+        )
+        pid = 0
+        for _round in range(400):
+            fids, pids, hops, digs = [], [], [], []
+            for fid, enc in encoders.items():
+                pid += 1
+                fids.append(fid)
+                pids.append(pid)
+                hops.append(len(flows[fid]))
+                digs.append(_pack(enc.encode(pid), bits))
+            col.ingest_batch(fids, pids, hops, digs)
+            if all(col.flow(f).is_complete for f in encoders):
+                break
+        for fid in encoders:
+            assert col.result(fid) == flows[fid]
+
+    def test_decode_error_resets_consumer(self):
+        """A digest stream that contradicts itself resets, not wedges."""
+        topo = fat_tree(4)
+        universe = topo.switch_universe()
+        consumer = path_consumer_factory(universe, digest_bits=8, seed=1, d=4)(1)
+        # Feed garbage digests long enough to force a contradiction.
+        for pid in range(1, 400):
+            consumer.consume(pid, 4, pid % 251)
+            if consumer.decode_errors:
+                break
+        assert consumer.decode_errors >= 1
+
+
+class TestLatencyCollector:
+    def test_quantiles_track_truth(self):
+        from repro.apps.latency import LatencyCompressor
+        from repro.hashing import GlobalHash, reservoir_carrier
+
+        seed, bits, k = 3, 12, 4
+        comp = LatencyCompressor(bits, seed=seed)
+        g = GlobalHash(seed, "latency-reservoir")
+        rng = np.random.default_rng(1)
+        truth = {hop: [] for hop in range(1, k + 1)}
+        col = Collector(
+            latency_consumer_factory(bits=bits, seed=seed), num_shards=2
+        )
+        for pid in range(1, 4001):
+            lat = {hop: float(rng.uniform(1e-5, 1e-3) * hop)
+                   for hop in range(1, k + 1)}
+            carrier = reservoir_carrier(g, pid, k)
+            truth[carrier].append(lat[carrier])
+            col.ingest(1, pid, k, comp.encode(lat[carrier], pid, carrier))
+        consumer = col.flow(1)
+        assert consumer.is_complete
+        for hop in range(1, k + 1):
+            assert consumer.samples_at(hop) == len(truth[hop])
+            est = consumer.quantile(hop, 0.5)
+            exact = float(np.quantile(truth[hop], 0.5))
+            assert est == pytest.approx(exact, rel=0.25)
+
+    def test_sketch_bounds_state(self):
+        col_raw = Collector(latency_consumer_factory(bits=8), num_shards=1)
+        col_sk = Collector(
+            latency_consumer_factory(bits=8, sketch_size=64), num_shards=1
+        )
+        for pid in range(1, 3001):
+            col_raw.ingest(1, pid, 5, pid % 200)
+            col_sk.ingest(1, pid, 5, pid % 200)
+        assert (
+            col_sk.snapshot().state_bytes < col_raw.snapshot().state_bytes
+        )
+
+
+class TestSnapshot:
+    def test_counters_and_dict(self):
+        col = Collector(
+            congestion_consumer_factory(), num_shards=4,
+            max_flows_per_shard=8, seed=1,
+        )
+        rng = np.random.default_rng(2)
+        n = 2000
+        col.ingest_batch(
+            rng.integers(1, 200, n), np.arange(n), np.full(n, 4),
+            rng.integers(0, 256, n),
+        )
+        snap = col.snapshot()
+        assert snap.records == n
+        assert snap.flows == len(col) <= 4 * 8
+        assert snap.evictions > 0            # 199 flows into 32 slots
+        assert snap.completion_rate == 1.0   # congestion: any record completes
+        assert snap.state_bytes > 0
+        d = snap.as_dict()
+        assert d["records"] == n and len(d["shards"]) == 4
+
+    def test_completion_rate_partial(self):
+        topo = fat_tree(4)
+        universe = topo.switch_universe()
+        col = Collector(
+            path_consumer_factory(universe, digest_bits=8, seed=0, d=4),
+            num_shards=1,
+        )
+        col.ingest(1, 1, 4, 0)  # one digest: nowhere near decoded
+        snap = col.snapshot()
+        assert snap.flows == 1 and snap.completed_flows == 0
+        assert snap.completion_rate == 0.0
+
+
+class TestDESIntegration:
+    def test_collector_rejected_for_non_pint_modes(self):
+        from repro.sim.experiment import build_telemetry
+
+        col = Collector(congestion_consumer_factory(), num_shards=1)
+        for mode in ("int", "none"):
+            with pytest.raises(ValueError):
+                build_telemetry(mode, collector=col)
+
+    def test_collector_backed_hpcc_run(self):
+        col = Collector(
+            congestion_consumer_factory(seed=0), num_shards=4, seed=0
+        )
+        result = run_hpcc_experiment(
+            "pint",
+            load=0.3,
+            cdf=hadoop_cdf(0.05),
+            link_rate_bps=50e6,
+            duration=0.05,
+            max_flows=20,
+            seed=0,
+            collector=col,
+        )
+        snap = col.snapshot()
+        assert result.flows      # the run itself completed flows
+        assert snap.records > 0  # ...and streamed digests while running
+        assert snap.flows > 0
+        assert snap.taken_at > 0.0  # clock rode the sim time
+        for shard in col.shards:
+            for fid, entry in shard.table.items():
+                u = entry.consumer.bottleneck()
+                # Randomised rounding can land one grid step above
+                # the codec's max_util anchor (16).
+                assert u is not None and 0.0 <= u <= 17.0

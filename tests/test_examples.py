@@ -56,3 +56,9 @@ class TestExamplesRun:
         _load("path_tracing_isp").main()
         out = capsys.readouterr().out
         assert "PINT 2x(b=8)" in out
+
+    def test_collector_service(self, capsys):
+        _load("collector_service").main()
+        out = capsys.readouterr().out
+        assert "records streamed to sink" in out
+        assert "paths decoded exactly      : 16/16" in out

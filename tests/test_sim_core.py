@@ -255,3 +255,55 @@ class TestPercentile:
     def test_empty(self):
         with pytest.raises(ValueError):
             percentile([], 50)
+
+
+class TestOrphanPackets:
+    def test_torn_down_flow_drops_gracefully(self):
+        """In-flight packets of a removed flow are dropped and counted."""
+        from repro.sim.transport import Flow
+
+        topo = fat_tree(4)
+        net = Network(topo, Simulator(), link_rate_bps=1e6)
+        Flow(net, flow_id=1, src_host=topo.hosts[0], dst_host=topo.hosts[-1],
+             size_bytes=20_000, start_time=0.0, transport="reno")
+        # Tear the flow down mid-run, while packets are in the fabric.
+        net.sim.schedule(0.05, net.flows.pop, 1)
+        net.sim.run(until=1.0)
+        assert 1 not in net.flows
+        assert net.orphan_drops > 0
+
+    def test_destination_none_for_unknown_flow(self):
+        net = Network(fat_tree(4), Simulator())
+        pkt = SimPacket(pid=1, flow_id=999, seq=0, payload_bytes=100)
+        assert net.packet_destination(pkt) is None
+
+
+class TestCDFMean:
+    def test_exact_matches_monte_carlo(self):
+        """Closed-form log-linear segment mean agrees with sampling."""
+        for cdf in (web_search_cdf(), hadoop_cdf(), web_search_cdf(0.1)):
+            exact = cdf.mean()
+            mc = cdf.mean(samples=40_000, seed=3, method="monte-carlo")
+            assert exact == pytest.approx(mc, rel=0.05)
+
+    def test_exact_is_deterministic(self):
+        cdf = hadoop_cdf()
+        assert cdf.mean() == cdf.mean(method="exact", seed=123)
+
+    def test_sampling_args_select_monte_carlo(self):
+        # Passing samples/seed without a method means the caller wants
+        # the sampling estimator those arguments configure.
+        cdf = hadoop_cdf()
+        assert cdf.mean(samples=500, seed=1) == cdf.mean(
+            samples=500, seed=1, method="monte-carlo"
+        )
+        assert cdf.mean(samples=500, seed=1) != cdf.mean()
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            web_search_cdf().mean(method="bogus")
+
+    def test_degenerate_segment(self):
+        # A flat segment (s1 == s0) must not divide by log(1) == 0.
+        cdf = EmpiricalCDF([(100, 0.5), (100, 1.0)], min_size=100)
+        assert cdf.mean() == pytest.approx(100.0)

@@ -1,0 +1,102 @@
+"""Edge-case tests for PINTTelemetry's in-switch EWMA (paper §4.3)."""
+
+import pytest
+
+from repro.sim import Link, PINTTelemetry, SimPacket, Simulator
+
+
+class _Sink:
+    def receive(self, pkt):
+        pass
+
+
+def _pkt(pid=1, payload=1000, **kwargs):
+    return SimPacket(pid=pid, flow_id=1, seq=0, payload_bytes=payload, **kwargs)
+
+
+def _idle_link(sim, rate_bps=1e6, telemetry=None):
+    return Link(sim, "l", _Sink(), rate_bps, 0.0, 1_000_000, telemetry=telemetry)
+
+
+class TestUpdateEwma:
+    def test_tau_clamped_to_horizon(self):
+        """After idling longer than T, the old EWMA fully decays."""
+        t_horizon = 1e-3
+        telem = PINTTelemetry(base_rtt=t_horizon)
+        sim = Simulator()
+        link = _idle_link(sim)
+        link.ewma_util = 5.0
+        link.ewma_last_update = 0.0
+        sim.at(50 * t_horizon, lambda: None)  # tau = 50T, must clamp to T
+        sim.run()
+        byte = 1000
+        b_rate = link.rate_bps / 8.0
+        telem._update_ewma(link, byte)
+        # (T - tau)/T == 0 once tau clamps, so only the fresh terms remain.
+        expected = byte / (b_rate * t_horizon)
+        assert link.ewma_util == pytest.approx(expected)
+        assert link.ewma_last_update == sim.now
+
+    def test_partial_decay_below_horizon(self):
+        """tau < T: old EWMA survives with weight (T - tau)/T."""
+        t_horizon = 1e-3
+        telem = PINTTelemetry(base_rtt=t_horizon)
+        sim = Simulator()
+        link = _idle_link(sim)
+        link.ewma_util = 2.0
+        link.ewma_last_update = 0.0
+        tau = t_horizon / 4
+        sim.at(tau, lambda: None)
+        sim.run()
+        b_rate = link.rate_bps / 8.0
+        telem._update_ewma(link, 0)
+        expected = (t_horizon - tau) / t_horizon * 2.0
+        assert link.ewma_util == pytest.approx(expected)
+
+    def test_queue_term_contributes(self):
+        """Standing queue adds qlen * tau / (B * T^2)."""
+        t_horizon = 1e-3
+        telem = PINTTelemetry(base_rtt=t_horizon)
+        sim = Simulator()
+        link = _idle_link(sim)
+        link.queued_bytes = 4000
+        tau = t_horizon / 2
+        sim.at(tau, lambda: None)
+        sim.run()
+        b_rate = link.rate_bps / 8.0
+        telem._update_ewma(link, 0)
+        expected = 4000 * tau / (b_rate * t_horizon * t_horizon)
+        assert link.ewma_util == pytest.approx(expected)
+
+    def test_zero_rate_guard(self):
+        """A zero-rate link is rejected before the EWMA can divide by it."""
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, "l", _Sink(), 0.0, 0.0, 1_000_000)
+        with pytest.raises(ValueError):
+            Link(sim, "l", _Sink(), -1e6, 0.0, 1_000_000)
+
+    def test_ack_skips_ewma_and_hop_count(self):
+        """ACKs neither update the EWMA nor count as a hop."""
+        telem = PINTTelemetry(base_rtt=1e-3)
+        sim = Simulator()
+        link = _idle_link(sim, telemetry=telem)
+        link.ewma_util = 0.0
+        ack = _pkt(payload=0, is_ack=True)
+        link.enqueue(ack)
+        sim.run()
+        assert ack.hop_count == 0
+        assert ack.digest == 0
+        assert link.ewma_util == 0.0
+        assert link.ewma_last_update == 0.0
+
+    def test_data_packet_advances_clock_and_hops(self):
+        """Data packets do update the EWMA bookkeeping."""
+        telem = PINTTelemetry(base_rtt=1e-3)
+        sim = Simulator()
+        link = _idle_link(sim, telemetry=telem)
+        pkt = _pkt()
+        link.enqueue(pkt)
+        sim.run()
+        assert pkt.hop_count == 1
+        assert link.ewma_util > 0.0
