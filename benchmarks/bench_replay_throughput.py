@@ -1,0 +1,162 @@
+"""Replay throughput: scalar vs vectorized dataplane, per scenario.
+
+For every registered replay scenario, measures:
+
+* scalar encode -- one record at a time through the per-path
+  :class:`repro.coding.PathEncoder` (the per-packet reference);
+* vectorized encode -- :meth:`TraceDataplane.encode_rows` in columnar
+  batches (signature-grouped array passes);
+* end-to-end replay -- :class:`ReplayDriver` streaming encoded batches
+  into a :class:`repro.collector.Collector`, with decode outcomes.
+
+Writes the results as machine-readable ``BENCH_replay.json`` (consumed
+by CI as an artifact) and asserts the headline claim: at batch >= 4096
+the vectorized encode sustains >= 10x the scalar rate on every
+scenario.
+
+Run:  PYTHONPATH=src python benchmarks/bench_replay_throughput.py
+      (--quick for the CI smoke run)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import time
+
+import numpy as np
+
+from repro.replay import ReplayDriver, TraceDataplane, build_trace, scenario_names
+
+
+def bench_scenario(
+    name: str,
+    packets: int,
+    batch: int,
+    scalar_cap: int,
+    seed: int,
+    repeats: int,
+) -> dict:
+    """Measure one scenario; returns its JSON-ready result row."""
+    trace = build_trace(name, packets=packets, seed=seed)
+    rows = np.arange(len(trace), dtype=np.int64)
+
+    # Scalar reference on a capped prefix (it is the slow side by two
+    # orders of magnitude; the rate estimate converges quickly).
+    dataplane = TraceDataplane(trace, seed=seed)
+    scalar_rows = rows[: min(len(rows), scalar_cap)]
+    scalar_s = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        scalar_digests = dataplane.encode_scalar_rows(scalar_rows)
+        scalar_s = min(scalar_s, time.perf_counter() - start)
+    scalar_rate = len(scalar_rows) / scalar_s
+
+    # Vectorized encode over the whole trace in batches.  A fresh
+    # dataplane per repeat re-pays program compilation, like a fresh
+    # collector per repeat in the collector bench.
+    vector_s = float("inf")
+    for _ in range(repeats):
+        dp = TraceDataplane(trace, seed=seed)
+        start = time.perf_counter()
+        outs = [dp.encode_rows(rows[lo:hi]) for lo, hi in trace.batches(batch)]
+        vector_s = min(vector_s, time.perf_counter() - start)
+    vector_rate = len(rows) / vector_s
+    # Bit-identity spot check rides along with every bench run.
+    assert np.array_equal(
+        np.concatenate(outs)[: len(scalar_rows)], scalar_digests
+    ), f"{name}: vectorized digests diverge from scalar"
+
+    # End-to-end: select + encode + ingest + decode bookkeeping.
+    driver = ReplayDriver(batch_size=batch, seed=seed)
+    report = driver.replay(trace)
+    err = report.congestion_median_rel_err
+    return {
+        "records": len(trace),
+        "flows": trace.num_flows,
+        "paths": len(trace.paths),
+        "scalar_rps": round(scalar_rate),
+        "vector_rps": round(vector_rate),
+        "speedup": round(vector_rate / scalar_rate, 1),
+        "e2e_rps": round(report.records_per_sec),
+        "path_flows": report.path_flows,
+        "path_decoded": report.path_decoded,
+        "path_accuracy": round(report.path_accuracy, 3),
+        "congestion_median_rel_err": (
+            None if math.isnan(err) else round(err, 4)
+        ),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--packets", type=int, default=60_000,
+                        help="records per scenario trace")
+    parser.add_argument("--batch", type=int, default=8192,
+                        help="columnar batch size (>= 4096 for the claim)")
+    parser.add_argument("--scalar-cap", type=int, default=6_000,
+                        help="records timed through the scalar encoder")
+    parser.add_argument("--scenarios", nargs="+", default=None,
+                        help="subset of scenarios (default: all registered)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions (best-of-N)")
+    parser.add_argument("--json", default="BENCH_replay.json",
+                        help="output path for the machine-readable results")
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI smoke run")
+    args = parser.parse_args()
+    if args.quick:
+        args.packets = min(args.packets, 20_000)
+        args.scalar_cap = min(args.scalar_cap, 2_000)
+        args.repeats = min(args.repeats, 2)
+
+    names = args.scenarios if args.scenarios else scenario_names()
+    results = {}
+    print(f"replay throughput: {args.packets} records/scenario, "
+          f"batch={args.batch}\n")
+    header = ["scenario", "scalar rec/s", "vector rec/s", "speedup",
+              "e2e rec/s", "decoded", "accuracy"]
+    rows = []
+    for name in names:
+        r = bench_scenario(name, args.packets, args.batch,
+                           args.scalar_cap, args.seed, args.repeats)
+        results[name] = r
+        rows.append([
+            name, f"{r['scalar_rps']:,}", f"{r['vector_rps']:,}",
+            f"{r['speedup']}x", f"{r['e2e_rps']:,}",
+            f"{r['path_decoded']}/{r['path_flows']}",
+            f"{r['path_accuracy'] * 100:.0f}%",
+        ])
+    widths = [max(len(header[i]), max(len(r[i]) for r in rows))
+              for i in range(len(header))]
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+    payload = {
+        "benchmark": "replay_throughput",
+        "packets": args.packets,
+        "batch": args.batch,
+        "seed": args.seed,
+        "scenarios": results,
+    }
+    with open(args.json, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.json}")
+
+    if args.batch >= 4096:
+        floor = min(r["speedup"] for r in results.values())
+        print(f"vectorized vs scalar encode: >= {floor}x on every scenario")
+        assert floor >= 10.0, (
+            f"vectorized speedup {floor}x < 10x at batch {args.batch}"
+        )
+        print("OK: vectorized dataplane sustains >= 10x scalar encode")
+    else:
+        print(f"batch {args.batch} < 4096: skipping the 10x assertion")
+
+
+if __name__ == "__main__":
+    main()

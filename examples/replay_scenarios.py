@@ -1,0 +1,54 @@
+"""Replay engine tour: scenarios -> vectorized dataplane -> collector.
+
+Builds every registered traffic scenario from a seed, streams each
+through the vectorized PINT dataplane into a sink-side Collector, and
+prints per-scenario throughput and decode outcomes -- the batch-rate
+counterpart of the event-driven ``collector_service`` example.  Also
+round-trips one trace through ``.npz`` to show the capture format.
+
+Run:  PYTHONPATH=src python examples/replay_scenarios.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import numpy as np
+
+from repro.replay import ReplayDriver, Trace, build_trace
+
+
+def main() -> None:
+    packets = 6_000
+    driver = ReplayDriver(batch_size=4096, seed=0)
+    print(f"replaying every scenario ({packets} records each, batch=4096)\n")
+    for report in driver.run_all(packets=packets, seed=0):
+        print("  " + report.summary())
+
+    # Traces are plain columnar files: save, reload, replay identically.
+    trace = build_trace("incast", packets=2_000, seed=0)
+    fd, path = tempfile.mkstemp(suffix=".npz")
+    os.close(fd)
+    try:
+        trace.save(path)
+        reloaded = Trace.load(path)
+        same = (
+            np.array_equal(reloaded.pid, trace.pid)
+            and reloaded.paths == trace.paths
+        )
+        print(f"\ntrace round-trip through {os.path.basename(path)}: "
+              f"{'exact' if same else 'MISMATCH'} "
+              f"({len(reloaded)} records, {len(reloaded.paths)} paths)")
+        before = driver.replay(trace)
+        after = driver.replay(reloaded)
+        print(f"replayed reloaded trace: "
+              f"{after.path_decoded}/{after.path_flows} paths decoded "
+              f"(identical to original: "
+              f"{after.path_decoded == before.path_decoded})")
+    finally:
+        os.unlink(path)
+
+
+if __name__ == "__main__":
+    main()

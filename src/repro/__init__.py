@@ -23,6 +23,8 @@ Subpackages
 ``repro.analysis``  Appendix A reference formulas
 ``repro.collector`` sink-side streaming collector (sharded flow state,
                     batched ingestion; see DESIGN.md)
+``repro.replay``    columnar trace/scenario engine with a vectorized
+                    dataplane feeding the collector (see DESIGN.md)
 """
 
 __version__ = "1.0.0"

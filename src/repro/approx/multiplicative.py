@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+import numpy as np
+
 from repro.hashing import GlobalHash
 
 
@@ -83,6 +85,40 @@ class MultiplicativeCompressor:
         lo = math.floor(exact)
         frac = exact - lo
         return int(lo + (1 if grid.uniform(*key_parts) < frac else 0))
+
+    def encode_array(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`encode`, lane-for-lane identical.
+
+        Relies on NumPy and ``math`` sharing libm for float64 ``log``
+        and on both rounding half-even, so each lane reproduces the
+        scalar exponent bit-for-bit (property-tested).
+        """
+        vals = np.asarray(values, dtype=np.float64)
+        if np.any(vals < 0):
+            raise ValueError("multiplicative compression needs value >= 0")
+        small = vals < 1.0
+        exact = np.log(np.where(small, 1.0, vals)) / self._log_base
+        return np.where(small, 0, np.round(exact).astype(np.int64))
+
+    def encode_randomized_array(
+        self, values: np.ndarray, uniforms: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`encode_randomized` with caller-drawn coins.
+
+        ``uniforms`` supplies one [0, 1) coin per lane -- typically
+        ``grid.uniform_lanes(pids, hop)``, the same keyed draw the
+        scalar path makes -- so feeding the scalar method's coins
+        reproduces its codes lane-for-lane.
+        """
+        vals = np.asarray(values, dtype=np.float64)
+        if np.any(vals < 0):
+            raise ValueError("multiplicative compression needs value >= 0")
+        u = np.asarray(uniforms, dtype=np.float64)
+        small = vals < 1.0
+        exact = np.log(np.where(small, 1.0, vals)) / self._log_base
+        lo = np.floor(exact)
+        code = (lo + (u < exact - lo)).astype(np.int64)
+        return np.where(small, 0, code)
 
     def decode(self, code: int) -> float:
         """Recover the (1+eps)-approximate value from its exponent."""

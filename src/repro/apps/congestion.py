@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+import numpy as np
+
 from repro.approx import MultiplicativeCompressor
 from repro.core.framework import QueryRuntime
 from repro.core.query import Query
@@ -55,6 +57,23 @@ class UtilizationCodec:
         """Compress a utilisation fraction (randomized rounding)."""
         scaled = min(utilization, self.max_util) * self.scale
         return self._comp.encode_randomized(scaled, self._grid, *key_parts)
+
+    def encode_array(
+        self, utilizations: np.ndarray, pids: np.ndarray, hop: int
+    ) -> np.ndarray:
+        """Vectorised :meth:`encode` keyed ``(pid, hop)``, one per lane.
+
+        The rounding coins come from ``uniform_lanes`` -- per-lane
+        packet id, shared hop number -- exactly the key order the
+        scalar ``encode(util, pid, hop)`` folds, so both paths draw the
+        same coin and emit the same code (property-tested).
+        """
+        scaled = (
+            np.minimum(np.asarray(utilizations, dtype=np.float64), self.max_util)
+            * self.scale
+        )
+        coins = self._grid.uniform_lanes(np.asarray(pids), hop)
+        return self._comp.encode_randomized_array(scaled, coins)
 
     def decode(self, code: int) -> float:
         """Recover the approximate utilisation fraction."""

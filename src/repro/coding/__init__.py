@@ -28,6 +28,7 @@ from repro.coding.encoder import (
     CodecContext,
     PathEncoder,
     pack_reps,
+    pack_reps_array,
     unpack_reps,
 )
 from repro.coding.fastdecode import FastXORDecoder, FastXOREncoder
@@ -70,6 +71,7 @@ __all__ = [
     "HASH",
     "FRAGMENT",
     "pack_reps",
+    "pack_reps_array",
     "unpack_reps",
     "RawDecoder",
     "HashDecoder",

@@ -28,6 +28,7 @@ from repro.coding.message import DistributedMessage
 from repro.coding.schemes import BASELINE, CodingScheme
 from repro.hashing import (
     GlobalHash,
+    cumulative_select_array,
     reservoir_carrier,
     reservoir_carrier_array,
     xor_acting_hops,
@@ -60,6 +61,21 @@ def unpack_reps(digest: int, digest_bits: int, num_hashes: int) -> Tuple[int, ..
     return tuple(
         (digest >> (rep * digest_bits)) & mask for rep in range(num_hashes)
     )
+
+
+def pack_reps_array(reps: np.ndarray, digest_bits: int) -> np.ndarray:
+    """Vectorised :func:`pack_reps` over a (n, num_hashes) digest matrix.
+
+    Row-for-row identical to ``pack_reps(row, digest_bits)``; returns
+    int64 -- the collector's digest column dtype.
+    """
+    mask = np.uint64((1 << digest_bits) - 1)
+    out = np.zeros(reps.shape[0], dtype=np.uint64)
+    for rep in range(reps.shape[1]):
+        out |= (reps[:, rep].astype(np.uint64) & mask) << np.uint64(
+            rep * digest_bits
+        )
+    return out.astype(np.int64)
 
 
 class CodecContext:
@@ -232,60 +248,102 @@ class PathEncoder:
                 digest[rep] ^= contribution[rep]
         return tuple(digest)
 
-    def encode_many(self, packet_ids) -> np.ndarray:
-        """Vectorised :meth:`encode` for hash mode over many packets.
+    def encode_lanes(self, packet_ids, blocks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`encode` with per-lane block values.
 
-        Returns an array of shape (len(packet_ids), num_hashes) equal,
-        element-for-element, to calling :meth:`encode` per packet
-        (property-tested).  Used by benchmark harnesses to push 10^5
-        packets without per-packet Python overhead.
+        ``blocks`` has shape (n, k): each lane carries its *own* per-hop
+        values, so callers can batch packets of many same-length paths
+        through one call (the replay dataplane's signature grouping).
+        Returns a (n, num_hashes) uint64 matrix equal,
+        element-for-element, to the scalar :meth:`encode` against each
+        lane's blocks (property-tested).  Supports all three digest
+        representations:
+
+        * raw -- the acting hop's block verbatim;
+        * hash -- ``h_rep(packet, block)`` via pairwise folds;
+        * fragment -- the packet's hash-chosen b-bit slice of the block.
         """
-        if self.mode != HASH:
-            raise ValueError("encode_many supports hash mode only")
-        pids = np.asarray(packet_ids, dtype=np.uint64)
-        n, k = len(pids), self.message.k
         ctx = self.ctx
-        # Per-packet layer selection replays CodingScheme.layer_index.
-        u = ctx.select.uniform_array(pids)
-        layer_idx = np.zeros(n, dtype=np.int64)
-        acc = 0.0
-        for idx, share in enumerate(ctx.scheme.shares):
-            acc += share
-            layer_idx[u >= acc] = min(idx + 1, len(ctx.scheme.shares) - 1)
+        pids = np.asarray(packet_ids, dtype=np.uint64)
+        blocks = np.asarray(blocks)
+        n, k = len(pids), self.message.k
+        if blocks.shape != (n, k):
+            raise ValueError(
+                f"blocks must have shape ({n}, {k}), got {blocks.shape}"
+            )
+        b = ctx.digest_bits
+        # Per-packet layer selection replays CodingScheme.layer_index
+        # (whose scalar fallback saturates at the last layer).
+        layer_idx = cumulative_select_array(
+            ctx.select.uniform_array(pids), ctx.scheme.shares
+        )
+        layer_idx[layer_idx < 0] = len(ctx.scheme.shares) - 1
+        # Fragment choice is per packet and layer-independent.
+        if self.mode == FRAGMENT:
+            frags = ctx.frag.choice_array(self.num_fragments, pids)
+            frag_mask = (1 << b) - 1
+
+        def contribution(lane_pids, lane_blocks, lane_frags, rep):
+            """What each lane's acting hop writes (one rep)."""
+            if self.mode == HASH:
+                return ctx.h[rep].bits_zip(b, lane_pids, lane_blocks)
+            if self.mode == FRAGMENT:
+                return ((lane_blocks >> (lane_frags * b)) & frag_mask).astype(
+                    np.uint64
+                )
+            return lane_blocks.astype(np.uint64)
+
         out = np.zeros((n, ctx.num_hashes), dtype=np.uint64)
-        blocks = np.asarray(self.message.blocks, dtype=np.int64)
         for idx, layer in enumerate(ctx.scheme.layers):
             lane = layer_idx == idx
             if not lane.any():
                 continue
             lane_pids = pids[lane]
+            lane_blocks = blocks[lane]
+            lane_frags = frags[lane] if self.mode == FRAGMENT else None
             g = ctx.g[idx]
+            lane_out = np.zeros(
+                (len(lane_pids), ctx.num_hashes), dtype=np.uint64
+            )
             if layer.kind == BASELINE:
                 carriers = reservoir_carrier_array(g, lane_pids, k)
+                # Gather each lane's carrier-hop block; one pairwise
+                # pass per rep covers every hop at once.
+                carried = lane_blocks[
+                    np.arange(len(lane_pids)), carriers - 1
+                ]
                 for rep in range(ctx.num_hashes):
-                    hashed = np.zeros(len(lane_pids), dtype=np.uint64)
-                    for hop in range(1, k + 1):
-                        sel = carriers == hop
-                        if sel.any():
-                            hashed[sel] = ctx.h[rep].bits_lanes(
-                                ctx.digest_bits, lane_pids[sel],
-                                int(blocks[hop - 1]),
-                            )
-                    out[lane, rep] = hashed
+                    lane_out[:, rep] = contribution(
+                        lane_pids, carried, lane_frags, rep
+                    )
             else:
-                acc_digest = np.zeros(
-                    (int(lane.sum()), ctx.num_hashes), dtype=np.uint64
-                )
                 for hop in range(1, k + 1):
                     acts = g.uniform_array(lane_pids, hop) < layer.xor_p
                     if not acts.any():
                         continue
-                    acting_pids = lane_pids[acts]
+                    hop_blocks = lane_blocks[acts, hop - 1]
+                    act_frags = (
+                        lane_frags[acts] if lane_frags is not None else None
+                    )
                     for rep in range(ctx.num_hashes):
-                        hashed = ctx.h[rep].bits_lanes(
-                            ctx.digest_bits, acting_pids,
-                            int(blocks[hop - 1]),
+                        lane_out[acts, rep] ^= contribution(
+                            lane_pids[acts], hop_blocks, act_frags, rep
                         )
-                        acc_digest[acts, rep] ^= hashed
-                out[lane] = acc_digest
+            out[lane] = lane_out
         return out
+
+    def encode_many(self, packet_ids) -> np.ndarray:
+        """Vectorised :meth:`encode` for hash mode over many packets.
+
+        The single-message special case of :meth:`encode_lanes` (every
+        lane shares this encoder's blocks), kept for benchmark
+        harnesses that push 10^5 packets down one path.
+        """
+        if self.mode != HASH:
+            raise ValueError("encode_many supports hash mode only")
+        pids = np.asarray(packet_ids, dtype=np.uint64)
+        blocks = np.broadcast_to(
+            np.asarray(self.message.blocks, dtype=np.int64),
+            (len(pids), self.message.k),
+        )
+        return self.encode_lanes(pids, blocks)

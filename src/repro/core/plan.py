@@ -12,9 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.query import Query
 from repro.exceptions import BudgetError
-from repro.hashing import GlobalHash
+from repro.hashing import GlobalHash, cumulative_select_array
 
 
 @dataclass(frozen=True)
@@ -95,6 +97,20 @@ class ExecutionPlan:
             if u < acc:
                 return entry.queries
         return ()
+
+    def select_array(self, packet_ids: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`select`: one plan-entry index per lane.
+
+        Returns -1 for lanes no entry claims ("no query on this
+        packet").  Lane-for-lane consistent with the scalar walk --
+        same hash, same cumulative-probability accumulation order, same
+        ``u < acc`` boundary -- so ``entries[select_array(p)[i]].queries
+        == select(p[i])`` wherever the index is non-negative.
+        """
+        return cumulative_select_array(
+            self._select.uniform_array(np.asarray(packet_ids)),
+            [entry.probability for entry in self.entries],
+        )
 
     def digest_offset(self, queries: Tuple[Query, ...], query: Query) -> int:
         """Bit offset of ``query``'s digest inside this set's packing.

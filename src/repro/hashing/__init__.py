@@ -12,6 +12,7 @@ Public surface:
 
 from repro.hashing.global_hash import (
     GlobalHash,
+    cumulative_select_array,
     reservoir_carrier,
     reservoir_carrier_array,
     reservoir_write,
@@ -27,6 +28,7 @@ from repro.hashing import mix
 
 __all__ = [
     "GlobalHash",
+    "cumulative_select_array",
     "reservoir_write",
     "reservoir_carrier",
     "reservoir_carrier_array",

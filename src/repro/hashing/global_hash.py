@@ -152,6 +152,66 @@ class GlobalHash:
         accs = mix.fold_array(mix.begin(self._key), np.asarray(lane_parts))
         return mix.fold_lanes(accs, _as_int(part)) >> np.uint64(64 - width)
 
+    def bits_zip(
+        self, width: int, first_parts: np.ndarray, second_parts: np.ndarray
+    ) -> np.ndarray:
+        """Per-lane (first, second) key pairs: h(first_i, second_i).
+
+        Lane-for-lane equal to ``[bits(width, f, s) for f, s in
+        zip(first_parts, second_parts)]`` -- the shape needed to hash
+        many packets each against its *own* block value, as a batch
+        mixing several paths requires.
+        """
+        if not 1 <= width <= 64:
+            raise ValueError("width must be in [1, 64]")
+        accs = mix.fold_array(mix.begin(self._key), np.asarray(first_parts))
+        return mix.fold_zip(accs, np.asarray(second_parts)) >> np.uint64(
+            64 - width
+        )
+
+    def uniform_lanes(self, lane_parts: np.ndarray, part: Part) -> np.ndarray:
+        """Per-lane first part, shared second part, mapped onto [0, 1).
+
+        Lane-for-lane equal to ``[uniform(lane, part) for lane in
+        lane_parts]`` -- the shape of the ``(packet, hop)`` keyed coins
+        the randomized-rounding compressors draw in bulk.
+        """
+        accs = mix.fold_array(mix.begin(self._key), np.asarray(lane_parts))
+        return mix.to_unit_array(mix.fold_lanes(accs, _as_int(part)))
+
+    def choice_array(self, n: int, parts: np.ndarray, *salts: Part) -> np.ndarray:
+        """Vectorised :meth:`choice`: uniform indices on {0, ..., n-1}.
+
+        Lane-for-lane identical to the scalar uniform->index mapping
+        ``int(uniform(*salts, part) * n)``; the shared scale-and-floor
+        used by shard routing and fragment selection, kept here so no
+        caller hand-rolls (and drifts from) the mapping.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        return (self.uniform_array(parts, *salts) * n).astype(np.int64)
+
+
+def cumulative_select_array(
+    uniforms: np.ndarray, probs: Sequence[float]
+) -> np.ndarray:
+    """First index i with ``u < probs[0] + ... + probs[i]``, per lane.
+
+    The one vectorised cumulative-probability walk behind every
+    distribution-over-options selection (execution-plan entries, coding
+    layers): same left-to-right float accumulation, same strict
+    ``u < acc`` boundary as the scalar loops, so lane i equals the
+    scalar walk on ``uniforms[i]`` exactly.  Lanes past the total mass
+    get -1 ("no option selected"); callers with a saturating scalar
+    fallback map -1 to their last index.
+    """
+    idx = np.full(np.asarray(uniforms).shape, -1, dtype=np.int64)
+    acc = 0.0
+    for i, p in enumerate(probs):
+        acc += p
+        idx[(idx == -1) & (uniforms < acc)] = i
+    return idx
+
 
 def reservoir_write(g: GlobalHash, packet_id: Part, hop: int) -> bool:
     """Does hop ``hop`` (1-based) overwrite the digest of this packet?

@@ -114,6 +114,21 @@ def fold_lanes(accs: np.ndarray, part: int) -> np.ndarray:
     return mix64_array(lanes)
 
 
+def fold_zip(accs: np.ndarray, parts: np.ndarray) -> np.ndarray:
+    """Fold per-lane parts into per-lane fold states, pairwise.
+
+    Lane-for-lane identical to the scalar path:
+    ``fold_zip(accs, parts)[i] == fold(accs[i], parts[i])`` -- the
+    shape needed to hash many (packet, block) pairs at once when the
+    block differs per lane (mixed-path batches).
+    """
+    with np.errstate(over="ignore"):
+        lanes = (accs.astype(np.uint64) + np.uint64(GOLDEN)) ^ parts.astype(
+            np.uint64
+        )
+    return mix64_array(lanes)
+
+
 def combine_array(seed: int, parts: np.ndarray) -> np.ndarray:
     """Vectorised :func:`combine` for a single part per lane."""
     return fold_array(begin(seed), parts)

@@ -1,0 +1,216 @@
+"""The vectorized PINT dataplane: whole-batch switch-chain encoding.
+
+A :class:`TraceDataplane` does to a columnar batch what the chain of
+per-switch Encoding Modules does to each packet -- execution-plan layer
+selection, Baseline reservoir stamping, per-layer XOR folding, and
+raw / hash-compressed / fragmented digest representations -- as array
+operations over the whole batch at once.  It is *bit-identical* to the
+scalar :class:`repro.coding.PathEncoder` under shared seeds
+(property-tested): every probabilistic decision is the same
+:class:`~repro.hashing.GlobalHash` draw, evaluated through the paired
+vectorised APIs whose lane-for-lane equality the hashing tests pin
+down.
+
+Batches mix packets of many flows and many paths; records are grouped
+by path *signature* -- (path length, digest mode, fragment count) --
+not by path, because every hash the chain draws keys on the packet id
+and per-hop block value, never on the path identity.  Hundreds of
+distinct paths therefore collapse into a handful of array passes
+(blocks are gathered per lane from the trace's path table and hashed
+pairwise via ``GlobalHash.bits_zip``), so the per-record Python cost of
+the scalar encoder becomes per-(batch, signature) cost -- the
+switch-side mirror of the collector's ``ingest_batch`` amortisation,
+and where the >=10x of ``benchmarks/bench_replay_throughput.py`` comes
+from.
+
+Value queries compress the same way: :func:`compress_utilizations`
+runs the §4.3 multiplicative randomized rounding over whole columns,
+reusing :meth:`UtilizationCodec.encode_array`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.apps.congestion import UtilizationCodec
+from repro.coding import (
+    HASH,
+    CodingScheme,
+    DistributedMessage,
+    PathEncoder,
+    multilayer_scheme,
+    pack_reps,
+    pack_reps_array,
+)
+from repro.replay.trace import Trace
+
+#: Per-path scheme choice; the default matches the sink's
+#: :class:`~repro.collector.consumers.PathDigestConsumer`, which derives
+#: ``multilayer_scheme(hop_count)`` per flow.
+SchemeFactory = Callable[[int], CodingScheme]
+
+
+class TraceDataplane:
+    """Vectorised encoder bound to one trace's path table.
+
+    Parameters
+    ----------
+    trace:
+        The trace whose ``path_id`` column this dataplane encodes.
+    digest_bits / num_hashes / mode / seed:
+        Forwarded to each per-path :class:`PathEncoder` (``mode`` may
+        be "auto"/"raw"/"hash"/"fragment" exactly as there).
+    scheme_factory:
+        Maps path length k to the :class:`CodingScheme` its encoder
+        runs; defaults to :func:`multilayer_scheme` (Algorithm 1),
+        matching the collector's per-flow decoder derivation.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        digest_bits: int = 8,
+        num_hashes: int = 1,
+        mode: str = "auto",
+        seed: int = 0,
+        scheme_factory: SchemeFactory = multilayer_scheme,
+    ) -> None:
+        if digest_bits * num_hashes > 63:
+            raise ValueError(
+                f"packed digests need digest_bits * num_hashes <= 63 "
+                f"(got {digest_bits} * {num_hashes}): the collector's "
+                "digest column is int64"
+            )
+        self.trace = trace
+        self.digest_bits = digest_bits
+        self.num_hashes = num_hashes
+        self.mode = mode
+        self.seed = seed
+        self.scheme_factory = scheme_factory
+        #: Lazily compiled scalar twins, one per path id.  Each carries
+        #: the CodecContext the vectorised path replays, so the two
+        #: paths cannot diverge in configuration.
+        self._encoders: Dict[int, PathEncoder] = {}
+        self._block_table: Optional[np.ndarray] = None
+
+    def encoder(self, path_id: int) -> PathEncoder:
+        """The scalar-twin :class:`PathEncoder` for one path id."""
+        enc = self._encoders.get(path_id)
+        if enc is None:
+            path = self.trace.paths[path_id]
+            message = DistributedMessage.from_path(
+                path, self.trace.universe if self.mode in ("auto", HASH)
+                else None,
+            )
+            enc = PathEncoder(
+                message, self.scheme_factory(len(path)),
+                digest_bits=self.digest_bits, mode=self.mode,
+                num_hashes=self.num_hashes, seed=self.seed,
+            )
+            self._encoders[path_id] = enc
+        return enc
+
+    # -- vectorised encode -----------------------------------------------
+
+    def _blocks(self) -> np.ndarray:
+        """The trace's path table as a padded (paths, max_k) matrix."""
+        if self._block_table is None:
+            k_max = max(len(p) for p in self.trace.paths)
+            table = np.zeros((len(self.trace.paths), k_max), dtype=np.int64)
+            for i, p in enumerate(self.trace.paths):
+                table[i, : len(p)] = p
+            self._block_table = table
+        return self._block_table
+
+    def encode_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Packed digests for the given trace rows, one int64 per row.
+
+        Row-for-row equal to ``encode_scalar(row)``: records are
+        grouped by path signature (k, mode, fragment count), each group
+        runs the whole-array switch chain with per-lane block gathers,
+        and per-hash digests are packed with the shared wire layout
+        (:func:`pack_reps_array`).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        out = np.empty(rows.shape[0], dtype=np.int64)
+        if rows.size == 0:
+            return out
+        path_ids = self.trace.path_id[rows]
+        pids = self.trace.pid[rows].astype(np.uint64)
+        # Map each path present to its signature group; paths sharing a
+        # signature share every hash decision shape, so they encode as
+        # one array pass.
+        sig_gid: Dict[tuple, int] = {}
+        reps_enc: List[PathEncoder] = []
+        lut = np.zeros(len(self.trace.paths), dtype=np.int64)
+        for path_id in np.unique(path_ids).tolist():
+            enc = self.encoder(path_id)
+            sig = (enc.message.k, enc.mode, enc.num_fragments)
+            gid = sig_gid.get(sig)
+            if gid is None:
+                gid = len(reps_enc)
+                sig_gid[sig] = gid
+                reps_enc.append(enc)
+            lut[path_id] = gid
+        gids = lut[path_ids]
+        order = np.argsort(gids, kind="stable")
+        sorted_gids = gids[order]
+        cuts = np.flatnonzero(sorted_gids[1:] != sorted_gids[:-1]) + 1
+        bounds = np.concatenate(([0], cuts, [rows.shape[0]]))
+        blocks_table = self._blocks()
+        for i in range(bounds.size - 1):
+            lanes = order[bounds[i] : bounds[i + 1]]
+            enc = reps_enc[int(sorted_gids[bounds[i]])]
+            blocks = blocks_table[path_ids[lanes], : enc.message.k]
+            digests = enc.encode_lanes(pids[lanes], blocks)
+            out[lanes] = pack_reps_array(digests, self.digest_bits)
+        return out
+
+    def encode_batch(self, lo: int, hi: int) -> np.ndarray:
+        """Packed digests for trace rows ``[lo, hi)`` (batch shape)."""
+        return self.encode_rows(np.arange(lo, hi, dtype=np.int64))
+
+    # -- scalar reference ------------------------------------------------
+
+    def encode_scalar(self, row: int) -> int:
+        """One record through the scalar per-switch chain (reference).
+
+        The per-packet path the benchmark compares against and the
+        parity tests pin the vectorised path to.
+        """
+        enc = self.encoder(int(self.trace.path_id[row]))
+        return pack_reps(
+            enc.encode(int(self.trace.pid[row])), self.digest_bits
+        )
+
+    def encode_scalar_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Scalar :meth:`encode_scalar` over many rows (benchmark loop)."""
+        return np.asarray(
+            [self.encode_scalar(int(r)) for r in np.asarray(rows)],
+            dtype=np.int64,
+        )
+
+
+def compress_utilizations(
+    codec: UtilizationCodec,
+    utilizations: np.ndarray,
+    pids: np.ndarray,
+    hop_counts: np.ndarray,
+) -> np.ndarray:
+    """Batched §4.3 bottleneck compression, keyed ``(pid, hop_count)``.
+
+    Lane-for-lane identical to ``codec.encode(util, pid, hops)`` -- the
+    randomized-rounding coin is the same keyed hash draw.  Records are
+    grouped by hop count because the hop number is the shared salt of
+    each ``uniform_lanes`` fold.
+    """
+    utils = np.asarray(utilizations, dtype=np.float64)
+    pid_arr = np.asarray(pids)
+    hops = np.asarray(hop_counts, dtype=np.int64)
+    out = np.empty(utils.shape[0], dtype=np.int64)
+    for hop in np.unique(hops):
+        sel = hops == hop
+        out[sel] = codec.encode_array(utils[sel], pid_arr[sel], int(hop))
+    return out

@@ -1,0 +1,296 @@
+"""ReplayDriver: scenario traces through the dataplane into a Collector.
+
+The first end-to-end encode→collect path that runs at array speed: a
+:class:`ReplayDriver` builds an execution plan over a path-tracing and
+a congestion query, splits every columnar batch between them with the
+vectorised plan-selection hash (§3.4), stamps digests with the
+:class:`~repro.replay.dataplane.TraceDataplane`, and streams the
+resulting columns straight into :meth:`Collector.ingest_batch` -- the
+PR-1 sink finally fed at the rate its columnar path was built for.
+
+After the stream drains, the driver scores the sink against the
+trace's ground truth: which flows' paths decoded, whether they decoded
+*correctly* (path churn makes these differ), and how far the decoded
+bottleneck utilisation sits from the true per-flow max.  One
+:class:`ScenarioReport` per scenario carries throughput and accuracy
+side by side.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.apps.congestion import UtilizationCodec
+from repro.collector import (
+    Collector,
+    congestion_consumer_factory,
+    path_consumer_factory,
+)
+from repro.core.plan import ExecutionPlan, PlanEntry
+from repro.core.query import AggregationType, Query
+from repro.core.values import MetadataType
+from repro.hashing import GlobalHash
+from repro.replay.dataplane import TraceDataplane, compress_utilizations
+from repro.replay.scenarios import build_trace, scenario_names
+from repro.replay.trace import Trace
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """Throughput + decode-accuracy summary of one replayed trace."""
+
+    scenario: str
+    records: int
+    flows: int
+    batches: int
+    seconds: float
+    #: Path-query records ingested and the per-flow decode outcome.
+    path_records: int
+    path_flows: int
+    path_decoded: int
+    path_correct: int
+    #: Decoder resets across flows (reroutes / churn detected mid-flow).
+    path_resets: int
+    #: Congestion-query records and the decoded-vs-true max error.
+    congestion_records: int
+    congestion_flows: int
+    congestion_median_rel_err: float
+
+    @property
+    def records_per_sec(self) -> float:
+        """End-to-end replay rate (select + encode + ingest)."""
+        return self.records / self.seconds if self.seconds > 0 else float("inf")
+
+    @property
+    def path_coverage(self) -> float:
+        """Fraction of path-query flows that reached a decoded answer."""
+        return self.path_decoded / self.path_flows if self.path_flows else 0.0
+
+    @property
+    def path_accuracy(self) -> float:
+        """Fraction of decoded paths the flow actually traversed.
+
+        A churned flow's decoder may legitimately answer with an
+        earlier path; only a path the flow never used counts as wrong.
+        """
+        return self.path_correct / self.path_decoded if self.path_decoded else 0.0
+
+    def summary(self) -> str:
+        """One human-readable report line."""
+        err = self.congestion_median_rel_err
+        err_s = f"{err * 100:.1f}%" if not math.isnan(err) else "n/a"
+        return (
+            f"{self.scenario:<15} {self.records:>7} rec "
+            f"{self.records_per_sec:>11,.0f} rec/s  "
+            f"path {self.path_decoded}/{self.path_flows} decoded "
+            f"({self.path_accuracy * 100:.0f}% correct, "
+            f"{self.path_resets} resets)  "
+            f"cong err {err_s}"
+        )
+
+
+class ReplayDriver:
+    """Streams scenario traces through the vectorised dataplane.
+
+    Parameters
+    ----------
+    digest_bits / num_hashes / seed:
+        Path-query encoder configuration; the sink consumers derive
+        the matching decoders from the same values.
+    path_share / congestion_share:
+        Execution-plan probabilities (must sum to <= 1; the remainder
+        carries no query).  ``congestion_share=0`` disables the value
+        query.
+    batch_size:
+        Records per columnar batch -- the unit of vectorised work.
+    num_shards:
+        Collector sharding (both sinks).
+    """
+
+    def __init__(
+        self,
+        digest_bits: int = 8,
+        num_hashes: int = 1,
+        seed: int = 0,
+        num_shards: int = 4,
+        batch_size: int = 8192,
+        path_share: float = 0.8,
+        congestion_share: float = 0.2,
+        congestion_bits: int = 8,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if path_share <= 0.0:
+            raise ValueError("path_share must be positive")
+        self.digest_bits = digest_bits
+        self.num_hashes = num_hashes
+        self.seed = seed
+        self.num_shards = num_shards
+        self.batch_size = batch_size
+        self.congestion_bits = congestion_bits
+        path_q = Query(
+            "path", MetadataType.SWITCH_ID, AggregationType.STATIC_PER_FLOW,
+            bit_budget=digest_bits * num_hashes, frequency=path_share,
+        )
+        entries = [PlanEntry((path_q,), path_share)]
+        if congestion_share > 0.0:
+            cong_q = Query(
+                "congestion", MetadataType.EGRESS_TX_UTILIZATION,
+                AggregationType.PER_PACKET, bit_budget=congestion_bits,
+                frequency=congestion_share,
+            )
+            entries.append(PlanEntry((cong_q,), congestion_share))
+        budget = max(e.bits() for e in entries)
+        self.plan = ExecutionPlan(entries, budget, seed)
+        self.has_congestion = congestion_share > 0.0
+        #: Synthetic ground-truth utilisation per packet: a keyed hash
+        #: of the pid, so truth is replayable without storing a column.
+        self._util_hash = GlobalHash(seed, "replay-util")
+
+    def utilizations(self, trace: Trace) -> np.ndarray:
+        """Ground-truth bottleneck utilisation per record, in (0, 1.5)."""
+        return self._util_hash.uniform_array(trace.pid) * 1.5
+
+    def replay(self, trace: Trace) -> ScenarioReport:
+        """Stream one trace end-to-end; return its report."""
+        dataplane = TraceDataplane(
+            trace, digest_bits=self.digest_bits, num_hashes=self.num_hashes,
+            seed=self.seed,
+        )
+        path_sink = Collector(
+            path_consumer_factory(
+                trace.universe, digest_bits=self.digest_bits,
+                num_hashes=self.num_hashes, seed=self.seed,
+            ),
+            num_shards=self.num_shards, seed=self.seed,
+        )
+        cong_sink: Optional[Collector] = None
+        codec: Optional[UtilizationCodec] = None
+        if self.has_congestion:
+            cong_sink = Collector(
+                congestion_consumer_factory(
+                    bits=self.congestion_bits, seed=self.seed,
+                ),
+                num_shards=self.num_shards, seed=self.seed,
+            )
+            codec = UtilizationCodec(self.congestion_bits, seed=self.seed)
+        hop_counts = trace.hop_counts
+        utils = self.utilizations(trace) if self.has_congestion else None
+        batches = 0
+        path_records = 0
+        cong_records = 0
+        start = time.perf_counter()
+        for lo, hi in trace.batches(self.batch_size):
+            rows = np.arange(lo, hi, dtype=np.int64)
+            entry = self.plan.select_array(trace.pid[lo:hi])
+            now = float(trace.ts[hi - 1])
+            path_rows = rows[entry == 0]
+            if path_rows.size:
+                digests = dataplane.encode_rows(path_rows)
+                path_sink.ingest_batch(
+                    trace.flow_id[path_rows], trace.pid[path_rows],
+                    hop_counts[path_rows], digests, now=now,
+                )
+                path_records += int(path_rows.size)
+            if cong_sink is not None:
+                cong_rows = rows[entry == 1]
+                if cong_rows.size:
+                    codes = compress_utilizations(
+                        codec, utils[cong_rows], trace.pid[cong_rows],
+                        hop_counts[cong_rows],
+                    )
+                    cong_sink.ingest_batch(
+                        trace.flow_id[cong_rows], trace.pid[cong_rows],
+                        hop_counts[cong_rows], codes, now=now,
+                    )
+                    cong_records += int(cong_rows.size)
+            batches += 1
+        seconds = time.perf_counter() - start
+        return self._score(
+            trace, path_sink, cong_sink, utils, batches,
+            path_records, cong_records, seconds,
+        )
+
+    def _score(
+        self,
+        trace: Trace,
+        path_sink: Collector,
+        cong_sink: Optional[Collector],
+        utils: Optional[np.ndarray],
+        batches: int,
+        path_records: int,
+        cong_records: int,
+        seconds: float,
+    ) -> ScenarioReport:
+        """Compare the sinks' answers against the trace's ground truth."""
+        entry = self.plan.select_array(trace.pid)
+        truth = trace.flow_paths()
+        path_flows = np.unique(trace.flow_id[entry == 0])
+        decoded = correct = resets = 0
+        for fid in path_flows.tolist():
+            consumer = path_sink.flow(fid)
+            if consumer is None:
+                continue
+            resets += consumer.decode_errors
+            result = consumer.result()
+            if result is None:
+                continue
+            decoded += 1
+            traversed = {trace.paths[pid] for pid in truth[fid]}
+            if tuple(result) in traversed:
+                correct += 1
+        median_err = float("nan")
+        cong_flows = 0
+        if cong_sink is not None and cong_records:
+            mask = entry == 1
+            fids = trace.flow_id[mask]
+            true_utils = utils[mask]
+            order = np.argsort(fids, kind="stable")
+            fids = fids[order]
+            true_utils = true_utils[order]
+            cuts = np.flatnonzero(fids[1:] != fids[:-1]) + 1
+            starts = np.concatenate(([0], cuts))
+            group_max = np.maximum.reduceat(true_utils, starts)
+            errs = []
+            for fid, truth in zip(fids[starts].tolist(), group_max.tolist()):
+                got = cong_sink.result(int(fid))
+                if got is not None:
+                    errs.append(abs(got - truth) / truth)
+            cong_flows = len(errs)
+            if errs:
+                median_err = float(np.median(errs))
+        return ScenarioReport(
+            scenario=trace.name,
+            records=len(trace),
+            flows=trace.num_flows,
+            batches=batches,
+            seconds=seconds,
+            path_records=path_records,
+            path_flows=int(path_flows.size),
+            path_decoded=decoded,
+            path_correct=correct,
+            path_resets=resets,
+            congestion_records=cong_records,
+            congestion_flows=cong_flows,
+            congestion_median_rel_err=median_err,
+        )
+
+    def run_scenario(
+        self, name: str, packets: int = 20_000, seed: int = 0, **kw
+    ) -> ScenarioReport:
+        """Build ``name``'s trace and replay it."""
+        return self.replay(build_trace(name, packets=packets, seed=seed, **kw))
+
+    def run_all(
+        self, packets: int = 20_000, seed: int = 0
+    ) -> List[ScenarioReport]:
+        """Replay every registered scenario; one report each."""
+        return [
+            self.run_scenario(name, packets=packets, seed=seed)
+            for name in scenario_names()
+        ]

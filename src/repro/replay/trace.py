@@ -1,0 +1,225 @@
+"""Columnar packet traces: the replay engine's storage format.
+
+A :class:`Trace` is a struct-of-arrays view of a packet stream -- the
+shape the vectorised dataplane and the collector's columnar
+``ingest_batch`` consume directly, with no per-packet Python objects
+anywhere on the hot path:
+
+* ``ts`` -- arrival time in seconds (float64, non-decreasing after
+  :meth:`sorted_by_time`);
+* ``flow_id`` -- the flow every record belongs to (int64);
+* ``pid`` -- the packet identifier every switch hashes (int64);
+* ``path_id`` -- index into the deduplicated ``paths`` table (int64);
+* ``size`` -- payload bytes of the packet (int64).
+
+Paths are interned: the per-record column stores an index into a small
+table of switch-ID tuples, so a million-packet trace over a dozen ECMP
+paths costs one int64 per packet, not one tuple.  ``universe`` is the
+switch-ID universe V the hash-compressed decoders need (paper §4.2);
+it defaults to the union of all switches appearing in ``paths``.
+
+Persistence is ``.npz`` (columns + padded path table, round-trip
+exact) with a CSV import/export for interoperating with external
+capture tooling (one row per packet, paths spelled ``"s0|s1|s2"``).
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class Trace:
+    """An immutable columnar packet trace plus its interned path table.
+
+    Parameters
+    ----------
+    ts, flow_id, pid, path_id, size:
+        Equal-length 1-D columns (coerced to float64/int64).
+    paths:
+        The path table: ``paths[path_id]`` is the tuple of switch IDs
+        the packet traverses, in hop order.
+    universe:
+        Optional switch-ID universe V; defaults to the sorted union of
+        all switches in ``paths``.
+    name:
+        Label carried into reports and filenames.
+    """
+
+    def __init__(
+        self,
+        ts: Sequence[float],
+        flow_id: Sequence[int],
+        pid: Sequence[int],
+        path_id: Sequence[int],
+        size: Sequence[int],
+        paths: Sequence[Sequence[int]],
+        universe: Optional[Sequence[int]] = None,
+        name: str = "trace",
+    ) -> None:
+        self.ts = np.asarray(ts, dtype=np.float64)
+        self.flow_id = np.asarray(flow_id, dtype=np.int64)
+        self.pid = np.asarray(pid, dtype=np.int64)
+        self.path_id = np.asarray(path_id, dtype=np.int64)
+        self.size = np.asarray(size, dtype=np.int64)
+        self.name = name
+        cols = (self.ts, self.flow_id, self.pid, self.path_id, self.size)
+        n = self.ts.shape[0]
+        if any(c.ndim != 1 or c.shape[0] != n for c in cols):
+            raise ValueError(
+                "trace columns must be equal-length 1-D arrays, got shapes "
+                + "/".join(str(c.shape) for c in cols)
+            )
+        if not paths:
+            raise ValueError("trace needs a non-empty path table")
+        self.paths: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(int(s) for s in p) for p in paths
+        )
+        if any(not p for p in self.paths):
+            raise ValueError("paths must have at least one switch each")
+        if n and (
+            self.path_id.min() < 0 or self.path_id.max() >= len(self.paths)
+        ):
+            raise ValueError("path_id column indexes outside the path table")
+        self._path_lens = np.asarray([len(p) for p in self.paths], dtype=np.int64)
+        if universe is None:
+            universe = sorted({s for p in self.paths for s in p})
+        self.universe: Tuple[int, ...] = tuple(int(v) for v in universe)
+
+    # -- shape -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.ts.shape[0])
+
+    @property
+    def num_flows(self) -> int:
+        """Distinct flows in the trace."""
+        return int(np.unique(self.flow_id).size)
+
+    @property
+    def hop_counts(self) -> np.ndarray:
+        """Per-record path length -- the collector's ``hop_count`` column."""
+        return self._path_lens[self.path_id]
+
+    def path_of(self, row: int) -> Tuple[int, ...]:
+        """The switch path record ``row`` traverses."""
+        return self.paths[int(self.path_id[row])]
+
+    def flow_paths(self) -> Dict[int, Tuple[int, ...]]:
+        """flow_id -> the distinct path ids the flow traversed, in order.
+
+        Most flows use one path; churned flows list every path they
+        rotated through.  This is the ground truth the replay driver
+        scores decoded paths against: any traversed path is a correct
+        answer to "which path did this flow take", while a path the
+        flow never used is a decode error.
+        """
+        out: Dict[int, List[int]] = {}
+        for fid, pid in zip(self.flow_id.tolist(), self.path_id.tolist()):
+            lst = out.setdefault(fid, [])
+            if pid not in lst:
+                lst.append(pid)
+        return {fid: tuple(lst) for fid, lst in out.items()}
+
+    def batches(self, batch_size: int) -> Iterator[Tuple[int, int]]:
+        """Yield ``[lo, hi)`` row bounds covering the trace in order."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        for lo in range(0, len(self), batch_size):
+            yield lo, min(lo + batch_size, len(self))
+
+    def sorted_by_time(self) -> "Trace":
+        """A copy sorted stably by ``ts`` (equal stamps keep row order)."""
+        order = np.argsort(self.ts, kind="stable")
+        return Trace(
+            self.ts[order], self.flow_id[order], self.pid[order],
+            self.path_id[order], self.size[order],
+            self.paths, self.universe, self.name,
+        )
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write the trace as a compressed ``.npz`` (round-trip exact)."""
+        k_max = int(self._path_lens.max())
+        table = np.full((len(self.paths), k_max), -1, dtype=np.int64)
+        for i, p in enumerate(self.paths):
+            table[i, : len(p)] = p
+        np.savez_compressed(
+            path,
+            ts=self.ts, flow_id=self.flow_id, pid=self.pid,
+            path_id=self.path_id, size=self.size,
+            path_table=table, path_len=self._path_lens,
+            universe=np.asarray(self.universe, dtype=np.int64),
+            name=np.asarray(self.name),
+        )
+
+    @staticmethod
+    def load(path: str) -> "Trace":
+        """Read a trace written by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as data:
+            table = data["path_table"]
+            lens = data["path_len"]
+            paths = [
+                tuple(int(v) for v in table[i, : int(lens[i])])
+                for i in range(table.shape[0])
+            ]
+            return Trace(
+                data["ts"], data["flow_id"], data["pid"],
+                data["path_id"], data["size"], paths,
+                universe=data["universe"], name=str(data["name"]),
+            )
+
+    def to_csv(self, path: str) -> None:
+        """Write one row per packet: ``ts,flow_id,pid,size,path``."""
+        with open(path, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["ts", "flow_id", "pid", "size", "path"])
+            path_strs = ["|".join(str(s) for s in p) for p in self.paths]
+            for i in range(len(self)):
+                writer.writerow([
+                    repr(float(self.ts[i])), int(self.flow_id[i]),
+                    int(self.pid[i]), int(self.size[i]),
+                    path_strs[int(self.path_id[i])],
+                ])
+
+    @staticmethod
+    def from_csv(
+        path: str,
+        universe: Optional[Sequence[int]] = None,
+        name: str = "csv-trace",
+    ) -> "Trace":
+        """Import a ``ts,flow_id,pid,size,path`` CSV (paths interned)."""
+        ts: List[float] = []
+        fids: List[int] = []
+        pids: List[int] = []
+        sizes: List[int] = []
+        path_ids: List[int] = []
+        interned: Dict[str, int] = {}
+        paths: List[Tuple[int, ...]] = []
+        with open(path, newline="") as fh:
+            reader = csv.DictReader(fh)
+            required = {"ts", "flow_id", "pid", "size", "path"}
+            if reader.fieldnames is None or not required <= set(reader.fieldnames):
+                raise ValueError(
+                    f"trace CSV needs columns {sorted(required)}, got "
+                    f"{reader.fieldnames}"
+                )
+            for row in reader:
+                key = row["path"]
+                pid_idx = interned.get(key)
+                if pid_idx is None:
+                    pid_idx = len(paths)
+                    interned[key] = pid_idx
+                    paths.append(tuple(int(s) for s in key.split("|")))
+                ts.append(float(row["ts"]))
+                fids.append(int(row["flow_id"]))
+                pids.append(int(row["pid"]))
+                sizes.append(int(row["size"]))
+                path_ids.append(pid_idx)
+        if not paths:
+            raise ValueError(f"{path}: empty trace CSV")
+        return Trace(ts, fids, pids, path_ids, sizes, paths,
+                     universe=universe, name=name)

@@ -14,6 +14,8 @@ import random
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 
 class EmpiricalCDF:
     """Inverse-transform sampler over (size, cumulative prob) points."""
@@ -27,6 +29,10 @@ class EmpiricalCDF:
         self.points: List[Tuple[float, float]] = [(min_size, 0.0)] + [
             (float(s), float(p)) for s, p in points
         ]
+        #: Columnar views of ``points`` for the vectorised sampler.
+        self._sizes = np.asarray([s for s, _ in self.points])
+        self._probs = np.asarray([p for _, p in self.points])
+        self._log_sizes = np.log(self._sizes)
 
     def sample(self, rng: random.Random) -> int:
         """Draw one flow size in bytes."""
@@ -37,6 +43,37 @@ class EmpiricalCDF:
                 log_size = math.log(s0) + frac * (math.log(s1) - math.log(s0))
                 return max(1, int(round(math.exp(log_size))))
         return int(self.points[-1][0])
+
+    def sizes_from_uniform(self, u: np.ndarray) -> np.ndarray:
+        """Map uniforms on [0, 1) to flow sizes, one per lane.
+
+        Lane-for-lane identical to feeding each ``u[i]`` through
+        :meth:`sample`'s segment walk: the same first segment with
+        ``u <= p1`` is selected (``searchsorted`` left on the upper
+        probabilities), the same log-linear interpolation applied, the
+        same round-half-even rounding taken.
+        """
+        u = np.asarray(u, dtype=np.float64)
+        seg = np.searchsorted(self._probs[1:], u, side="left")
+        p0 = self._probs[seg]
+        span = self._probs[seg + 1] - p0
+        frac = np.where(span == 0.0, 0.0, (u - p0) / np.where(span == 0.0, 1.0, span))
+        log0 = self._log_sizes[seg]
+        log_size = log0 + frac * (self._log_sizes[seg + 1] - log0)
+        return np.maximum(1, np.round(np.exp(log_size))).astype(np.int64)
+
+    def sample_n(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` flow sizes at once (vectorised inverse transform).
+
+        Takes a :class:`numpy.random.Generator` (the columnar trace
+        generators' RNG); the scalar :meth:`sample` stream over
+        :class:`random.Random` is untouched and the two draw from
+        different generators, so neither perturbs the other's
+        reproducibility.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return self.sizes_from_uniform(rng.random(n))
 
     def mean(
         self,

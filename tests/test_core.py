@@ -1,5 +1,6 @@
 """Tests for the query language, engine, plans, and framework."""
 
+import numpy as np
 import pytest
 
 from repro.core import (
@@ -98,6 +99,20 @@ class TestExecutionPlan:
             [PlanEntry((qa,), 0.4), PlanEntry((qa, q("b", 8)), 0.3)], 16
         )
         assert plan.query_frequency(qa) == pytest.approx(0.7)
+
+    def test_select_array_matches_scalar(self):
+        plan = ExecutionPlan(
+            [PlanEntry((q("a"),), 0.3), PlanEntry((q("b"),), 0.45)], 8
+        )
+        pids = np.arange(4000, dtype=np.int64)
+        idx = plan.select_array(pids)
+        assert set(idx.tolist()) == {-1, 0, 1}
+        for pid in range(0, 4000, 7):
+            scalar = plan.select(pid)
+            if idx[pid] < 0:
+                assert scalar == ()
+            else:
+                assert scalar == plan.entries[int(idx[pid])].queries
 
 
 class TestQueryEngine:

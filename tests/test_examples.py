@@ -62,3 +62,12 @@ class TestExamplesRun:
         out = capsys.readouterr().out
         assert "records streamed to sink" in out
         assert "paths decoded exactly      : 16/16" in out
+
+    def test_replay_scenarios(self, capsys):
+        _load("replay_scenarios").main()
+        out = capsys.readouterr().out
+        assert "replaying every scenario" in out
+        assert "isp-long-paths" in out
+        assert "trace round-trip" in out
+        assert "exact" in out
+        assert "identical to original: True" in out

@@ -94,6 +94,30 @@ class TestVectorAgreement:
         for i in range(100):
             assert int(arr[i]) == g.bits(8, 999, i)
 
+    @given(st.integers(1, 64), st.integers(0, 2**32))
+    @settings(max_examples=50)
+    def test_choice_array_matches_scalar(self, n, base):
+        g = GlobalHash(29, "c")
+        parts = np.arange(base, base + 30, dtype=np.int64)
+        arr = g.choice_array(n, parts)
+        for i, part in enumerate(range(base, base + 30)):
+            assert int(arr[i]) == g.choice(n, part)
+
+    def test_choice_array_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            GlobalHash(0).choice_array(0, np.arange(3))
+
+    @given(st.integers(0, 2**32), st.integers(0, 2**32))
+    @settings(max_examples=50)
+    def test_uniform_lanes_matches_scalar(self, base, salt):
+        g = GlobalHash(31, "u")
+        lanes = np.arange(base, base + 30, dtype=np.uint64)
+        arr = g.uniform_lanes(lanes, salt)
+        for i, lane in enumerate(range(base, base + 30)):
+            # uniform_lanes folds the per-lane part first, then the
+            # shared part -- the (packet, hop) key order.
+            assert arr[i] == g.uniform(lane, salt)
+
 
 class TestReservoir:
     def test_hop_one_always_writes(self):

@@ -1,0 +1,123 @@
+"""Scalar-vs-vectorised dataplane parity (the tentpole property).
+
+The vectorised switch chain must be *bit-identical* to the scalar
+:class:`PathEncoder` under shared seeds, across all three digest
+representations, and the batched multiplicative compression must match
+the scalar :class:`UtilizationCodec` coin-for-coin.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.congestion import UtilizationCodec
+from repro.coding import pack_reps, pack_reps_array
+from repro.replay import Trace, TraceDataplane, build_trace, compress_utilizations
+
+
+def wide_trace():
+    """Hand-built trace with wide blocks (forces real fragmentation)."""
+    paths = [(1001, 2002, 3003), (1001, 4004, 2002, 9009), (5005, 9009)]
+    n = 96
+    rng = np.random.default_rng(0)
+    return Trace(
+        ts=np.arange(n) * 1e-6,
+        flow_id=rng.integers(1, 9, size=n),
+        pid=np.arange(n),
+        path_id=rng.integers(0, len(paths), size=n),
+        size=np.full(n, 1500),
+        paths=paths,
+        name="wide",
+    )
+
+
+class TestPackRepsArray:
+    @given(st.lists(st.lists(st.integers(0, 2**16 - 1), min_size=2,
+                             max_size=2), min_size=1, max_size=30),
+           st.integers(1, 16))
+    @settings(max_examples=50)
+    def test_matches_scalar(self, rows, bits):
+        arr = pack_reps_array(np.asarray(rows, dtype=np.uint64), bits)
+        assert arr.tolist() == [pack_reps(row, bits) for row in rows]
+
+
+class TestDataplaneParity:
+    @pytest.mark.parametrize("mode,digest_bits,num_hashes", [
+        ("hash", 8, 1),
+        ("hash", 4, 2),
+        ("raw", 16, 1),
+        ("fragment", 4, 1),
+    ])
+    def test_modes_bit_identical(self, mode, digest_bits, num_hashes):
+        trace = wide_trace()
+        dp = TraceDataplane(trace, digest_bits=digest_bits,
+                            num_hashes=num_hashes, mode=mode, seed=5)
+        rows = np.arange(len(trace))
+        assert np.array_equal(dp.encode_rows(rows),
+                              dp.encode_scalar_rows(rows))
+
+    def test_scenario_trace_bit_identical(self):
+        trace = build_trace("web-search", packets=1200, seed=3)
+        dp = TraceDataplane(trace, seed=9)
+        rows = np.arange(len(trace))
+        assert np.array_equal(dp.encode_rows(rows),
+                              dp.encode_scalar_rows(rows))
+
+    def test_same_seed_same_digests(self):
+        trace = build_trace("incast", packets=800, seed=1)
+        rows = np.arange(len(trace))
+        a = TraceDataplane(trace, seed=4).encode_rows(rows)
+        b = TraceDataplane(trace, seed=4).encode_rows(rows)
+        c = TraceDataplane(trace, seed=5).encode_rows(rows)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_batch_split_invariant(self):
+        # Encoding in two halves equals encoding in one batch: there is
+        # no cross-record state.
+        trace = wide_trace()
+        dp = TraceDataplane(trace, seed=2)
+        whole = dp.encode_batch(0, len(trace))
+        halves = np.concatenate([
+            dp.encode_batch(0, len(trace) // 2),
+            dp.encode_batch(len(trace) // 2, len(trace)),
+        ])
+        assert np.array_equal(whole, halves)
+
+    def test_empty_rows(self):
+        dp = TraceDataplane(wide_trace())
+        assert dp.encode_rows(np.asarray([], dtype=np.int64)).size == 0
+
+    def test_packed_width_beyond_int64_rejected(self):
+        # The collector's digest column is int64; 64 packed bits would
+        # wrap negative and diverge from the scalar packing.
+        with pytest.raises(ValueError, match="int64"):
+            TraceDataplane(wide_trace(), digest_bits=16, num_hashes=4)
+        TraceDataplane(wide_trace(), digest_bits=21, num_hashes=3)  # 63: ok
+
+
+class TestCompressionParity:
+    def test_compress_utilizations_matches_scalar(self):
+        codec = UtilizationCodec(8, seed=3)
+        rng = np.random.default_rng(1)
+        n = 300
+        utils = rng.uniform(0.0, 2.0, size=n)
+        pids = rng.integers(0, 2**32, size=n)
+        hops = rng.integers(1, 6, size=n)
+        codes = compress_utilizations(codec, utils, pids, hops)
+        expected = [
+            codec.encode(float(u), int(p), int(h))
+            for u, p, h in zip(utils, pids, hops)
+        ]
+        assert codes.tolist() == expected
+
+    def test_codec_encode_array_clamps_like_scalar(self):
+        codec = UtilizationCodec(8, seed=0, max_util=4.0)
+        utils = np.asarray([0.0, 3.9, 4.0, 400.0])
+        pids = np.asarray([1, 2, 3, 4])
+        arr = codec.encode_array(utils, pids, 2)
+        assert arr.tolist() == [
+            codec.encode(float(u), int(p), 2) for u, p in zip(utils, pids)
+        ]
+        # Everything past max_util hits the top of the grid.
+        assert arr[2] == arr[3]

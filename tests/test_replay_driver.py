@@ -1,0 +1,63 @@
+"""End-to-end replay: scenarios -> dataplane -> Collector -> report."""
+
+import math
+
+import pytest
+
+from repro.replay import ReplayDriver, build_trace, scenario_names
+
+
+class TestReplayDriver:
+    def test_incast_end_to_end(self):
+        drv = ReplayDriver(batch_size=512, seed=1)
+        report = drv.run_scenario("incast", packets=3000, seed=1)
+        assert report.records == 3000
+        assert report.batches == 6
+        assert report.path_records + report.congestion_records <= 3000
+        # Long-lived incast flows decode fully and correctly.
+        assert report.path_decoded == report.path_flows
+        assert report.path_accuracy == 1.0
+        assert report.records_per_sec > 0
+        # Congestion decode within a few grid steps of the true max.
+        assert report.congestion_median_rel_err < 0.1
+
+    def test_churn_decodes_mostly_real_paths(self):
+        drv = ReplayDriver(batch_size=1024, seed=0)
+        report = drv.run_scenario("path-churn", packets=4000, seed=2)
+        assert report.path_decoded > 0
+        # Reroutes surface as decoder resets...
+        assert report.path_resets > 0
+        # ...and most decoded answers are paths the flow actually
+        # traversed.  A decoder fed digests straddling a reroute can
+        # converge on a hop mix of old and new path (the §7 multipath
+        # caveat), so churn accuracy is high but not guaranteed 100%.
+        assert report.path_accuracy >= 0.9
+
+    def test_congestion_disabled(self):
+        drv = ReplayDriver(batch_size=1024, path_share=1.0,
+                           congestion_share=0.0)
+        report = drv.run_scenario("incast", packets=1000, seed=0)
+        assert report.congestion_records == 0
+        assert math.isnan(report.congestion_median_rel_err)
+        assert report.path_records == 1000
+
+    def test_run_all_covers_registry(self):
+        drv = ReplayDriver(batch_size=2048)
+        reports = drv.run_all(packets=600, seed=3)
+        assert [r.scenario for r in reports] == scenario_names()
+        for r in reports:
+            assert r.records > 0
+            assert r.path_flows > 0
+            assert "rec/s" in r.summary()
+
+    def test_replay_prebuilt_trace(self):
+        trace = build_trace("hadoop", packets=800, seed=4)
+        report = ReplayDriver(batch_size=256).replay(trace)
+        assert report.scenario == "hadoop"
+        assert report.records == len(trace)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ReplayDriver(batch_size=0)
+        with pytest.raises(ValueError):
+            ReplayDriver(path_share=0.0)

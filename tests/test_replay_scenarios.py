@@ -1,0 +1,67 @@
+"""Scenario-generator determinism and trace well-formedness."""
+
+import numpy as np
+import pytest
+
+from repro.replay import SCENARIOS, build_trace, scenario, scenario_names
+
+
+class TestRegistry:
+    def test_at_least_six_scenarios(self):
+        assert len(scenario_names()) >= 6
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="web-search"):
+            build_trace("no-such-scenario")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            scenario("incast", "dup")(lambda **kw: None)
+
+
+class TestGeneratedTraces:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_deterministic_from_seed(self, name):
+        a = build_trace(name, packets=1200, seed=7)
+        b = build_trace(name, packets=1200, seed=7)
+        assert a.paths == b.paths
+        for col in ("ts", "flow_id", "pid", "path_id", "size"):
+            assert np.array_equal(getattr(a, col), getattr(b, col)), col
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_seed_changes_trace(self, name):
+        a = build_trace(name, packets=1200, seed=7)
+        c = build_trace(name, packets=1200, seed=8)
+        assert (
+            not np.array_equal(a.ts, c.ts)
+            or not np.array_equal(a.path_id, c.path_id)
+            or a.paths != c.paths
+        )
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_well_formed(self, name):
+        t = build_trace(name, packets=1200, seed=0)
+        assert 0 < len(t) <= 1200
+        # Time-sorted with sequential pids: the replay contract.
+        assert np.all(np.diff(t.ts) >= 0)
+        assert np.array_equal(t.pid, np.arange(len(t)))
+        assert t.hop_counts.min() >= 1
+        assert t.size.min() >= 1
+        assert set(np.unique(t.path_id).tolist()) <= set(range(len(t.paths)))
+        for p in t.paths:
+            assert set(p) <= set(t.universe)
+
+    def test_path_churn_flows_really_churn(self):
+        t = build_trace("path-churn", packets=2000, seed=1)
+        multi = [fid for fid, pids in t.flow_paths().items() if len(pids) > 1]
+        assert multi, "churn scenario produced no multi-path flows"
+
+    def test_elephant_mice_skew(self):
+        t = build_trace("elephant-mice", packets=2000, seed=1)
+        counts = np.unique(t.flow_id, return_counts=True)[1]
+        assert counts.max() > 50 * np.median(counts)
+
+    def test_incast_waves_share_destination(self):
+        t = build_trace("incast", packets=1000, seed=0)
+        # All paths end at the aggregator's edge switch.
+        assert len({p[-1] for p in t.paths if p}) == 1

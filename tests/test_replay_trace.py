@@ -1,0 +1,102 @@
+"""Tests for the columnar Trace container (persistence, invariants)."""
+
+import numpy as np
+import pytest
+
+from repro.replay import Trace
+
+
+def small_trace():
+    paths = [(1, 2, 3), (1, 4, 3), (7,)]
+    return Trace(
+        ts=[0.0, 1e-5, 2e-5, 3e-5, 4e-5],
+        flow_id=[10, 11, 10, 12, 11],
+        pid=[0, 1, 2, 3, 4],
+        path_id=[0, 1, 0, 2, 1],
+        size=[1500, 1500, 700, 40, 1500],
+        paths=paths,
+        name="unit",
+    )
+
+
+class TestTraceBasics:
+    def test_shape_and_universe(self):
+        t = small_trace()
+        assert len(t) == 5
+        assert t.num_flows == 3
+        assert t.universe == (1, 2, 3, 4, 7)
+
+    def test_hop_counts_follow_paths(self):
+        t = small_trace()
+        assert t.hop_counts.tolist() == [3, 3, 3, 1, 3]
+        assert t.path_of(3) == (7,)
+
+    def test_flow_paths_ground_truth(self):
+        t = small_trace()
+        assert t.flow_paths() == {10: (0,), 11: (1,), 12: (2,)}
+
+    def test_batches_cover_in_order(self):
+        t = small_trace()
+        bounds = list(t.batches(2))
+        assert bounds == [(0, 2), (2, 4), (4, 5)]
+        with pytest.raises(ValueError):
+            list(t.batches(0))
+
+    def test_sorted_by_time_stable(self):
+        t = Trace([2.0, 1.0, 1.0], [1, 2, 3], [0, 1, 2], [0, 0, 0],
+                  [9, 9, 9], [(5,)])
+        s = t.sorted_by_time()
+        assert s.ts.tolist() == [1.0, 1.0, 2.0]
+        assert s.flow_id.tolist() == [2, 3, 1]  # equal stamps keep order
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([0.0], [1, 2], [0], [0], [9], [(5,)])
+
+    def test_bad_path_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([0.0], [1], [0], [3], [9], [(5,)])
+        with pytest.raises(ValueError):
+            Trace([0.0], [1], [0], [-1], [9], [(5,)])
+
+    def test_empty_path_table_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([0.0], [1], [0], [0], [9], [])
+        with pytest.raises(ValueError):
+            Trace([0.0], [1], [0], [0], [9], [()])
+
+
+class TestPersistence:
+    def test_npz_roundtrip_exact(self, tmp_path):
+        t = small_trace()
+        f = str(tmp_path / "t.npz")
+        t.save(f)
+        back = Trace.load(f)
+        assert np.array_equal(back.ts, t.ts)
+        assert np.array_equal(back.flow_id, t.flow_id)
+        assert np.array_equal(back.pid, t.pid)
+        assert np.array_equal(back.path_id, t.path_id)
+        assert np.array_equal(back.size, t.size)
+        assert back.paths == t.paths
+        assert back.universe == t.universe
+        assert back.name == t.name
+
+    def test_csv_roundtrip_per_record(self, tmp_path):
+        t = small_trace()
+        f = str(tmp_path / "t.csv")
+        t.to_csv(f)
+        back = Trace.from_csv(f)
+        assert np.array_equal(back.ts, t.ts)
+        assert np.array_equal(back.flow_id, t.flow_id)
+        assert np.array_equal(back.pid, t.pid)
+        assert np.array_equal(back.size, t.size)
+        # Path *ids* may be renumbered by first use; the per-record
+        # switch sequences must survive exactly.
+        for row in range(len(t)):
+            assert back.path_of(row) == t.path_of(row)
+
+    def test_csv_missing_columns_rejected(self, tmp_path):
+        f = tmp_path / "bad.csv"
+        f.write_text("ts,flow_id\n0.0,1\n")
+        with pytest.raises(ValueError):
+            Trace.from_csv(str(f))

@@ -2,6 +2,7 @@
 
 import random
 
+import numpy as np
 import pytest
 
 from repro.exceptions import SimulationError
@@ -245,6 +246,40 @@ class TestWorkload:
             EmpiricalCDF([(100, 0.5)], min_size=10)  # doesn't end at 1
         with pytest.raises(ValueError):
             EmpiricalCDF([], min_size=10)
+
+    def test_sample_stream_pinned(self):
+        # The scalar stream is a compatibility surface: seeded
+        # workloads must not change when the sampler grows new APIs.
+        cdf = web_search_cdf()
+        rng = random.Random(0)
+        assert [cdf.sample(rng) for _ in range(6)] == [
+            3004708, 1487443, 54048, 25397, 81646, 50942,
+        ]
+
+    def test_sizes_from_uniform_matches_scalar(self):
+        class _Scripted:
+            def __init__(self, u):
+                self._u = u
+
+            def random(self):
+                return self._u
+
+        for cdf in (web_search_cdf(), hadoop_cdf(), web_search_cdf(0.03)):
+            u = np.random.default_rng(5).random(500)
+            vec = cdf.sizes_from_uniform(u)
+            assert vec.tolist() == [
+                cdf.sample(_Scripted(float(x))) for x in u
+            ]
+
+    def test_sample_n_deterministic_and_in_range(self):
+        cdf = hadoop_cdf()
+        a = cdf.sample_n(400, np.random.default_rng(3))
+        b = cdf.sample_n(400, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+        assert a.min() >= 1
+        assert a.max() <= 10_000_000
+        with pytest.raises(ValueError):
+            cdf.sample_n(-1, np.random.default_rng(0))
 
 
 class TestPercentile:

@@ -33,6 +33,28 @@ class TestFoldLanes:
         with pytest.raises(ValueError):
             GlobalHash(0).bits_lanes(0, np.arange(3), 1)
 
+    @given(st.lists(st.tuples(st.integers(0, mix.MASK64),
+                              st.integers(0, mix.MASK64)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_fold_zip_matches_scalar(self, pairs):
+        accs = np.array([a for a, _ in pairs], dtype=np.uint64)
+        parts = np.array([p for _, p in pairs], dtype=np.uint64)
+        arr = mix.fold_zip(accs, parts)
+        assert [int(v) for v in arr] == [mix.fold(a, p) for a, p in pairs]
+
+    def test_bits_zip_matches_scalar(self):
+        h = GlobalHash(9, "h")
+        pids = np.arange(100, dtype=np.uint64)
+        blocks = np.arange(500, 600, dtype=np.int64)
+        arr = h.bits_zip(8, pids, blocks)
+        for i in range(100):
+            assert int(arr[i]) == h.bits(8, i, 500 + i)
+
+    def test_bits_zip_width_checked(self):
+        with pytest.raises(ValueError):
+            GlobalHash(0).bits_zip(65, np.arange(3), np.arange(3))
+
 
 class TestEncodeMany:
     @pytest.mark.parametrize("scheme_factory,num_hashes", [
