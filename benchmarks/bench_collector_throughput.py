@@ -13,6 +13,8 @@ packet counts, the shape a sink serving many users sees.  Compares:
 
 across shard counts.  Asserts the headline claim: batched ingest at
 batch >= 1024 sustains >= 5x the scalar rate on the same workload.
+Writes machine-readable ``BENCH_ingest.json`` (merged with the encode
+and decode rows into ``BENCH_pipeline.json`` by ``bench_pipeline.py``).
 
 Run:  PYTHONPATH=src python benchmarks/bench_collector_throughput.py
       (--quick for the CI smoke run)
@@ -21,6 +23,7 @@ Run:  PYTHONPATH=src python benchmarks/bench_collector_throughput.py
 from __future__ import annotations
 
 import argparse
+import json
 import time
 
 import numpy as np
@@ -99,6 +102,8 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--repeats", type=int, default=3,
                         help="timing repetitions (best-of-N)")
+    parser.add_argument("--json", default="BENCH_ingest.json",
+                        help="output path for the machine-readable results")
     parser.add_argument("--quick", action="store_true",
                         help="small CI smoke run")
     args = parser.parse_args()
@@ -115,22 +120,31 @@ def main() -> None:
     ] + ["best speedup"]
     rows = []
     big_batch_speedups = []
+    results = {}
     for shards in args.shards:
         scalar_s = run_scalar(shards, cols, args.repeats)
         scalar_rate = args.records / scalar_s
         cells = [str(shards), f"{scalar_rate:,.0f}"]
+        shard_result = {
+            "scalar_rps": round(scalar_rate),
+            "batched_rps": {},
+            "big_batch_speedup": 0.0,
+        }
         best = 0.0
         shard_big_best = 0.0
         for batch in args.batches:
             batched_s = run_batched(shards, cols, batch, args.repeats)
             rate = args.records / batched_s
             cells.append(f"{rate:,.0f}")
+            shard_result["batched_rps"][str(batch)] = round(rate)
             speedup = rate / scalar_rate
             best = max(best, speedup)
             if batch >= 1024:
                 shard_big_best = max(shard_big_best, speedup)
         if shard_big_best:
             big_batch_speedups.append(shard_big_best)
+        shard_result["big_batch_speedup"] = round(shard_big_best, 1)
+        results[str(shards)] = shard_result
         cells.append(f"{best:.1f}x")
         rows.append(cells)
 
@@ -139,6 +153,19 @@ def main() -> None:
     print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
     for row in rows:
         print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+    payload = {
+        "benchmark": "collector_ingest_throughput",
+        "records": args.records,
+        "flows": args.flows,
+        "batches": args.batches,
+        "seed": args.seed,
+        "shards": results,
+    }
+    with open(args.json, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.json}")
 
     if not big_batch_speedups:
         print("\nno batch size >= 1024 swept: skipping the 5x assertion")

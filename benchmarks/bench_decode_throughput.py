@@ -1,0 +1,269 @@
+"""Sink decode throughput: scalar consumer ingest vs columnar batch decode.
+
+The last scalar stage of the replay→collector pipeline was the sink's
+per-packet ``observe()`` loop.  This benchmark measures records/sec
+through :class:`repro.collector.Collector` for the two decode-heavy
+queries on a synthetic heavy-traffic workload (a fixed population of
+concurrent flows with Zipf-skewed packet counts):
+
+* **path** -- the §4.2 peeling decode (hash mode, real digests from a
+  per-flow :class:`PathEncoder`), comparing one-record
+  :meth:`~repro.collector.Collector.ingest` against columnar
+  :meth:`~repro.collector.Collector.ingest_batch` feeding the
+  batch-decode engine (``observe_batch`` + vectorised consistency
+  scans);
+* **latency** -- the §6.2 reservoir-carrier attribution into per-hop
+  KLL sketches, scalar per-sample updates vs vectorised carrier
+  replay + ``extend_array``.
+
+Also times one end-to-end replay (scenario trace → vectorised encode →
+batched ingest → decoded paths) so the whole-pipeline number rides
+along.  Writes machine-readable ``BENCH_decode.json`` and asserts the
+headline claim: batched decode at batch >= 1024 sustains >= 5x the
+scalar consumer rate for both queries.
+
+Run:  PYTHONPATH=src python benchmarks/bench_decode_throughput.py
+      (--quick for the CI smoke run)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import time
+
+import numpy as np
+
+from repro.coding import (
+    DistributedMessage,
+    PathEncoder,
+    multilayer_scheme,
+    pack_reps_array,
+)
+from repro.collector import (
+    Collector,
+    latency_consumer_factory,
+    path_consumer_factory,
+)
+from repro.net import fat_tree
+from repro.replay import ReplayDriver, build_trace
+
+
+def zipf_flow_ids(records: int, flows: int, rng) -> np.ndarray:
+    """Zipf-skewed flow activity: few heavy flows, a long tail."""
+    weights = 1.0 / np.arange(1, flows + 1) ** 0.9
+    weights /= weights.sum()
+    return rng.choice(np.arange(1, flows + 1), size=records, p=weights).astype(
+        np.int64
+    )
+
+
+def make_path_workload(records: int, flows: int, seed: int):
+    """Columnar path-query stream with *real* per-flow digests.
+
+    Each flow gets a k-hop path sampled from the fat-tree switch
+    universe; digests come from the flow's own encoder (vectorised
+    ``encode_many`` -- encoding speed is PR 2's benchmark, not this
+    one), so the sink does genuine peeling work before it settles into
+    the steady-state consistency scans.
+    """
+    rng = np.random.default_rng(seed)
+    topo = fat_tree(4)
+    universe = topo.switch_universe()
+    k, bits, seed_enc = 6, 8, seed + 1
+    scheme = multilayer_scheme(k)
+    fids = zipf_flow_ids(records, flows, rng)
+    pids = np.arange(1, records + 1, dtype=np.int64)
+    hops = np.full(records, k, dtype=np.int64)
+    digests = np.empty(records, dtype=np.int64)
+    for fid in range(1, flows + 1):
+        lane = fids == fid
+        if not lane.any():
+            continue
+        path = rng.choice(universe, size=k, replace=False).tolist()
+        enc = PathEncoder(
+            DistributedMessage.from_path(path, universe),
+            scheme, bits, "hash", 1, seed_enc,
+        )
+        digests[lane] = pack_reps_array(enc.encode_many(pids[lane]), bits)
+    factory_kwargs = dict(digest_bits=bits, num_hashes=1, seed=seed_enc)
+    return (fids, pids, hops, digests), universe, factory_kwargs
+
+
+def make_latency_workload(records: int, flows: int, seed: int):
+    """Columnar latency-query stream (codes on an 8-bit grid)."""
+    rng = np.random.default_rng(seed)
+    fids = zipf_flow_ids(records, flows, rng)
+    pids = np.arange(1, records + 1, dtype=np.int64)
+    hops = rng.integers(3, 8, size=records, dtype=np.int64)
+    digests = rng.integers(0, 256, size=records, dtype=np.int64)
+    return fids, pids, hops, digests
+
+
+def time_scalar(make_collector, cols, repeats: int) -> float:
+    """Best-of-``repeats`` seconds for one-record-at-a-time ingest."""
+    fids, pids, hops, digs = (c.tolist() for c in cols)
+    best = float("inf")
+    for _ in range(repeats):
+        col = make_collector()
+        ingest = col.ingest
+        start = time.perf_counter()
+        for i in range(len(fids)):
+            ingest(fids[i], pids[i], hops[i], digs[i])
+        best = min(best, time.perf_counter() - start)
+        assert col.snapshot().records == len(fids)
+    return best
+
+
+def time_batched(make_collector, cols, batch: int, repeats: int) -> float:
+    """Best-of-``repeats`` seconds for columnar batched ingest."""
+    fids, pids, hops, digs = cols
+    n = len(fids)
+    best = float("inf")
+    for _ in range(repeats):
+        col = make_collector()
+        start = time.perf_counter()
+        for lo in range(0, n, batch):
+            hi = lo + batch
+            col.ingest_batch(fids[lo:hi], pids[lo:hi], hops[lo:hi], digs[lo:hi])
+        best = min(best, time.perf_counter() - start)
+        assert col.snapshot().records == n
+    return best
+
+
+def bench_query(name, make_collector, cols, batches, repeats):
+    """Measure one query kind; returns its JSON-ready result row."""
+    records = len(cols[0])
+    scalar_s = time_scalar(make_collector, cols, repeats)
+    scalar_rate = records / scalar_s
+    result = {
+        "records": records,
+        "scalar_rps": round(scalar_rate),
+        "batched_rps": {},
+        "big_batch_speedup": 0.0,
+    }
+    for batch in batches:
+        batched_s = time_batched(make_collector, cols, batch, repeats)
+        rate = records / batched_s
+        result["batched_rps"][str(batch)] = round(rate)
+        if batch >= 1024:
+            result["big_batch_speedup"] = max(
+                result["big_batch_speedup"], rate / scalar_rate
+            )
+    result["big_batch_speedup"] = round(result["big_batch_speedup"], 1)
+    print(f"{name:<8} scalar {scalar_rate:>10,.0f} rec/s   " + "  ".join(
+        f"batch={b} {result['batched_rps'][str(b)]:,} rec/s" for b in batches
+    ) + f"   best(>=1024) {result['big_batch_speedup']}x")
+    return result
+
+
+def bench_end_to_end(packets: int, batch: int, seed: int):
+    """One replay→collector→decoded-paths run; the pipeline number."""
+    trace = build_trace("web-search", packets=packets, seed=seed)
+    driver = ReplayDriver(batch_size=batch, seed=seed)
+    report = driver.replay(trace)
+    err = report.congestion_median_rel_err
+    print(
+        f"e2e      replay {report.records:,} rec at "
+        f"{report.records_per_sec:,.0f} rec/s -> "
+        f"{report.path_decoded}/{report.path_flows} paths decoded "
+        f"({report.path_accuracy * 100:.0f}% correct)"
+    )
+    return {
+        "scenario": "web-search",
+        "records": report.records,
+        "e2e_rps": round(report.records_per_sec),
+        "path_flows": report.path_flows,
+        "path_decoded": report.path_decoded,
+        "path_accuracy": round(report.path_accuracy, 3),
+        "congestion_median_rel_err": (
+            None if math.isnan(err) else round(err, 4)
+        ),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=120_000,
+                        help="records per query workload")
+    parser.add_argument("--flows", type=int, default=48,
+                        help="concurrent flow population")
+    parser.add_argument("--shards", type=int, default=4,
+                        help="collector shard count")
+    parser.add_argument("--batches", type=int, nargs="+",
+                        default=[256, 1024, 4096],
+                        help="batch sizes to sweep")
+    parser.add_argument("--e2e-packets", type=int, default=30_000,
+                        help="records in the end-to-end replay")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions (best-of-N)")
+    parser.add_argument("--json", default="BENCH_decode.json",
+                        help="output path for the machine-readable results")
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI smoke run")
+    args = parser.parse_args()
+    if args.quick:
+        args.records = min(args.records, 40_000)
+        args.e2e_packets = min(args.e2e_packets, 12_000)
+        args.repeats = min(args.repeats, 2)
+
+    print(f"decode throughput: {args.records} records over {args.flows} "
+          f"flows (Zipf-skewed), {args.shards} shards\n")
+    path_cols, universe, path_kwargs = make_path_workload(
+        args.records, args.flows, args.seed
+    )
+    results = {
+        "path": bench_query(
+            "path",
+            lambda: Collector(
+                path_consumer_factory(universe, **path_kwargs),
+                num_shards=args.shards, seed=args.seed,
+            ),
+            path_cols, args.batches, args.repeats,
+        ),
+        "latency": bench_query(
+            "latency",
+            lambda: Collector(
+                latency_consumer_factory(bits=8, seed=args.seed,
+                                         sketch_size=128),
+                num_shards=args.shards, seed=args.seed,
+            ),
+            make_latency_workload(args.records, args.flows, args.seed),
+            args.batches, args.repeats,
+        ),
+        "end_to_end": bench_end_to_end(
+            args.e2e_packets, max(args.batches), args.seed
+        ),
+    }
+
+    payload = {
+        "benchmark": "decode_throughput",
+        "records": args.records,
+        "flows": args.flows,
+        "shards": args.shards,
+        "batches": args.batches,
+        "seed": args.seed,
+        "queries": results,
+    }
+    with open(args.json, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.json}")
+
+    floor = min(
+        results["path"]["big_batch_speedup"],
+        results["latency"]["big_batch_speedup"],
+    )
+    print(f"batched decode (batch >= 1024) vs scalar consumer ingest: "
+          f">= {floor}x on every query kind")
+    assert floor >= 5.0, (
+        f"batched decode speedup {floor}x < 5x "
+        "(batch >= 1024 must amortise the per-record observe() loop)"
+    )
+    print("OK: columnar batch decode sustains >= 5x scalar consumer ingest")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""Merge per-stage bench results into one pipeline trajectory file.
+
+The replay→collector pipeline is measured in three places:
+
+* ``bench_replay_throughput.py``   -> ``BENCH_replay.json``  (encode)
+* ``bench_collector_throughput.py``-> ``BENCH_ingest.json``  (ingest)
+* ``bench_decode_throughput.py``   -> ``BENCH_decode.json``  (decode)
+
+Each file speaks its own schema; this tool flattens them into one
+``BENCH_pipeline.json`` with uniform rows::
+
+    {"stage": "encode|ingest|decode|end_to_end", "config": "...",
+     "scalar_rps": ..., "vector_rps": ..., "speedup": ...}
+
+so the bench trajectory accumulates comparable numbers per PR (the CI
+uploads all four files as one artifact).  Missing inputs are skipped
+with a note -- run the three stage benches first.
+
+Run:  PYTHONPATH=src python benchmarks/bench_pipeline.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+
+def _load(path: str):
+    if not os.path.exists(path):
+        print(f"note: {path} not found, skipping its rows")
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _row(stage, config, scalar_rps, vector_rps, **extra):
+    speedup = (
+        round(vector_rps / scalar_rps, 1) if scalar_rps else None
+    )
+    return {
+        "stage": stage,
+        "config": config,
+        "scalar_rps": scalar_rps,
+        "vector_rps": vector_rps,
+        "speedup": speedup,
+        **extra,
+    }
+
+
+def encode_rows(replay: dict):
+    """Per-scenario encode rows from the replay bench."""
+    for name, r in sorted(replay.get("scenarios", {}).items()):
+        yield _row(
+            "encode", f"scenario={name}", r["scalar_rps"], r["vector_rps"],
+        )
+
+
+def ingest_rows(ingest: dict):
+    """Per-shard-count ingest rows from the collector bench."""
+    for shards, r in sorted(ingest.get("shards", {}).items(), key=lambda kv: int(kv[0])):
+        best = max(r["batched_rps"].values()) if r["batched_rps"] else 0
+        yield _row(
+            "ingest", f"shards={shards}", r["scalar_rps"], best,
+        )
+
+
+def decode_rows(decode: dict):
+    """Per-query decode rows plus the end-to-end number."""
+    queries = decode.get("queries", {})
+    for kind in ("path", "latency"):
+        r = queries.get(kind)
+        if r is None:
+            continue
+        best = max(r["batched_rps"].values()) if r["batched_rps"] else 0
+        yield _row(
+            "decode", f"query={kind}", r["scalar_rps"], best,
+        )
+    e2e = queries.get("end_to_end")
+    if e2e is not None:
+        yield _row(
+            "end_to_end", f"scenario={e2e['scenario']}", None,
+            e2e["e2e_rps"],
+            path_decoded=e2e["path_decoded"], path_flows=e2e["path_flows"],
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--replay", default="BENCH_replay.json")
+    parser.add_argument("--ingest", default="BENCH_ingest.json")
+    parser.add_argument("--decode", default="BENCH_decode.json")
+    parser.add_argument("--json", default="BENCH_pipeline.json",
+                        help="output path for the merged rows")
+    args = parser.parse_args()
+
+    rows = []
+    replay = _load(args.replay)
+    if replay is not None:
+        rows.extend(encode_rows(replay))
+    ingest = _load(args.ingest)
+    if ingest is not None:
+        rows.extend(ingest_rows(ingest))
+    decode = _load(args.decode)
+    if decode is not None:
+        rows.extend(decode_rows(decode))
+
+    payload = {"benchmark": "pipeline", "rows": rows}
+    with open(args.json, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    width = max((len(r["config"]) for r in rows), default=10)
+    for r in rows:
+        scalar = f"{r['scalar_rps']:,}" if r["scalar_rps"] else "-"
+        speedup = f"{r['speedup']}x" if r["speedup"] else "-"
+        print(f"{r['stage']:<11} {r['config']:<{width}}  "
+              f"scalar {scalar:>12} rec/s  vector {r['vector_rps']:>12,} rec/s  "
+              f"{speedup}")
+    print(f"\nwrote {args.json} ({len(rows)} rows)")
+
+
+if __name__ == "__main__":
+    main()

@@ -52,6 +52,9 @@ class MultiplicativeCompressor:
         self._log_base = math.log(self.base)
         self.bits = bits
         self.max_value = max_value
+        #: Lazily grown decode lookup table; entries are built with the
+        #: scalar ``base ** code`` so decode_array is bit-identical.
+        self._decode_table = np.empty(0, dtype=np.float64)
         if bits is not None:
             needed = self.encode(max_value)
             if needed >= (1 << bits):
@@ -125,6 +128,27 @@ class MultiplicativeCompressor:
         if code < 0:
             raise ValueError("codes are non-negative")
         return self.base ** code
+
+    def decode_array(self, codes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`decode`, lane-for-lane bit-identical.
+
+        Exponent grids are tiny (``2**bits`` codes), so decoding is a
+        table gather; the table entries come from the scalar
+        ``base ** code`` rather than ``np.power`` (whose SIMD path may
+        round differently), which is what makes the lanes exact.
+        """
+        arr = np.asarray(codes, dtype=np.int64)
+        if arr.size == 0:
+            return np.empty(0, dtype=np.float64)
+        if int(arr.min()) < 0:
+            raise ValueError("codes are non-negative")
+        hi = int(arr.max())
+        if hi >= self._decode_table.size:
+            self._decode_table = np.asarray(
+                [self.base ** code for code in range(hi + 1)],
+                dtype=np.float64,
+            )
+        return self._decode_table[arr]
 
     def relative_error(self, value: float) -> float:
         """Relative error |decode(encode(v)) - v| / v for ``v > 0``."""

@@ -79,6 +79,14 @@ class UtilizationCodec:
         """Recover the approximate utilisation fraction."""
         return self._comp.decode(code) / self.scale
 
+    def decode_array(self, codes: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`decode`, lane-for-lane bit-identical.
+
+        One table gather and one divide for a whole code column -- the
+        shape the batch-decode engine and the replay scorer consume.
+        """
+        return self._comp.decode_array(codes) / self.scale
+
 
 class CongestionRuntime(QueryRuntime):
     """Framework runtime carrying max path utilisation to the sink.

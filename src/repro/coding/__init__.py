@@ -30,6 +30,7 @@ from repro.coding.encoder import (
     pack_reps,
     pack_reps_array,
     unpack_reps,
+    unpack_reps_array,
 )
 from repro.coding.fastdecode import FastXORDecoder, FastXOREncoder
 from repro.coding.lnc import LNCDecoder, LNCEncoder
@@ -73,6 +74,7 @@ __all__ = [
     "pack_reps",
     "pack_reps_array",
     "unpack_reps",
+    "unpack_reps_array",
     "RawDecoder",
     "HashDecoder",
     "FragmentDecoder",

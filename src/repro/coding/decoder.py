@@ -13,6 +13,15 @@ served, which hop the reservoir kept, which hops xor-ed), exactly as the
 paper's Recording/Inference modules do, and then run *peeling*: an XOR
 digest whose acting set contains a single unknown hop reveals (raw mode)
 or constrains (hash mode) that hop, which may unlock further digests.
+
+Every decoder also exposes ``observe_batch(packet_ids, reps)`` -- the
+columnar entry point of the sink's batch-decode engine
+(:mod:`repro.collector.batchdecode`).  It is bit-identical to feeding
+the rows to ``observe`` in order, but replays all per-packet hash
+decisions (layer, reservoir carrier, XOR acting set) in vectorised
+passes, and -- once the decoder is complete -- collapses whole column
+slices into a single consistency scan, which is where the sink's §4
+decoding cost concentrates.
 """
 
 from __future__ import annotations
@@ -25,7 +34,58 @@ from repro.coding.encoder import CodecContext
 from repro.coding.message import DistributedMessage
 from repro.coding.schemes import BASELINE, CodingScheme
 from repro.exceptions import DecodingError
-from repro.hashing import reservoir_carrier, xor_acting_hops
+from repro.hashing import (
+    reservoir_carrier,
+    reservoir_carrier_array,
+    xor_acting_hops,
+    xor_acting_matrix,
+)
+
+
+def _normalize_batch_reps(packet_ids, reps, num_hashes: int):
+    """Coerce batch inputs to uint64 columns and validate the shape.
+
+    ``astype`` (not ``asarray(dtype=...)``) so negative packet ids wrap
+    to their 64-bit representation -- the same masking the scalar hash
+    path applies via ``mix._as_int``.
+    """
+    pids = np.asarray(packet_ids).astype(np.uint64)
+    mat = np.asarray(reps)
+    if mat.ndim != 2 or mat.shape != (pids.shape[0], num_hashes):
+        raise ValueError(
+            f"reps must have shape ({pids.shape[0]}, {num_hashes}), "
+            f"got {mat.shape}"
+        )
+    return pids, mat.astype(np.uint64)
+
+
+def _batch_decisions(ctx: CodecContext, k: int, pids: np.ndarray):
+    """Vectorised replay of the per-packet encoder decisions.
+
+    One pass over the batch computes what the scalar ``observe`` derives
+    per packet: the layer index, the reservoir carrier (baseline
+    layers, zero elsewhere) and the XOR acting set (xor layers).  The
+    arrays come back whole so a decoder that completes mid-batch can
+    hand the unconsumed suffix's decisions straight to its consistency
+    scan instead of recomputing them.
+    """
+    layer_idx = ctx.layer_of_array(pids)
+    n = len(pids)
+    carriers = np.zeros(n, dtype=np.int64)
+    acting: List[Optional[List[int]]] = [None] * n
+    for idx, layer in enumerate(ctx.scheme.layers):
+        lane = layer_idx == idx
+        if not lane.any():
+            continue
+        g = ctx.g[idx]
+        if layer.kind == BASELINE:
+            carriers[lane] = reservoir_carrier_array(g, pids[lane], k)
+        else:
+            acts = xor_acting_matrix(g, pids[lane], k, layer.xor_p)
+            rows = np.flatnonzero(lane).tolist()
+            for r, row in zip(rows, acts.tolist()):
+                acting[r] = [h + 1 for h, a in enumerate(row) if a]
+    return layer_idx, carriers, acting
 
 
 class _PendingXor:
@@ -67,6 +127,10 @@ class RawDecoder:
         self._pending: List[_PendingXor] = []
         #: hop -> indices into _pending that reference it.
         self._hop_refs: Dict[int, List[_PendingXor]] = {h: [] for h in range(1, k + 1)}
+        #: Decoded blocks as a (k,) array, built lazily once complete
+        #: (decoded values never change afterwards) for the batched
+        #: consistency scans.
+        self._decoded_arr: Optional[np.ndarray] = None
 
     @property
     def missing(self) -> int:
@@ -110,6 +174,122 @@ class RawDecoder:
         self._pending.append(entry)
         for hop in unknown:
             self._hop_refs[hop].append(entry)
+
+    def observe_batch(self, packet_ids, reps) -> None:
+        """Feed a digest column at once; bit-identical to in-order observe.
+
+        ``reps`` is the ``(n, 1)`` unpacked digest matrix (raw digests
+        are 1-tuples).  All per-packet hash replays run as array
+        passes, and rows past the completion point reduce to one
+        vectorised consistency scan.
+        """
+        pids, mat = _normalize_batch_reps(packet_ids, reps, 1)
+        n = len(pids)
+        if n == 0:
+            return
+        if self.is_complete:
+            self._verify_complete(pids, mat)
+            return
+        start, layer_idx, carriers = self._observe_prefix(pids, mat)
+        if start < n:
+            self._verify_complete(
+                pids[start:], mat[start:],
+                layer_idx[start:], carriers[start:],
+            )
+
+    def _observe_prefix(self, pids: np.ndarray, reps: np.ndarray):
+        """In-order replay with precomputed decisions, until complete.
+
+        Returns ``(first unconsumed row, layer indices, carriers)`` --
+        the decision arrays ride along so the caller's consistency
+        scan over the suffix does not recompute them.  Same state
+        transitions as :meth:`observe`, minus all per-packet hashing.
+        """
+        layers = self.ctx.scheme.layers
+        layer_idx, carriers, acting = _batch_decisions(self.ctx, self.k, pids)
+        layer_list = layer_idx.tolist()
+        carrier_list = carriers.tolist()
+        values = reps[:, 0].tolist()
+        n = len(values)
+        stop = n
+        for i in range(n):
+            if self.is_complete:
+                stop = i
+                break
+            self.packets_seen += 1
+            value = values[i]
+            layer = layers[layer_list[i]]
+            if layer.kind == BASELINE:
+                carrier = carrier_list[i]
+                if carrier in self.decoded:
+                    if self.decoded[carrier] != value:
+                        self.inconsistencies += 1
+                    continue
+                self._resolve(carrier, value)
+                continue
+            residual = value
+            unknown: Set[int] = set()
+            for hop in acting[i]:
+                if hop in self.decoded:
+                    residual ^= self.decoded[hop]
+                else:
+                    unknown.add(hop)
+            if not unknown:
+                continue
+            if len(unknown) == 1:
+                self._resolve(unknown.pop(), residual)
+                continue
+            entry = _PendingXor(int(pids[i]), [residual], unknown)
+            self._pending.append(entry)
+            for hop in unknown:
+                self._hop_refs[hop].append(entry)
+        return stop, layer_idx, carriers
+
+    def _verify_complete(
+        self,
+        pids: np.ndarray,
+        reps: np.ndarray,
+        layer_idx: Optional[np.ndarray] = None,
+        carriers: Optional[np.ndarray] = None,
+    ) -> None:
+        """Consistency scan of a complete decoder (pure counting).
+
+        Baseline rows compare against the decoded carrier block; XOR
+        rows are exact no-ops (``observe`` computes a residual with no
+        unknown hops and returns without checking it).  ``layer_idx``
+        and ``carriers`` accept decisions already computed for these
+        rows (the mid-batch completion hand-off).
+        """
+        ctx = self.ctx
+        self.packets_seen += len(pids)
+        if self._decoded_arr is None:
+            self._decoded_arr = np.asarray(
+                [self.decoded[h] for h in range(1, self.k + 1)],
+                dtype=np.int64,
+            ).astype(np.uint64)
+        if layer_idx is None:
+            layer_idx = ctx.layer_of_array(pids)
+        bad = 0
+        for idx, layer in enumerate(ctx.scheme.layers):
+            if layer.kind != BASELINE:
+                continue
+            lane = layer_idx == idx
+            if not lane.any():
+                continue
+            if carriers is None:
+                lane_carriers = reservoir_carrier_array(
+                    ctx.g[idx], pids[lane], self.k
+                )
+            else:
+                lane_carriers = carriers[lane]
+            expected = self._decoded_arr[lane_carriers - 1]
+            bad += int((reps[lane, 0] != expected).sum())
+        self.inconsistencies += bad
+
+    def state_bytes(self) -> int:
+        """Rough resident-state estimate (decoded map + pending digests)."""
+        arr = self._decoded_arr.nbytes if self._decoded_arr is not None else 0
+        return 16 * len(self.decoded) + 64 * len(self._pending) + arr
 
     def _resolve(self, hop: int, value: int) -> None:
         """Record a decoded hop and peel any digests it unblocks."""
@@ -184,6 +364,9 @@ class HashDecoder:
         self.packets_seen = 0
         self._pending: List[_PendingXor] = []
         self._hop_refs: Dict[int, List[_PendingXor]] = {h: [] for h in range(1, k + 1)}
+        #: Decoded values as a (k,) array, built lazily once complete
+        #: for the batched consistency scans.
+        self._decoded_arr: Optional[np.ndarray] = None
 
     @property
     def missing(self) -> int:
@@ -233,6 +416,133 @@ class HashDecoder:
         self._pending.append(entry)
         for hop in unknown:
             self._hop_refs[hop].append(entry)
+
+    def observe_batch(self, packet_ids, reps) -> None:
+        """Feed a digest column at once; bit-identical to in-order observe.
+
+        ``reps`` is the ``(n, num_hashes)`` unpacked digest matrix (see
+        :func:`~repro.coding.encoder.unpack_reps_array`).  A digest
+        that contradicts the candidate sets raises
+        :class:`DecodingError` exactly where the scalar loop would; the
+        exception carries a ``batch_pos`` attribute (the offending row)
+        so callers can reset and resume behind it.
+        """
+        pids, mat = _normalize_batch_reps(packet_ids, reps, self.ctx.num_hashes)
+        n = len(pids)
+        if n == 0:
+            return
+        if self.is_complete:
+            self._verify_complete(pids, mat)
+            return
+        start, layer_idx, carriers = self._observe_prefix(pids, mat)
+        if start < n:
+            self._verify_complete(
+                pids[start:], mat[start:],
+                layer_idx[start:], carriers[start:],
+            )
+
+    def _observe_prefix(self, pids: np.ndarray, reps: np.ndarray):
+        """In-order replay with precomputed decisions, until complete.
+
+        Same state transitions as :meth:`observe`, minus the per-packet
+        layer/carrier/acting hashing; returns ``(first unconsumed row,
+        layer indices, carriers)`` so the caller's consistency scan
+        over the suffix reuses the decision arrays.
+        """
+        layers = self.ctx.scheme.layers
+        num_hashes = self.ctx.num_hashes
+        layer_idx, carriers, acting = _batch_decisions(self.ctx, self.k, pids)
+        layer_list = layer_idx.tolist()
+        carrier_list = carriers.tolist()
+        rows = reps.tolist()
+        pl = pids.tolist()
+        n = len(pl)
+        stop = n
+        for i in range(n):
+            if self.is_complete:
+                stop = i
+                break
+            self.packets_seen += 1
+            pid = pl[i]
+            digest = rows[i]
+            layer = layers[layer_list[i]]
+            try:
+                if layer.kind == BASELINE:
+                    self._constrain(carrier_list[i], pid, digest)
+                    continue
+                residual = digest
+                unknown: Set[int] = set()
+                for hop in acting[i]:
+                    if hop in self.decoded:
+                        for rep in range(num_hashes):
+                            residual[rep] ^= self.ctx.value_digest(
+                                rep, pid, self.decoded[hop]
+                            )
+                    else:
+                        unknown.add(hop)
+                if not unknown:
+                    continue
+                if len(unknown) == 1:
+                    self._constrain(unknown.pop(), pid, residual)
+                    continue
+                entry = _PendingXor(pid, residual, unknown)
+                self._pending.append(entry)
+                for hop in unknown:
+                    self._hop_refs[hop].append(entry)
+            except DecodingError as err:
+                err.batch_pos = i
+                raise
+        return stop, layer_idx, carriers
+
+    def _verify_complete(
+        self,
+        pids: np.ndarray,
+        reps: np.ndarray,
+        layer_idx: Optional[np.ndarray] = None,
+        carriers: Optional[np.ndarray] = None,
+    ) -> None:
+        """Consistency scan of a complete decoder (pure counting).
+
+        Baseline rows re-hash the decoded carrier value against the
+        digest (one ``bits_zip`` pass per rep); a row failing any rep
+        counts one inconsistency, exactly like :meth:`_constrain` on a
+        decoded hop.  XOR rows have no unknown hops and are no-ops.
+        ``layer_idx`` and ``carriers`` accept decisions already
+        computed for these rows (the mid-batch completion hand-off).
+        """
+        ctx = self.ctx
+        self.packets_seen += len(pids)
+        if self._decoded_arr is None:
+            self._decoded_arr = np.asarray(
+                [self.decoded[h] for h in range(1, self.k + 1)],
+                dtype=np.int64,
+            ).astype(np.uint64)
+        if layer_idx is None:
+            layer_idx = ctx.layer_of_array(pids)
+        bad = 0
+        for idx, layer in enumerate(ctx.scheme.layers):
+            if layer.kind != BASELINE:
+                continue
+            lane = layer_idx == idx
+            if not lane.any():
+                continue
+            lane_pids = pids[lane]
+            if carriers is None:
+                lane_carriers = reservoir_carrier_array(
+                    ctx.g[idx], lane_pids, self.k
+                )
+            else:
+                lane_carriers = carriers[lane]
+            values = self._decoded_arr[lane_carriers - 1]
+            lane_reps = reps[lane]
+            ok = np.ones(len(lane_pids), dtype=bool)
+            for rep in range(ctx.num_hashes):
+                ok &= (
+                    ctx.h[rep].bits_zip(ctx.digest_bits, lane_pids, values)
+                    == lane_reps[:, rep]
+                )
+            bad += int((~ok).sum())
+        self.inconsistencies += bad
 
     # -- internals -------------------------------------------------------
 
@@ -323,7 +633,8 @@ class HashDecoder:
         internals.
         """
         cand = sum(arr.nbytes for arr in self._candidates.values())
-        return cand + 64 * len(self._pending)
+        arr = self._decoded_arr.nbytes if self._decoded_arr is not None else 0
+        return cand + 64 * len(self._pending) + arr
 
 
 class FragmentDecoder:
@@ -373,6 +684,31 @@ class FragmentDecoder:
         self.packets_seen += 1
         frag = self.ctx.fragment_index(packet_id, self.num_fragments)
         self._subdecoders[frag].observe(packet_id, digest)
+
+    def observe_batch(self, packet_ids, reps) -> None:
+        """Scatter a digest column to the fragment sub-problems at once.
+
+        One vectorised fragment-selection hash replaces the per-packet
+        ``fragment_index`` call; each sub-problem's rows (boolean-mask
+        slices preserve order) then run its own batched raw decode.
+        Sub-problems are independent, so cross-fragment ordering is
+        immaterial and the final state is bit-identical to the scalar
+        loop.
+        """
+        pids, mat = _normalize_batch_reps(packet_ids, reps, 1)
+        n = len(pids)
+        if n == 0:
+            return
+        self.packets_seen += n
+        frags = self.ctx.frag.choice_array(self.num_fragments, pids)
+        for frag in range(self.num_fragments):
+            lane = frags == frag
+            if lane.any():
+                self._subdecoders[frag].observe_batch(pids[lane], mat[lane])
+
+    def state_bytes(self) -> int:
+        """Sum of the fragment sub-decoders' resident state."""
+        return sum(dec.state_bytes() for dec in self._subdecoders)
 
     def path(self) -> List[int]:
         """Reassembled blocks, hop 1 first (raises if incomplete)."""

@@ -78,6 +78,23 @@ def pack_reps_array(reps: np.ndarray, digest_bits: int) -> np.ndarray:
     return out.astype(np.int64)
 
 
+def unpack_reps_array(
+    digests: np.ndarray, digest_bits: int, num_hashes: int
+) -> np.ndarray:
+    """Vectorised :func:`unpack_reps` over a packed digest column.
+
+    Row-for-row identical to ``unpack_reps(digest, digest_bits,
+    num_hashes)``; returns a ``(n, num_hashes)`` uint64 matrix, the
+    shape the batch decoders consume.
+    """
+    digs = np.asarray(digests).astype(np.uint64)
+    mask = np.uint64((1 << digest_bits) - 1)
+    out = np.empty((digs.shape[0], num_hashes), dtype=np.uint64)
+    for rep in range(num_hashes):
+        out[:, rep] = (digs >> np.uint64(rep * digest_bits)) & mask
+    return out
+
+
 class CodecContext:
     """Derived hash functions shared by encoder and decoder.
 
@@ -116,6 +133,21 @@ class CodecContext:
     def layer_of(self, packet_id: int) -> int:
         """The layer index this packet serves at every hop."""
         return self.scheme.layer_index(self.select, packet_id)
+
+    def layer_of_array(self, packet_ids: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`layer_of`, lane-for-lane identical.
+
+        Replays :meth:`CodingScheme.layer_index` including its
+        saturating fallback (lanes past the cumulative mass map to the
+        last layer); shared by the batch encoder and the batch
+        decoders so their layer replays cannot drift apart.
+        """
+        idx = cumulative_select_array(
+            self.select.uniform_array(np.asarray(packet_ids)),
+            self.scheme.shares,
+        )
+        idx[idx < 0] = len(self.scheme.shares) - 1
+        return idx
 
     def value_digest(self, rep: int, packet_id: int, value: int) -> int:
         """h_rep(value, packet): the compressed digest contribution."""
@@ -272,12 +304,7 @@ class PathEncoder:
                 f"blocks must have shape ({n}, {k}), got {blocks.shape}"
             )
         b = ctx.digest_bits
-        # Per-packet layer selection replays CodingScheme.layer_index
-        # (whose scalar fallback saturates at the last layer).
-        layer_idx = cumulative_select_array(
-            ctx.select.uniform_array(pids), ctx.scheme.shares
-        )
-        layer_idx[layer_idx < 0] = len(ctx.scheme.shares) - 1
+        layer_idx = ctx.layer_of_array(pids)
         # Fragment choice is per packet and layer-independent.
         if self.mode == FRAGMENT:
             frags = ctx.frag.choice_array(self.num_fragments, pids)

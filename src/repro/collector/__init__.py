@@ -7,13 +7,22 @@ digest)`` records to hash-sharded, share-nothing partitions, each
 holding an LRU/TTL-bounded :class:`FlowTable` of per-flow
 :class:`DigestConsumer`s that wrap the existing decoders (path peeling,
 latency KLL, congestion max).  Batched columnar ingestion
-(:meth:`Collector.ingest_batch`) amortises per-record overhead; a
+(:meth:`Collector.ingest_batch`) amortises per-record overhead and
+dispatches each flow group to the :mod:`repro.collector.batchdecode`
+engine, which decodes whole column slices in vectorised ``GlobalHash``
+replays -- bit-identical to the scalar reference decoders; a
 :class:`Snapshot` surface exports operational metrics.
 
 See DESIGN.md ("Collector architecture") for the layer diagram and
 ``examples/collector_service.py`` for an end-to-end run.
 """
 
+from repro.collector.batchdecode import (
+    CarrierCache,
+    decode_latency_columns,
+    decode_latency_slice,
+    decode_path_columns,
+)
 from repro.collector.collector import Collector
 from repro.collector.consumers import (
     CongestionDigestConsumer,
@@ -30,6 +39,7 @@ from repro.collector.shard import Shard, ShardRouter
 from repro.collector.snapshot import ShardStats, Snapshot
 
 __all__ = [
+    "CarrierCache",
     "Collector",
     "CongestionDigestConsumer",
     "DigestConsumer",
@@ -43,6 +53,9 @@ __all__ = [
     "Snapshot",
     "TelemetryRecord",
     "congestion_consumer_factory",
+    "decode_latency_columns",
+    "decode_latency_slice",
+    "decode_path_columns",
     "latency_consumer_factory",
     "normalize_batch",
     "path_consumer_factory",

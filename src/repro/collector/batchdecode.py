@@ -1,0 +1,153 @@
+"""Columnar batch-decode engine: the sink's vectorised hot path.
+
+PR 1 made ingest *routing* columnar (one vectorised shard hash, one
+lexsort) and PR 2 made the *encode* dataplane columnar, but every
+digest still crossed a scalar ``observe()`` per packet on its way into
+the per-flow decoders -- exactly where the paper concentrates the
+sink's decoding cost (§4).  This module is the execution layer that
+closes that gap: it takes the lexsort-grouped ``(flow_id, pid,
+hop_count, digest)`` column slices that :meth:`Collector.ingest_batch`
+already produces and decodes whole flow groups at once.
+
+Layering contract (see DESIGN.md §4):
+
+* the *scalar reference decoders* (``repro.coding`` peeling decoders,
+  per-sample KLL updates) define the semantics and keep serving the
+  one-record ``Collector.ingest`` path;
+* this *columnar execution layer* replays the same ``GlobalHash``
+  decisions in array passes (layer selection, reservoir carriers, XOR
+  acting sets, fragment scatter) and dispatches
+  ``observe_batch`` / ``extend_array`` / ``decode_array``;
+* equivalence tests pin the two layers together: path decode is
+  bit-identical record-for-record (including ``DecodingError`` resets
+  mid-column), latency decode is sample-identical in raw mode and
+  guarantee-identical in sketch mode (the KLL compaction coin order
+  differs -- see :meth:`KLLSketch.extend_array`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.encoder import unpack_reps_array
+from repro.exceptions import DecodingError
+from repro.hashing import GlobalHash, reservoir_carrier_zip
+
+
+class CarrierCache:
+    """Whole-batch reservoir-carrier replay, shared across flow groups.
+
+    The carrier hop depends only on the packet id, the hop count and
+    the query's reservoir hash -- never on the flow -- so one
+    vectorised replay over the *batch* columns serves every flow group
+    the batch fans out into, instead of paying ``O(hops)`` small array
+    passes per group.  ``ingest_batch`` hands every group the same
+    column objects with different bounds, which is what the cache keys
+    on; it holds the keyed columns alive so a recycled object id
+    cannot alias the next batch.
+
+    Contract: callers must key on columns that are *immutable once
+    ingested* -- ``ingest_batch`` satisfies this by construction (its
+    lexsort fancy-indexing materialises fresh arrays every batch).
+    The cache is deliberately not used by the public whole-column
+    entry points, whose callers may legitimately refill one buffer in
+    place between calls.
+    """
+
+    def __init__(self, g: GlobalHash) -> None:
+        self.g = g
+        self._pids = None
+        self._hops = None
+        self._carriers = None
+
+    def carriers(self, pids: np.ndarray, hops: np.ndarray) -> np.ndarray:
+        """Carrier hops for the whole column pair (cached per batch)."""
+        if pids is not self._pids or hops is not self._hops:
+            self._pids = pids
+            self._hops = hops
+            self._carriers = reservoir_carrier_zip(self.g, pids, hops)
+        return self._carriers
+
+
+def decode_path_columns(consumer, pids, hop_counts, digests) -> None:
+    """Feed one flow's column slice through its peeling decoder.
+
+    Bit-identical to the scalar per-record loop, including reset
+    semantics: a digest that contradicts the candidate sets makes the
+    decoder raise :class:`DecodingError` with the offending row in
+    ``batch_pos``; the consumer's error counter bumps, the decoder is
+    rebuilt from the *next* row's hop count, and decoding resumes
+    behind the conflict -- the same re-convergence a reroute triggers
+    on the scalar path.
+    """
+    pids = np.asarray(pids)
+    hops = np.asarray(hop_counts)
+    digs = np.asarray(digests)
+    n = int(pids.shape[0])
+    if n == 0:
+        return
+    reps = unpack_reps_array(digs, consumer.digest_bits, consumer.num_hashes)
+    start = 0
+    while start < n:
+        if consumer._decoder is None:
+            consumer._ensure_decoder(int(hops[start]))
+        try:
+            consumer._decoder.observe_batch(pids[start:], reps[start:])
+            return
+        except DecodingError as err:
+            consumer.decode_errors += 1
+            consumer._decoder = None
+            start += getattr(err, "batch_pos", 0) + 1
+
+
+def decode_latency_slice(
+    consumer, pids, hop_counts, digests, lo: int, hi: int,
+    carriers=None,
+) -> None:
+    """Attribute and store rows ``[lo, hi)`` of a latency column.
+
+    Carrier hops come from the consumer's :class:`CarrierCache` -- one
+    vectorised reservoir replay over the *whole batch*, shared by
+    every flow group (and, through the factory, by every flow) -- then
+    one table gather decodes the slice's digests and each carrier's
+    samples land in its store via a single ``add_array``.  Store
+    creation mirrors the scalar path: the first record (in column
+    order) that hits a carrier sizes its sketch from *that* record's
+    hop count.  ``carriers`` accepts a pre-sliced carrier column for
+    callers that must not touch the cache.
+    """
+    n = hi - lo
+    if n <= 0:
+        return
+    if n == 1:
+        # One row: the scalar path is cheaper than the array passes.
+        consumer.consume(int(pids[lo]), int(hop_counts[lo]), int(digests[lo]))
+        return
+    if carriers is None:
+        carriers = consumer._carrier_cache.carriers(pids, hop_counts)[lo:hi]
+    values = consumer.compressor.decode_array(digests[lo:hi])
+    hops = hop_counts[lo:hi]
+    for carrier in np.unique(carriers).tolist():
+        lane = carriers == carrier
+        first = int(np.argmax(lane))
+        store = consumer._store_for(int(carrier), int(hops[first]))
+        store.add_array(values[lane])
+
+
+def decode_latency_columns(consumer, pids, hop_counts, digests) -> None:
+    """Attribute and store one flow's latency column (whole-column form).
+
+    The standalone entry point behind ``consume_batch``.  Computes the
+    carrier column directly instead of going through the
+    :class:`CarrierCache`: external callers may refill the same buffer
+    objects between calls, which an identity-keyed cache would wrongly
+    treat as a hit.
+    """
+    pids = np.asarray(pids)
+    hops = np.asarray(hop_counts, dtype=np.int64)
+    digs = np.asarray(digests, dtype=np.int64)
+    n = int(pids.shape[0])
+    if n == 0:
+        return
+    carriers = reservoir_carrier_zip(consumer.g, pids, hops) if n > 1 else None
+    decode_latency_slice(consumer, pids, hops, digs, 0, n, carriers)

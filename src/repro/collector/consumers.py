@@ -14,8 +14,13 @@ any decoding logic:
   utilisation via :class:`repro.apps.congestion.UtilizationCodec`.
 
 Consumers expose ``consume_batch`` so shards can hand over a whole
-per-flow column slice at once; the default implementation loops, and
-consumers whose aggregation vectorises (congestion max) override it.
+per-flow column slice at once.  The default implementation loops over
+:meth:`consume` (the scalar reference path, still serving the
+one-record ``Collector.ingest`` fallback); every concrete consumer
+overrides it with a columnar path -- path and latency decode through
+the :mod:`repro.collector.batchdecode` engine, congestion through a
+single vectorised ``max`` -- so batched ingestion is array passes end
+to end.
 """
 
 from __future__ import annotations
@@ -32,6 +37,12 @@ from repro.coding import (
     HashDecoder,
     multilayer_scheme,
     unpack_reps,
+)
+from repro.collector.batchdecode import (
+    CarrierCache,
+    decode_latency_columns,
+    decode_latency_slice,
+    decode_path_columns,
 )
 from repro.exceptions import DecodingError
 from repro.hashing import GlobalHash, reservoir_carrier
@@ -140,8 +151,8 @@ class PathDigestConsumer(DigestConsumer):
     def _unpack(self, digest: int) -> tuple:
         return unpack_reps(digest, self.digest_bits, self.num_hashes)
 
-    def consume(self, pid: int, hop_count: int, digest: int) -> None:
-        """Feed one digest to the flow's peeling decoder."""
+    def _ensure_decoder(self, hop_count: int) -> HashDecoder:
+        """Build the flow's decoder from an observed hop count."""
         if self._decoder is None:
             scheme = (
                 self.scheme
@@ -157,11 +168,36 @@ class PathDigestConsumer(DigestConsumer):
                 self.seed,
                 adjacency=self.adjacency,
             )
+        return self._decoder
+
+    def consume(self, pid: int, hop_count: int, digest: int) -> None:
+        """Feed one digest to the flow's peeling decoder."""
+        self._ensure_decoder(hop_count)
         try:
             self._decoder.observe(pid, self._unpack(digest))
         except DecodingError:
             self.decode_errors += 1
             self._decoder = None
+
+    def consume_batch(
+        self,
+        pids: Sequence[int],
+        hop_counts: Sequence[int],
+        digests: Sequence[int],
+    ) -> None:
+        """Columnar decode of a whole flow-group slice.
+
+        Dispatches to the batch-decode engine
+        (:func:`repro.collector.batchdecode.decode_path_columns`),
+        which is bit-identical to the scalar loop including
+        ``DecodingError`` resets.  Slices too small to amortise the
+        array passes take the scalar reference loop -- the two paths
+        produce the same state, so the cutoff is purely a speed knob.
+        """
+        if len(pids) <= 4:
+            super().consume_batch(pids, hop_counts, digests)
+            return
+        decode_path_columns(self, pids, hop_counts, digests)
 
     @property
     def is_complete(self) -> bool:
@@ -205,15 +241,27 @@ class LatencyDigestConsumer(DigestConsumer):
         seed: int = 0,
         sketch_size: Optional[int] = None,
         max_latency_s: float = 4.0,
+        carrier_cache: Optional[CarrierCache] = None,
     ) -> None:
         self.compressor = LatencyCompressor(bits, max_latency_s, seed)
         self.g = GlobalHash(seed, "latency-reservoir")
         self.sketch_size = sketch_size
         self._stores: Dict[int, HopLatencyStore] = {}
+        # The carrier hash is flow-independent, so the factory shares
+        # one batch-level cache across every flow's consumer; a
+        # standalone consumer gets a private one.
+        self._carrier_cache = (
+            carrier_cache if carrier_cache is not None
+            else CarrierCache(self.g)
+        )
 
-    def consume(self, pid: int, hop_count: int, digest: int) -> None:
-        """Attribute the sample to its carrier hop and record it."""
-        carrier = reservoir_carrier(self.g, pid, hop_count)
+    def _store_for(self, carrier: int, hop_count: int) -> HopLatencyStore:
+        """Fetch-or-create the carrier hop's store.
+
+        A new store's sketch budget is sized from the hop count of the
+        record that creates it (the per-flow space budget split of
+        §4.1), on the scalar and batch paths alike.
+        """
         store = self._stores.get(carrier)
         if store is None:
             per_hop = None
@@ -221,7 +269,48 @@ class LatencyDigestConsumer(DigestConsumer):
                 per_hop = max(4, self.sketch_size // max(1, hop_count))
             store = HopLatencyStore(per_hop)
             self._stores[carrier] = store
+        return store
+
+    def consume(self, pid: int, hop_count: int, digest: int) -> None:
+        """Attribute the sample to its carrier hop and record it."""
+        carrier = reservoir_carrier(self.g, pid, hop_count)
+        store = self._store_for(carrier, hop_count)
         store.add(self.compressor.decode(digest))
+
+    def consume_batch(
+        self,
+        pids: Sequence[int],
+        hop_counts: Sequence[int],
+        digests: Sequence[int],
+    ) -> None:
+        """Columnar attribution and storage of a flow-group slice.
+
+        Dispatches to the batch-decode engine
+        (:func:`repro.collector.batchdecode.decode_latency_columns`):
+        vectorised carrier replay, table-gather digest decode, one
+        ``add_array`` per carrier.  Sample-identical to the scalar loop
+        in raw-list mode; sketch mode differs only in the KLL
+        compaction coin order (same guarantees).
+        """
+        decode_latency_columns(self, pids, hop_counts, digests)
+
+    def consume_slice(
+        self,
+        pids: np.ndarray,
+        hop_counts: np.ndarray,
+        digests: np.ndarray,
+        lo: int,
+        hi: int,
+    ) -> None:
+        """Batched hot path over whole batch columns.
+
+        Receiving the un-sliced columns lets the shared
+        :class:`CarrierCache` replay the reservoir hash once per
+        *batch* instead of once per flow group -- the carrier depends
+        only on (pid, hop count), so every group reads from the same
+        cached column.
+        """
+        decode_latency_slice(self, pids, hop_counts, digests, lo, hi)
 
     @property
     def is_complete(self) -> bool:
@@ -362,8 +451,18 @@ def path_consumer_factory(universe: Sequence[int], **kwargs) -> ConsumerFactory:
 
 
 def latency_consumer_factory(**kwargs) -> ConsumerFactory:
-    """Factory of :class:`LatencyDigestConsumer`, one per flow."""
-    return lambda flow_id: LatencyDigestConsumer(**kwargs)
+    """Factory of :class:`LatencyDigestConsumer`, one per flow.
+
+    All flows share one :class:`CarrierCache`: the reservoir-carrier
+    hash is keyed on (pid, hop count) only, so a batch's carrier
+    column is computed once and read by every flow group in it.
+    """
+    cache = CarrierCache(
+        GlobalHash(kwargs.get("seed", 0), "latency-reservoir")
+    )
+    return lambda flow_id: LatencyDigestConsumer(
+        carrier_cache=cache, **kwargs
+    )
 
 
 def congestion_consumer_factory(**kwargs) -> ConsumerFactory:

@@ -139,7 +139,18 @@ class FlowTable:
         )
 
     def state_bytes(self) -> int:
-        """Estimated resident bytes across all live consumers."""
+        """Estimated resident bytes across all live consumers.
+
+        Each consumer reports its own footprint, and the decoders
+        report theirs (``HashDecoder``/``RawDecoder``/
+        ``FragmentDecoder.state_bytes``), so the total covers the
+        array-backed decode state -- candidate matrices, the decoded-
+        value arrays the batched consistency scans cache, pending XOR
+        entries -- not just the scalar dict/list state.  The estimate
+        is a sum of non-negative terms over live entries only, so it
+        shrinks with eviction and can never go negative (tested
+        invariant).
+        """
         per_entry = 96  # dict slot + FlowEntry slots, roughly
         return sum(
             e.consumer.state_bytes() + per_entry

@@ -15,8 +15,10 @@ from repro.hashing.global_hash import (
     cumulative_select_array,
     reservoir_carrier,
     reservoir_carrier_array,
+    reservoir_carrier_zip,
     reservoir_write,
     xor_acting_hops,
+    xor_acting_matrix,
 )
 from repro.hashing.bitvector import (
     acting_hops_fast,
@@ -32,7 +34,9 @@ __all__ = [
     "reservoir_write",
     "reservoir_carrier",
     "reservoir_carrier_array",
+    "reservoir_carrier_zip",
     "xor_acting_hops",
+    "xor_acting_matrix",
     "acting_hops_fast",
     "acting_mask",
     "random_bitvector",

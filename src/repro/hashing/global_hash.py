@@ -253,6 +253,26 @@ def reservoir_carrier_array(
     return carriers
 
 
+def reservoir_carrier_zip(
+    g: GlobalHash, packet_ids: np.ndarray, path_lens: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`reservoir_carrier` with per-lane path lengths.
+
+    Lane-for-lane equal to ``reservoir_carrier(g, pid, path_len)`` --
+    the shape a mixed column of flows needs (each record carries its
+    own hop count).  One pass per hop up to the column's maximum
+    length; lanes shorter than the hop are masked out of that round.
+    """
+    pids = np.asarray(packet_ids)
+    lens = np.asarray(path_lens)
+    carriers = np.ones(len(pids), dtype=np.int64)
+    top = int(lens.max()) if lens.size else 0
+    for hop in range(2, top + 1):
+        wrote = (g.uniform_array(pids, hop) < 1.0 / hop) & (lens >= hop)
+        carriers[wrote] = hop
+    return carriers
+
+
 def xor_acting_hops(
     g: GlobalHash, packet_id: Part, path_len: int, p: float
 ) -> list:
@@ -262,3 +282,20 @@ def xor_acting_hops(
     Recording Module recomputes this set to drive the peeling decoder.
     """
     return [i for i in range(1, path_len + 1) if g.uniform(i, packet_id) < p]
+
+
+def xor_acting_matrix(
+    g: GlobalHash, packet_ids: np.ndarray, path_len: int, p: float
+) -> np.ndarray:
+    """Vectorised :func:`xor_acting_hops` over many packet ids.
+
+    Returns a ``(n, path_len)`` boolean matrix whose column ``i - 1``
+    says whether hop ``i`` acts; row ``j``'s set bits are exactly
+    ``xor_acting_hops(g, packet_ids[j], path_len, p)``, so the batch
+    decoders replay the scalar acting sets bit-for-bit.
+    """
+    pids = np.asarray(packet_ids)
+    out = np.empty((len(pids), path_len), dtype=bool)
+    for hop in range(1, path_len + 1):
+        out[:, hop - 1] = g.uniform_array(pids, hop) < p
+    return out

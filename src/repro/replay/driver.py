@@ -212,7 +212,7 @@ class ReplayDriver:
             batches += 1
         seconds = time.perf_counter() - start
         return self._score(
-            trace, path_sink, cong_sink, utils, batches,
+            trace, path_sink, cong_sink, codec, utils, batches,
             path_records, cong_records, seconds,
         )
 
@@ -221,6 +221,7 @@ class ReplayDriver:
         trace: Trace,
         path_sink: Collector,
         cong_sink: Optional[Collector],
+        codec: Optional[UtilizationCodec],
         utils: Optional[np.ndarray],
         batches: int,
         path_records: int,
@@ -256,13 +257,20 @@ class ReplayDriver:
             cuts = np.flatnonzero(fids[1:] != fids[:-1]) + 1
             starts = np.concatenate(([0], cuts))
             group_max = np.maximum.reduceat(true_utils, starts)
-            errs = []
+            # Gather each surviving flow's encoded max, then decode the
+            # whole column in one table gather (bit-identical to the
+            # per-flow scalar decode this loop used to make).
+            codes, truths = [], []
             for fid, truth in zip(fids[starts].tolist(), group_max.tolist()):
-                got = cong_sink.result(int(fid))
-                if got is not None:
-                    errs.append(abs(got - truth) / truth)
-            cong_flows = len(errs)
-            if errs:
+                consumer = cong_sink.flow(int(fid))
+                if consumer is not None and consumer.max_code >= 0:
+                    codes.append(consumer.max_code)
+                    truths.append(truth)
+            cong_flows = len(codes)
+            if codes:
+                got = codec.decode_array(np.asarray(codes, dtype=np.int64))
+                truth_arr = np.asarray(truths, dtype=np.float64)
+                errs = np.abs(got - truth_arr) / truth_arr
                 median_err = float(np.median(errs))
         return ScenarioReport(
             scenario=trace.name,
