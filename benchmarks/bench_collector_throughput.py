@@ -23,26 +23,22 @@ Run:  PYTHONPATH=src python benchmarks/bench_collector_throughput.py
 from __future__ import annotations
 
 import argparse
-import json
 import time
 
 import numpy as np
 
+from benchlib import write_bench_json, zipf_flow_ids
 from repro.collector import Collector, congestion_consumer_factory
 
 
 def make_workload(records: int, flows: int, seed: int = 0):
     """Columnar record stream: Zipf-skewed flow activity, random digests."""
     rng = np.random.default_rng(seed)
-    # Zipf-ish skew: a few heavy flows, a long tail -- typical of the
-    # paper's workloads (most bytes in few flows).
-    weights = 1.0 / np.arange(1, flows + 1) ** 0.9
-    weights /= weights.sum()
-    flow_ids = rng.choice(np.arange(1, flows + 1), size=records, p=weights)
+    flow_ids = zipf_flow_ids(records, flows, rng)
     pids = np.arange(1, records + 1, dtype=np.int64)
     hops = rng.integers(2, 8, size=records, dtype=np.int64)
     digests = rng.integers(0, 256, size=records, dtype=np.int64)
-    return flow_ids.astype(np.int64), pids, hops, digests
+    return flow_ids, pids, hops, digests
 
 
 def new_collector(num_shards: int) -> Collector:
@@ -162,10 +158,7 @@ def main() -> None:
         "seed": args.seed,
         "shards": results,
     }
-    with open(args.json, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
-    print(f"\nwrote {args.json}")
+    write_bench_json(args.json, payload)
 
     if not big_batch_speedups:
         print("\nno batch size >= 1024 swept: skipping the 5x assertion")

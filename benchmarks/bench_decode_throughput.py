@@ -29,66 +29,18 @@ Run:  PYTHONPATH=src python benchmarks/bench_decode_throughput.py
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import time
 
 import numpy as np
 
-from repro.coding import (
-    DistributedMessage,
-    PathEncoder,
-    multilayer_scheme,
-    pack_reps_array,
-)
+from benchlib import make_path_workload, write_bench_json, zipf_flow_ids
 from repro.collector import (
     Collector,
     latency_consumer_factory,
     path_consumer_factory,
 )
-from repro.net import fat_tree
 from repro.replay import ReplayDriver, build_trace
-
-
-def zipf_flow_ids(records: int, flows: int, rng) -> np.ndarray:
-    """Zipf-skewed flow activity: few heavy flows, a long tail."""
-    weights = 1.0 / np.arange(1, flows + 1) ** 0.9
-    weights /= weights.sum()
-    return rng.choice(np.arange(1, flows + 1), size=records, p=weights).astype(
-        np.int64
-    )
-
-
-def make_path_workload(records: int, flows: int, seed: int):
-    """Columnar path-query stream with *real* per-flow digests.
-
-    Each flow gets a k-hop path sampled from the fat-tree switch
-    universe; digests come from the flow's own encoder (vectorised
-    ``encode_many`` -- encoding speed is PR 2's benchmark, not this
-    one), so the sink does genuine peeling work before it settles into
-    the steady-state consistency scans.
-    """
-    rng = np.random.default_rng(seed)
-    topo = fat_tree(4)
-    universe = topo.switch_universe()
-    k, bits, seed_enc = 6, 8, seed + 1
-    scheme = multilayer_scheme(k)
-    fids = zipf_flow_ids(records, flows, rng)
-    pids = np.arange(1, records + 1, dtype=np.int64)
-    hops = np.full(records, k, dtype=np.int64)
-    digests = np.empty(records, dtype=np.int64)
-    for fid in range(1, flows + 1):
-        lane = fids == fid
-        if not lane.any():
-            continue
-        path = rng.choice(universe, size=k, replace=False).tolist()
-        enc = PathEncoder(
-            DistributedMessage.from_path(path, universe),
-            scheme, bits, "hash", 1, seed_enc,
-        )
-        digests[lane] = pack_reps_array(enc.encode_many(pids[lane]), bits)
-    factory_kwargs = dict(digest_bits=bits, num_hashes=1, seed=seed_enc)
-    return (fids, pids, hops, digests), universe, factory_kwargs
 
 
 def make_latency_workload(records: int, flows: int, seed: int):
@@ -247,10 +199,7 @@ def main() -> None:
         "seed": args.seed,
         "queries": results,
     }
-    with open(args.json, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
-    print(f"\nwrote {args.json}")
+    write_bench_json(args.json, payload)
 
     floor = min(
         results["path"]["big_batch_speedup"],

@@ -1,20 +1,21 @@
 """Merge per-stage bench results into one pipeline trajectory file.
 
-The replay→collector pipeline is measured in three places:
+The replay→collector pipeline is measured in four places:
 
-* ``bench_replay_throughput.py``   -> ``BENCH_replay.json``  (encode)
-* ``bench_collector_throughput.py``-> ``BENCH_ingest.json``  (ingest)
-* ``bench_decode_throughput.py``   -> ``BENCH_decode.json``  (decode)
+* ``bench_replay_throughput.py``   -> ``BENCH_replay.json``   (encode)
+* ``bench_collector_throughput.py``-> ``BENCH_ingest.json``   (ingest)
+* ``bench_decode_throughput.py``   -> ``BENCH_decode.json``   (decode)
+* ``bench_parallel_ingest.py``     -> ``BENCH_parallel.json`` (scale-out)
 
 Each file speaks its own schema; this tool flattens them into one
 ``BENCH_pipeline.json`` with uniform rows::
 
-    {"stage": "encode|ingest|decode|end_to_end", "config": "...",
+    {"stage": "encode|ingest|decode|end_to_end|parallel", "config": "...",
      "scalar_rps": ..., "vector_rps": ..., "speedup": ...}
 
 so the bench trajectory accumulates comparable numbers per PR (the CI
-uploads all four files as one artifact).  Missing inputs are skipped
-with a note -- run the three stage benches first.
+uploads all five files as one artifact).  Missing inputs are skipped
+with a note -- run the stage benches first.
 
 Run:  PYTHONPATH=src python benchmarks/bench_pipeline.py
 """
@@ -24,6 +25,8 @@ from __future__ import annotations
 import argparse
 import json
 import os
+
+from benchlib import write_bench_json
 
 
 def _load(path: str):
@@ -85,11 +88,29 @@ def decode_rows(decode: dict):
         )
 
 
+def parallel_rows(par: dict):
+    """Per-worker-count scale-out rows from the parallel bench.
+
+    ``scalar`` here is the single-*process* batched rate (itself the
+    vectorised winner of the ingest rows) -- the speedup column reads
+    as cores bought, not vectorisation bought.
+    """
+    serial = par.get("serial_rps")
+    for workers, r in sorted(
+        par.get("workers", {}).items(), key=lambda kv: int(kv[0])
+    ):
+        yield _row(
+            "parallel", f"workers={workers}", serial, r["rps"],
+            cores=par.get("cores"),
+        )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--replay", default="BENCH_replay.json")
     parser.add_argument("--ingest", default="BENCH_ingest.json")
     parser.add_argument("--decode", default="BENCH_decode.json")
+    parser.add_argument("--parallel", default="BENCH_parallel.json")
     parser.add_argument("--json", default="BENCH_pipeline.json",
                         help="output path for the merged rows")
     args = parser.parse_args()
@@ -104,12 +125,11 @@ def main() -> None:
     decode = _load(args.decode)
     if decode is not None:
         rows.extend(decode_rows(decode))
+    parallel = _load(args.parallel)
+    if parallel is not None:
+        rows.extend(parallel_rows(parallel))
 
     payload = {"benchmark": "pipeline", "rows": rows}
-    with open(args.json, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
-
     width = max((len(r["config"]) for r in rows), default=10)
     for r in rows:
         scalar = f"{r['scalar_rps']:,}" if r["scalar_rps"] else "-"
@@ -117,7 +137,8 @@ def main() -> None:
         print(f"{r['stage']:<11} {r['config']:<{width}}  "
               f"scalar {scalar:>12} rec/s  vector {r['vector_rps']:>12,} rec/s  "
               f"{speedup}")
-    print(f"\nwrote {args.json} ({len(rows)} rows)")
+    write_bench_json(args.json, payload)
+    print(f"({len(rows)} rows)")
 
 
 if __name__ == "__main__":

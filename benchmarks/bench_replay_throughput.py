@@ -21,12 +21,12 @@ Run:  PYTHONPATH=src python benchmarks/bench_replay_throughput.py
 from __future__ import annotations
 
 import argparse
-import json
 import math
 import time
 
 import numpy as np
 
+from benchlib import write_bench_json
 from repro.replay import ReplayDriver, TraceDataplane, build_trace, scenario_names
 
 
@@ -142,10 +142,7 @@ def main() -> None:
         "seed": args.seed,
         "scenarios": results,
     }
-    with open(args.json, "w") as fh:
-        json.dump(payload, fh, indent=2)
-        fh.write("\n")
-    print(f"\nwrote {args.json}")
+    write_bench_json(args.json, payload)
 
     if args.batch >= 4096:
         floor = min(r["speedup"] for r in results.values())

@@ -1,0 +1,84 @@
+"""Scaling the sink across cores: the parallel sharded collector.
+
+The sink's flow state is partitionable by construction -- every flow's
+records hash-route to one shard -- so the collector can scatter whole
+columnar batches across worker *processes* and decode on every core.
+This example shows the two promises of
+:class:`repro.collector.ParallelCollector`:
+
+1. **Drop-in equivalence.**  The same scenario trace replayed into a
+   serial collector and a 2-worker parallel collector produces
+   identical decode outcomes and an identical merged metrics snapshot
+   (per-shard counters and all) -- the ``workers=`` knob moves work,
+   never answers.
+2. **A service lifecycle.**  Batches scatter fire-and-forget;
+   ``drain()`` barriers; ``snapshot()`` merges per-worker partial
+   views; ``close()`` (or the context manager) stops the workers.
+
+Run:  PYTHONPATH=src python examples/parallel_collector.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.collector import Collector, ParallelCollector, path_consumer_factory
+from repro.replay import ReplayDriver, TraceDataplane, build_trace
+
+
+def replay_equivalence() -> None:
+    print("=== 1. workers= is invisible to the answers ===")
+    trace = build_trace("incast", packets=4_000, seed=0)
+    serial = ReplayDriver(batch_size=2048, seed=0).replay(trace)
+    parallel = ReplayDriver(batch_size=2048, seed=0, workers=2).replay(trace)
+    print(f"serial   : {serial.summary()}")
+    print(f"2 workers: {parallel.summary()}")
+    same = (
+        serial.path_decoded == parallel.path_decoded
+        and serial.path_correct == parallel.path_correct
+        and serial.path_resets == parallel.path_resets
+    )
+    print(f"decode outcomes identical  : {same}")
+
+
+def service_lifecycle() -> None:
+    print("\n=== 2. scatter / drain / merged snapshot ===")
+    trace = build_trace("elephant-mice", packets=4_000, seed=1)
+    dataplane = TraceDataplane(trace, digest_bits=8, num_hashes=1, seed=1)
+    digests = dataplane.encode_rows(np.arange(len(trace), dtype=np.int64))
+    hops = trace.hop_counts
+
+    factory = lambda: path_consumer_factory(
+        trace.universe, digest_bits=8, num_hashes=1, seed=1
+    )
+    serial = Collector(factory(), num_shards=8, seed=1)
+    with ParallelCollector(
+        factory(), workers=2, num_shards=8, seed=1
+    ) as par:
+        for lo, hi in trace.batches(1024):
+            now = float(trace.ts[hi - 1])
+            for sink in (serial, par):
+                sink.ingest_batch(
+                    trace.flow_id[lo:hi], trace.pid[lo:hi], hops[lo:hi],
+                    digests[lo:hi], now=now,
+                )
+        par.drain()
+        s_snap, p_snap = serial.snapshot(), par.snapshot()
+        print(f"records ingested           : {p_snap.records} "
+              f"(serial saw {s_snap.records})")
+        print(f"per-shard flows            : "
+              f"{[s.flows for s in p_snap.shards]}")
+        print(f"decode completion          : {p_snap.completion_rate:.0%}")
+        print(f"merged snapshot identical  : "
+              f"{s_snap.as_dict() == p_snap.as_dict()}")
+        fid = int(trace.flow_id[0])
+        print(f"flow {fid} path via RPC   : {par.result(fid)}")
+
+
+def main() -> None:
+    replay_equivalence()
+    service_lifecycle()
+
+
+if __name__ == "__main__":
+    main()

@@ -11,7 +11,10 @@ latency KLL, congestion max).  Batched columnar ingestion
 dispatches each flow group to the :mod:`repro.collector.batchdecode`
 engine, which decodes whole column slices in vectorised ``GlobalHash``
 replays -- bit-identical to the scalar reference decoders; a
-:class:`Snapshot` surface exports operational metrics.
+:class:`Snapshot` surface exports operational metrics.  For multi-core
+sinks, :class:`ParallelCollector` scatters batches across worker
+processes by shard partition with bit-identical merged results (see
+:mod:`repro.collector.parallel`).
 
 See DESIGN.md ("Collector architecture") for the layer diagram and
 ``examples/collector_service.py`` for an end-to-end run.
@@ -23,7 +26,7 @@ from repro.collector.batchdecode import (
     decode_latency_slice,
     decode_path_columns,
 )
-from repro.collector.collector import Collector
+from repro.collector.collector import Collector, IngestClock
 from repro.collector.consumers import (
     CongestionDigestConsumer,
     DigestConsumer,
@@ -34,6 +37,7 @@ from repro.collector.consumers import (
     path_consumer_factory,
 )
 from repro.collector.flowtable import FlowEntry, FlowTable
+from repro.collector.parallel import ParallelCollector
 from repro.collector.records import TelemetryRecord, normalize_batch
 from repro.collector.shard import Shard, ShardRouter
 from repro.collector.snapshot import ShardStats, Snapshot
@@ -45,7 +49,9 @@ __all__ = [
     "DigestConsumer",
     "FlowEntry",
     "FlowTable",
+    "IngestClock",
     "LatencyDigestConsumer",
+    "ParallelCollector",
     "PathDigestConsumer",
     "Shard",
     "ShardRouter",

@@ -37,6 +37,58 @@ from repro.collector.shard import Shard, ShardRouter
 from repro.collector.snapshot import Snapshot
 
 
+class IngestClock:
+    """The collector's clock: caller-driven seconds or free-running records.
+
+    Every ingest accepts an optional ``now``; the first call pins which
+    of the two units the clock runs on.  Mixing ``now``-driven and
+    free-running ingests would add raw record counts onto a seconds
+    clock and TTL-evict everything on the next sweep, so a mixed call
+    fails loudly instead.  Factored out of :class:`Collector` so the
+    multi-process front door (:class:`repro.collector.parallel.
+    ParallelCollector`) ticks the *same* clock parent-side and hands
+    workers an explicit ``now`` -- keeping worker TTL accounting
+    bit-identical to a single-process collector.
+    """
+
+    __slots__ = ("now", "mode")
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        #: "time" (caller supplies now) or "records" (free-running),
+        #: fixed by the first tick; the two units cannot mix.
+        self.mode: Optional[str] = None
+
+    def tick(self, now: Optional[float], records: int) -> float:
+        """Advance the clock (caller time wins when given)."""
+        mode = "records" if now is None else "time"
+        if self.mode is None:
+            self.mode = mode
+        elif self.mode != mode:
+            hint = "without" if now is None else "with"
+            raise ValueError(
+                f"collector clock is {self.mode}-driven; cannot "
+                f"ingest {hint} an explicit 'now' (mixing units corrupts "
+                "TTL accounting)"
+            )
+        if now is None:
+            self.now += records
+        else:
+            self.now = max(self.now, float(now))
+        return self.now
+
+    def expire_time(self, now: Optional[float]) -> float:
+        """Resolve an ``expire(now)`` argument under the same guard."""
+        if now is None:
+            return self.now
+        if self.mode == "records":
+            raise ValueError(
+                "collector clock is records-driven; cannot expire with "
+                "an explicit 'now' (mixing units corrupts TTL accounting)"
+            )
+        return float(now)
+
+
 class Collector:
     """Sharded streaming collector over per-flow digest consumers.
 
@@ -68,45 +120,24 @@ class Collector:
             num_shards, seed
         )
         self.num_shards = self.router.num_shards
+        self.max_flows_per_shard = max_flows_per_shard
+        self.ttl = ttl
         self.shards: List[Shard] = [
             Shard(i, consumer_factory, max_flows_per_shard, ttl)
             for i in range(self.num_shards)
         ]
-        self._clock = 0.0
-        #: "time" (caller supplies now) or "records" (free-running),
-        #: fixed by the first ingest; the two units cannot mix.
-        self._clock_mode: Optional[str] = None
+        self.clock = IngestClock()
 
     # -- clock -------------------------------------------------------------
 
     def _tick(self, now: Optional[float], records: int) -> float:
-        """Advance the collector clock (caller time wins when given).
-
-        Mixing ``now``-driven and free-running ingests would add raw
-        record counts onto a seconds clock and TTL-evict everything on
-        the next sweep, so the first ingest pins the mode and a mixed
-        call fails loudly instead.
-        """
-        mode = "records" if now is None else "time"
-        if self._clock_mode is None:
-            self._clock_mode = mode
-        elif self._clock_mode != mode:
-            hint = "without" if now is None else "with"
-            raise ValueError(
-                f"collector clock is {self._clock_mode}-driven; cannot "
-                f"ingest {hint} an explicit 'now' (mixing units corrupts "
-                "TTL accounting)"
-            )
-        if now is None:
-            self._clock += records
-        else:
-            self._clock = max(self._clock, float(now))
-        return self._clock
+        """Advance the collector clock (caller time wins when given)."""
+        return self.clock.tick(now, records)
 
     @property
     def now(self) -> float:
         """The collector's current clock reading."""
-        return self._clock
+        return self.clock.now
 
     # -- ingestion ---------------------------------------------------------
 
@@ -135,11 +166,27 @@ class Collector:
 
         Records of the same flow are applied in their batch order;
         ordering *across* flows is unspecified.  Decoding state never
-        notices (flows are independent problems), but LRU recency is
-        per-*batch* under batched ingestion: every flow in the batch
-        is touched at the same clock reading, so with
-        ``max_flows_per_shard`` set, eviction victims among same-batch
-        flows can differ from a record-at-a-time replay of the stream.
+        notices (flows are independent problems).  Table semantics at
+        batch granularity:
+
+        * unbounded, no TTL -- recency order among same-batch flows is
+          group order rather than record order, which nothing
+          observes;
+        * ``ttl`` set -- every touched flow shares the batch's clock
+          reading, so TTL is batch-granular: a flow idle past its TTL
+          whose next record arrives *in this batch* is revived with
+          its state intact, where a record-at-a-time replay might
+          sweep it first (depending on which record triggers the
+          amortised sweep) and rebuild it fresh.  Keeping the state is
+          the cheaper side of the race -- TTL eviction is a resource
+          policy and PINT state is always rebuildable -- and it buys
+          the per-group fast path;
+        * ``max_flows_per_shard`` set -- capacity eviction *is*
+          order-sensitive and observable, so the front door switches
+          to a record-faithful walk (:meth:`_ingest_batch_lru`) whose
+          eviction victims, counters and surviving consumer state are
+          exactly those of a record-at-a-time replay (TTL sweeps
+          included: the walk re-checks them per record).
         """
         fids, ps, hops, digs = normalize_batch(
             flow_ids, pids, hop_counts, digests
@@ -156,34 +203,115 @@ class Collector:
             # Stable grouping: shard-major, flow-minor; ties keep batch
             # order so per-flow streams stay sequential.
             order = np.lexsort((fids, shard_ids))
-        fids = fids[order]
-        ps = ps[order]
-        hops = hops[order]
-        digs = digs[order]
+        sfids = fids[order]
+        sps = ps[order]
+        shops = hops[order]
+        sdigs = digs[order]
         # Group boundaries: wherever the flow id changes (a shard change
         # implies a flow change, so flow boundaries cover both).  Group
         # keys are pulled out as Python lists in one shot: per-group
         # NumPy scalar indexing would cost more than the group body.
-        cuts = np.flatnonzero(fids[1:] != fids[:-1]) + 1
+        cuts = np.flatnonzero(sfids[1:] != sfids[:-1]) + 1
         starts = np.concatenate(([0], cuts))
         bounds = np.append(starts, n).tolist()
-        group_fids = fids[starts].tolist()
+        group_fids = sfids[starts].tolist()
         if shard_ids is None:
             group_sids = [0] * len(group_fids)
         else:
             group_sids = shard_ids[order[starts]].tolist()
+        if self.max_flows_per_shard is not None:
+            self._ingest_batch_lru(
+                fids, shard_ids, sps, shops, sdigs, t,
+                group_fids, group_sids, bounds,
+            )
+            return n
         shards = self.shards
         touched = set()
         for idx, fid in enumerate(group_fids):
             sid = group_sids[idx]
             shards[sid].ingest_group(
-                fid, ps, hops, digs, t, bounds[idx], bounds[idx + 1]
+                fid, sps, shops, sdigs, t, bounds[idx], bounds[idx + 1]
             )
             touched.add(sid)
         for sid in touched:
             shards[sid].batches += 1
             shards[sid].table.maybe_expire(t)
         return n
+
+    def _ingest_batch_lru(
+        self,
+        fids: np.ndarray,
+        shard_ids: Optional[np.ndarray],
+        sps: np.ndarray,
+        shops: np.ndarray,
+        sdigs: np.ndarray,
+        t: float,
+        group_fids: List[int],
+        group_sids: List[int],
+        bounds: List[int],
+    ) -> None:
+        """Record-faithful batch ingestion for LRU-bounded tables.
+
+        Replays each shard's records in original batch order for the
+        *table* operations only -- touch, capacity eviction, amortised
+        TTL sweep -- so eviction victims and counters are exactly those
+        of record-at-a-time ingestion, then folds each surviving flow
+        incarnation's contiguous slice into its consumer in one call.
+        Records that preceded a mid-batch eviction of their flow are
+        dropped without consumer work: the scalar path folds them into
+        a consumer that is then discarded, so skipping the fold is
+        state-identical and strictly cheaper.
+
+        The walk costs one dict touch per record (instead of one per
+        flow group), which is the price of exact LRU semantics; tables
+        without ``max_flows`` keep the per-group fast path.
+        """
+        slice_of = {}
+        by_shard: dict = {}
+        for idx, fid in enumerate(group_fids):
+            slice_of[fid] = (bounds[idx], bounds[idx + 1])
+            by_shard.setdefault(group_sids[idx], []).append(fid)
+        # Each shard's records in original batch order, via one stable
+        # shard-major sort (a per-shard boolean mask would rescan the
+        # whole column once per touched shard).
+        if shard_ids is None:
+            shard_stream = {0: fids}
+        else:
+            so = np.argsort(shard_ids, kind="stable")
+            ssids = shard_ids[so]
+            seg_cuts = np.flatnonzero(ssids[1:] != ssids[:-1]) + 1
+            seg_lo = np.concatenate(([0], seg_cuts)).tolist()
+            seg_hi = np.append(seg_cuts, len(so)).tolist()
+            shard_stream = {
+                int(ssids[a]): fids[so[a:b]]
+                for a, b in zip(seg_lo, seg_hi)
+            }
+        for sid, flows in by_shard.items():
+            shard = self.shards[sid]
+            table = shard.table
+            sub = shard_stream[sid]
+            #: records of each flow seen before its live incarnation
+            #: was (re-)created -- those belong to evicted consumers.
+            start_at: dict = {}
+            seen: dict = {}
+            for f in sub.tolist():
+                created_before = table.created
+                entry = table.touch(f, t)
+                if table.created != created_before:
+                    start_at[f] = seen.get(f, 0)
+                entry.records += 1
+                seen[f] = seen.get(f, 0) + 1
+                table.maybe_expire(t)
+            for f in flows:
+                entry = table.get(f)
+                if entry is None:
+                    continue  # evicted after its last record
+                lo, hi = slice_of[f]
+                entry.consumer.consume_slice(
+                    sps, shops, sdigs, lo + start_at.get(f, 0), hi
+                )
+            shard.records += int(sub.shape[0])
+            shard.batches += 1
 
     # -- queries -----------------------------------------------------------
 
@@ -192,6 +320,15 @@ class Collector:
         shard = self.shards[self.router.shard_of(flow_id)]
         entry = shard.table.get(flow_id)
         return entry.consumer if entry is not None else None
+
+    def flows(self, flow_ids) -> List[Optional[DigestConsumer]]:
+        """Bulk :meth:`flow`, in input order.
+
+        Trivial in-process; exists so callers scoring many flows can
+        treat serial and parallel collectors alike (the parallel bulk
+        form batches one RPC per worker).
+        """
+        return [self.flow(int(f)) for f in flow_ids]
 
     def result(self, flow_id: int):
         """The flow's query answer, or None (unknown flow / undecoded)."""
@@ -211,12 +348,7 @@ class Collector:
         wall-clock ``now`` against a records-driven collector would
         silently evict everything.
         """
-        if now is not None and self._clock_mode == "records":
-            raise ValueError(
-                "collector clock is records-driven; cannot expire with "
-                "an explicit 'now' (mixing units corrupts TTL accounting)"
-            )
-        t = self._clock if now is None else float(now)
+        t = self.clock.expire_time(now)
         return sum(shard.expire(t) for shard in self.shards)
 
     def evict(self, flow_id: int) -> bool:
@@ -227,6 +359,24 @@ class Collector:
     def snapshot(self) -> Snapshot:
         """Point-in-time metrics across all shards."""
         return Snapshot(
-            taken_at=self._clock,
+            taken_at=self.clock.now,
             shards=[shard.stats() for shard in self.shards],
         )
+
+    def drain(self) -> None:
+        """Wait until every ingested record is applied (no-op here).
+
+        The single-process collector applies records synchronously, so
+        there is nothing to wait for; the method exists so callers can
+        treat :class:`Collector` and :class:`repro.collector.parallel.
+        ParallelCollector` interchangeably.
+        """
+
+    def close(self) -> None:
+        """Release service resources (no-op here; see :meth:`drain`)."""
+
+    def __enter__(self) -> "Collector":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

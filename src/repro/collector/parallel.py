@@ -1,0 +1,635 @@
+"""Multi-process sharded collector: scatter batches across CPU cores.
+
+PINT's sink state is embarrassingly partitionable by flow -- each flow
+is an independent decoding problem, and the :class:`~repro.collector.
+shard.ShardRouter` already assigns every flow's whole record stream to
+one share-nothing shard.  :class:`ParallelCollector` takes that
+partition across *process* boundaries: N worker processes each own a
+subset of the shards (round-robin, ``shard_id % workers``) and run a
+private single-process :class:`~repro.collector.collector.Collector`
+over them, so decode work uses every core instead of one.  This is the
+same partition-for-admission trade BASEL makes explicit (PAPERS.md):
+the front door spends a little routing work to buy independent,
+boundable back-end state.
+
+Data flow::
+
+      ingest_batch(columns)                 parent process
+            │ ShardRouter.shard_of_array → worker = shard % N
+            ▼
+      scatter: one boolean mask per worker, pickled-ndarray
+      sub-columns over a duplex pipe (fire-and-forget, FIFO)
+            ▼
+      worker w: Collector.ingest_batch(sub-columns, now=t)
+      (full shard layout, only owned shards ever fed)
+            ▼
+      queries: flow()/result() route to the owner worker (RPC);
+      snapshot() merges per-worker partial Snapshots by shard_id
+
+Equivalence: the parent ticks the same :class:`~repro.collector.
+collector.IngestClock` a serial collector would and hands workers an
+explicit ``now``, each worker re-runs the *same* lexsort grouping over
+its sub-columns (sub-columns preserve batch order, and a flow's
+records all land on one worker), and each shard sees exactly the
+record stream it would have seen in-process.  Merged snapshots and
+per-flow query answers are therefore bit-identical to a single-process
+collector fed the same batches -- asserted across all replay scenarios
+by ``benchmarks/bench_parallel_ingest.py``.
+
+Transport is pickled ndarrays over OS pipes: simple, copying, and fast
+enough that worker-side decode dominates (the bench measures >=2x
+single-process ingest at 4 workers on 4 cores).  Workers are spawned
+with the ``fork`` start method by default so consumer factories may be
+closures (the idiom throughout :mod:`repro.collector.consumers`); pass
+``start_method="spawn"`` with a picklable factory where fork is
+unavailable.
+
+Lifecycle: ``start()`` (or the first ingest) spawns workers;
+``drain()`` barriers until every sent batch is applied; ``close()``
+stops and joins the workers.  The class is also a context manager.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import traceback
+from typing import List, Optional
+
+import numpy as np
+
+from repro.collector.collector import Collector, IngestClock
+from repro.collector.consumers import ConsumerFactory, DigestConsumer
+from repro.collector.records import Column, normalize_batch
+from repro.collector.shard import ShardRouter
+from repro.collector.snapshot import Snapshot
+
+#: Commands a worker understands.  Batches are fire-and-forget; every
+#: other command is synchronous and gets exactly one ``("ok", value)``
+#: or ``("err", message)`` reply.  Pipes are FIFO, so a sync reply
+#: proves all earlier batches were applied -- that is the whole drain
+#: protocol.
+_BATCH, _INGEST, _SNAPSHOT, _FLOW, _RESULT, _LEN, _EXPIRE, _EVICT, \
+    _DRAIN, _STOP, _FLOWS = range(11)
+
+
+def _worker_main(
+    conn,
+    consumer_factory: ConsumerFactory,
+    num_shards: int,
+    max_flows_per_shard: Optional[int],
+    ttl: Optional[float],
+    seed: int,
+    router: Optional[ShardRouter],
+    owned: List[int],
+) -> None:
+    """One worker: a private Collector serving commands off a pipe.
+
+    The worker builds the *full* shard layout (same router, same shard
+    ids) but is only ever fed records of its ``owned`` shards, so the
+    unowned tables stay empty and cost nothing.  Keeping global shard
+    ids means every table operation -- lexsort grouping, LRU walk, TTL
+    sweep -- runs exactly as it would in a single-process collector.
+
+    A failure while applying a fire-and-forget batch cannot be raised
+    at the sender immediately; it is parked and returned as the reply
+    to the next synchronous command, so no error is ever silent past a
+    ``drain()``.
+    """
+    col = Collector(
+        consumer_factory,
+        num_shards=num_shards,
+        max_flows_per_shard=max_flows_per_shard,
+        ttl=ttl,
+        seed=seed,
+        router=router,
+    )
+    owned_set = frozenset(owned)
+    # Every fire-and-forget failure is parked (bounded: distinct root
+    # causes matter, the ten-thousandth repeat does not) and the whole
+    # batch is delivered at the next sync command, so fixing the first
+    # error never hides that later batches failed differently.
+    pending_errors: List[str] = []
+    suppressed_errors = 0
+
+    def pop_errors() -> Optional[str]:
+        nonlocal suppressed_errors
+        if not pending_errors:
+            return None
+        text = "\n".join(pending_errors)
+        if suppressed_errors:
+            text += (
+                f"\n... and {suppressed_errors} further ingest "
+                "failure(s) suppressed"
+            )
+        pending_errors.clear()
+        suppressed_errors = 0
+        return text
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        op = msg[0]
+        if op == _BATCH or op == _INGEST:
+            try:
+                if op == _BATCH:
+                    _, fids, ps, hops, digs, t = msg
+                    col.ingest_batch(fids, ps, hops, digs, now=t)
+                else:
+                    _, f, p, h, d, t = msg
+                    col.ingest(f, p, h, d, now=t)
+            except Exception:
+                if len(pending_errors) < 8:
+                    pending_errors.append(traceback.format_exc())
+                else:
+                    suppressed_errors += 1
+            continue
+        if op == _STOP:
+            # Parked batch failures must not die with the worker: the
+            # stop reply is the last chance to surface them.
+            err = pop_errors()
+            if err is not None:
+                conn.send(("err", err))
+            else:
+                conn.send(("ok", None))
+            break
+        try:
+            err = pop_errors()
+            if err is not None:
+                raise RuntimeError(
+                    f"deferred ingest failure(s) in worker:\n{err}"
+                )
+            if op == _SNAPSHOT:
+                reply = Snapshot(
+                    taken_at=col.now,
+                    shards=[
+                        col.shards[s].stats()
+                        for s in range(num_shards) if s in owned_set
+                    ],
+                )
+            elif op == _FLOW:
+                reply = col.flow(msg[1])
+            elif op == _FLOWS:
+                reply = [col.flow(fid) for fid in msg[1]]
+            elif op == _RESULT:
+                reply = col.result(msg[1])
+            elif op == _LEN:
+                reply = len(col)
+            elif op == _EXPIRE:
+                reply = col.expire(now=msg[1])
+            elif op == _EVICT:
+                reply = col.evict(msg[1])
+            elif op == _DRAIN:
+                reply = None
+            else:
+                raise ValueError(f"unknown collector worker op {op!r}")
+            conn.send(("ok", reply))
+        except Exception:
+            conn.send(("err", traceback.format_exc()))
+    conn.close()
+
+
+class ParallelCollector:
+    """Scatter-by-shard multi-process front door over N Collectors.
+
+    Drop-in for :class:`Collector` at the service surface -- same
+    ingest, query, expiry and snapshot methods, same clock-mode guard
+    -- with ingestion and decode spread across worker processes.  Use
+    it when per-record decode work (path peeling, sketch updates)
+    dominates; for trivially cheap consumers the pickled-column
+    transport costs more than it buys (see DESIGN.md section 5).
+
+    Parameters
+    ----------
+    consumer_factory, num_shards, max_flows_per_shard, ttl, seed,
+    router:
+        Exactly as :class:`Collector`; the resulting state is
+        bit-identical to a serial collector built from the same values.
+    workers:
+        Worker process count; shards are assigned round-robin
+        (``shard_id % workers``), so ``workers`` must not exceed
+        ``num_shards`` (an idle worker would own nothing).
+    start_method:
+        ``multiprocessing`` start method.  The default ``fork``
+        supports closure factories; ``spawn`` requires picklable
+        arguments throughout.
+    """
+
+    def __init__(
+        self,
+        consumer_factory: ConsumerFactory,
+        workers: int = 4,
+        num_shards: int = 8,
+        max_flows_per_shard: Optional[int] = None,
+        ttl: Optional[float] = None,
+        seed: int = 0,
+        router: Optional[ShardRouter] = None,
+        start_method: str = "fork",
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if router is not None and router.num_shards != num_shards:
+            raise ValueError("router/num_shards mismatch")
+        if workers > num_shards:
+            raise ValueError(
+                f"workers ({workers}) must not exceed num_shards "
+                f"({num_shards}): a worker with no shard never sees a "
+                "record"
+            )
+        self.workers = workers
+        self.num_shards = num_shards
+        self.router = router if router is not None else ShardRouter(
+            num_shards, seed
+        )
+        self._spec = (
+            consumer_factory, num_shards, max_flows_per_shard, ttl, seed,
+            router,
+        )
+        self._ctx = mp.get_context(start_method)
+        self.clock = IngestClock()
+        self._conns: List = []
+        self._procs: List = []
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        """True once worker processes exist (and close() has not run)."""
+        return bool(self._procs)
+
+    def start(self) -> "ParallelCollector":
+        """Spawn the worker processes (idempotent)."""
+        if self._closed:
+            raise RuntimeError("collector is closed")
+        if self._procs:
+            return self
+        for w in range(self.workers):
+            owned = list(range(w, self.num_shards, self.workers))
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, *self._spec, owned),
+                daemon=True,
+                name=f"collector-worker-{w}",
+            )
+            proc.start()
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+        return self
+
+    def _broadcast(self, msg) -> list:
+        """One sync command to *every* worker: send all, then collect.
+
+        Sending to all workers before reading any reply makes barrier
+        waits cost the slowest worker's backlog instead of the sum of
+        backlogs (the workers fold their queues concurrently while the
+        parent collects).  Every reply is consumed even when one
+        carries an error, so a failure in one worker never leaves
+        another's reply stranded in its pipe to desync later RPCs.
+        """
+        for conn in self._conns:
+            self._send(conn, msg)
+        values = []
+        errors = []
+        for conn in self._conns:
+            try:
+                values.append(self._recv(conn))
+            except RuntimeError as exc:
+                errors.append(str(exc))
+        if errors:
+            raise RuntimeError("\n".join(errors))
+        return values
+
+    def _check_open(self) -> None:
+        """A closed collector's state is gone: answering queries with
+        "empty" would be indistinguishable from real answers, so every
+        operation after close() raises instead."""
+        if self._closed:
+            raise RuntimeError(
+                "collector is closed; its worker state is gone -- "
+                "query results before close(), not after"
+            )
+
+    def drain(self) -> None:
+        """Barrier: return once every sent record has been applied.
+
+        Pipe FIFO ordering guarantees all earlier batches were folded
+        before the reply; any deferred worker-side ingest failure
+        surfaces here.
+        """
+        self._check_open()
+        if not self._procs:
+            return
+        self._broadcast((_DRAIN,))
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Stop and join the workers (idempotent).
+
+        The stop reply doubles as a final drain: it queues behind any
+        in-flight batches, and a worker carrying a deferred ingest
+        failure reports it in that reply -- ``close()`` re-raises it
+        once every worker is stopped and joined, so no error from a
+        fire-and-forget batch is ever silently discarded (the contract
+        :meth:`drain` enforces mid-flight).  A worker that fails to
+        acknowledge within ``timeout`` seconds (wedged, or still
+        folding a backlog larger than the timeout allows) is
+        terminated and *reported as an error* too, never dropped on
+        the floor; raise the timeout, or ``drain()`` first, when
+        closing behind a large fire-and-forget backlog.
+        """
+        if not self._procs:
+            self._closed = True
+            return
+        errors = []
+        # The stop itself must not block: a wedged worker stops
+        # reading its pipe, the OS buffer fills, and a blocking send
+        # would hang close() before its timeout ever applied.  The
+        # tuple is tiny, so on a healthy pipe the non-blocking send
+        # always succeeds; a full or broken pipe marks the worker
+        # wedged and it is terminated without a handshake.
+        stop_sent = []
+        for i, conn in enumerate(self._conns):
+            ok = False
+            try:
+                fd = conn.fileno()
+                os.set_blocking(fd, False)
+                try:
+                    conn.send((_STOP,))
+                    ok = True
+                finally:
+                    os.set_blocking(fd, True)
+            except (BlockingIOError, BrokenPipeError, OSError):
+                pass
+            stop_sent.append(ok)
+        for i, conn in enumerate(self._conns):
+            if not stop_sent[i]:
+                errors.append(
+                    f"worker {i}'s pipe was full or broken at stop "
+                    "(worker wedged or dead); terminated without a "
+                    "handshake -- queued batches and any deferred "
+                    "ingest error were lost"
+                )
+                conn.close()
+                continue
+            try:
+                if conn.poll(timeout):
+                    tag, value = conn.recv()
+                    if tag == "err":
+                        errors.append(value)
+                else:
+                    errors.append(
+                        f"worker {i} did not acknowledge stop within "
+                        f"{timeout}s and was terminated; queued batches "
+                        "(and any deferred ingest error) were lost"
+                    )
+            except (EOFError, OSError):
+                errors.append(
+                    f"worker {i} died before acknowledging stop "
+                    "(broken pipe); its shard state and any deferred "
+                    "ingest error were lost"
+                )
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        self._conns = []
+        self._procs = []
+        self._closed = True
+        if errors:
+            raise RuntimeError(
+                "collector worker failed during ingestion:\n"
+                + "\n".join(errors)
+            )
+
+    def __enter__(self) -> "ParallelCollector":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            if self._procs and not self._closed:
+                self.close()
+        except Exception:
+            pass
+
+    # -- transport ---------------------------------------------------------
+
+    def _send(self, conn, msg) -> None:
+        try:
+            conn.send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise RuntimeError(
+                "collector worker died (broken pipe); its shard state "
+                "is lost -- check the worker traceback on stderr"
+            ) from exc
+
+    def _recv(self, conn):
+        try:
+            tag, value = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise RuntimeError(
+                "collector worker died before replying; its shard "
+                "state is lost -- check the worker traceback on stderr"
+            ) from exc
+        if tag == "err":
+            raise RuntimeError(f"collector worker failed:\n{value}")
+        return value
+
+    def _call(self, worker: int, msg):
+        """One synchronous RPC round-trip to ``worker``.
+
+        Callers guard on :attr:`started`: queries against a collector
+        that never ingested answer "empty" locally rather than forking
+        worker processes as a side effect of a read-only probe.
+        """
+        conn = self._conns[worker]
+        self._send(conn, msg)
+        return self._recv(conn)
+
+    def _owner(self, flow_id: int) -> int:
+        return self.router.shard_of(flow_id) % self.workers
+
+    # -- ingestion ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The front door's current clock reading."""
+        return self.clock.now
+
+    def ingest(
+        self,
+        flow_id: int,
+        pid: int,
+        hop_count: int,
+        digest: int,
+        now: Optional[float] = None,
+    ) -> None:
+        """Route one record to its owner worker (scalar path)."""
+        self.start()
+        t = self.clock.tick(now, 1)
+        self._send(
+            self._conns[self._owner(flow_id)],
+            (_INGEST, flow_id, pid, hop_count, digest, t),
+        )
+
+    def ingest_batch(
+        self,
+        flow_ids: Column,
+        pids: Column,
+        hop_counts: Column,
+        digests: Column,
+        now: Optional[float] = None,
+    ) -> int:
+        """Scatter a columnar batch to the workers; returns its size.
+
+        The batch is routed with one vectorised hash and split into at
+        most ``workers`` sub-batches (boolean masks preserve batch
+        order, so per-flow streams stay sequential inside each worker).
+        Sends are fire-and-forget: the call returns once the columns
+        are in the pipes, and :meth:`drain` (or any query) barriers
+        with the workers.  OS pipe backpressure bounds how far the
+        front door can run ahead.
+        """
+        self._check_open()
+        fids, ps, hops, digs = normalize_batch(
+            flow_ids, pids, hop_counts, digests
+        )
+        n = int(fids.shape[0])
+        if n == 0:
+            return 0
+        self.start()
+        t = self.clock.tick(now, n)
+        if self.workers == 1:
+            self._send(self._conns[0], (_BATCH, fids, ps, hops, digs, t))
+            return n
+        wids = self.router.shard_of_array(fids) % self.workers
+        for w in range(self.workers):
+            mask = wids == w
+            if not mask.any():
+                continue
+            self._send(
+                self._conns[w],
+                (_BATCH, fids[mask], ps[mask], hops[mask], digs[mask], t),
+            )
+        return n
+
+    # -- queries -----------------------------------------------------------
+
+    def flow(self, flow_id: int) -> Optional[DigestConsumer]:
+        """A point-in-time *copy* of the flow's consumer, or None.
+
+        Unlike :meth:`Collector.flow`, the returned consumer is a
+        pickled snapshot that lives in the calling process: reading it
+        (``result()``, ``decode_errors``, ...) is exact as of the call,
+        but mutating it does not touch the worker's state.
+        """
+        self._check_open()
+        if not self._procs:
+            return None
+        return self._call(self._owner(flow_id), (_FLOW, flow_id))
+
+    def flows(self, flow_ids) -> List[Optional[DigestConsumer]]:
+        """Point-in-time consumer copies for many flows, input order.
+
+        The bulk form of :meth:`flow`: flows are grouped by owner
+        worker and fetched with *one* RPC round-trip per worker, so
+        scoring a replay over hundreds of flows pays per-worker
+        latency instead of per-flow (the shape
+        :meth:`ReplayDriver._score` reads decoders in).
+        """
+        self._check_open()
+        ids = [int(f) for f in flow_ids]
+        out: List[Optional[DigestConsumer]] = [None] * len(ids)
+        if not self._procs or not ids:
+            return out
+        by_worker: dict = {}
+        for pos, fid in enumerate(ids):
+            by_worker.setdefault(self._owner(fid), []).append((pos, fid))
+        items = list(by_worker.items())
+        for w, pairs in items:
+            self._send(
+                self._conns[w], (_FLOWS, [fid for _, fid in pairs])
+            )
+        errors = []
+        for w, pairs in items:
+            try:
+                reply = self._recv(self._conns[w])
+            except RuntimeError as exc:
+                errors.append(str(exc))
+                continue
+            for (pos, _), consumer in zip(pairs, reply):
+                out[pos] = consumer
+        if errors:
+            raise RuntimeError("\n".join(errors))
+        return out
+
+    def result(self, flow_id: int):
+        """The flow's query answer, or None (unknown flow / undecoded)."""
+        self._check_open()
+        if not self._procs:
+            return None
+        return self._call(self._owner(flow_id), (_RESULT, flow_id))
+
+    def __len__(self) -> int:
+        """Live flows across all workers."""
+        self._check_open()
+        if not self._procs:
+            return 0
+        return sum(self._broadcast((_LEN,)))
+
+    # -- operations --------------------------------------------------------
+
+    def expire(self, now: Optional[float] = None) -> int:
+        """Force a TTL sweep on every worker; returns evicted flows."""
+        self._check_open()
+        t = self.clock.expire_time(now)
+        if not self._procs:
+            return 0
+        return sum(self._broadcast((_EXPIRE, t)))
+
+    def evict(self, flow_id: int) -> bool:
+        """Drop one flow's state on its owner worker."""
+        self._check_open()
+        if not self._procs:
+            return False
+        return self._call(self._owner(flow_id), (_EVICT, flow_id))
+
+    def snapshot(self) -> Snapshot:
+        """Point-in-time metrics, merged across all workers.
+
+        Each worker reports only the shards it owns; the merge
+        reorders them by ``shard_id`` and stamps the front door's own
+        clock, so the result is field-for-field the snapshot a serial
+        collector fed the same batches would take.  The per-worker
+        snapshot commands queue behind any in-flight batches, so the
+        counters always reflect every record sent before this call.
+
+        Before the first ingest, probing metrics is read-only and must
+        not fork processes as a side effect: the snapshot is built
+        from a local idle collector instead, which reports exactly the
+        zeroed per-shard stats the workers would -- a monitoring
+        scrape sees the same ``num_shards`` rows before and after the
+        service spins up.
+        """
+        self._check_open()
+        if not self._procs:
+            factory, num_shards, max_flows, ttl, seed, router = self._spec
+            idle = Collector(
+                factory, num_shards=num_shards,
+                max_flows_per_shard=max_flows, ttl=ttl, seed=seed,
+                router=router,
+            )
+            return Snapshot(
+                taken_at=self.clock.now,
+                shards=[shard.stats() for shard in idle.shards],
+            )
+        parts = self._broadcast((_SNAPSHOT,))
+        return Snapshot.merged(parts, taken_at=self.clock.now)

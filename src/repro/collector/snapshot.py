@@ -10,7 +10,7 @@ are plain frozen dataclasses -- cheap to take, trivially serialisable
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterable, List, Optional
 
 
 @dataclass(frozen=True)
@@ -79,6 +79,42 @@ class Snapshot:
     def max_shard_flows(self) -> int:
         """Hottest shard's flow count (skew / balance check)."""
         return max((s.flows for s in self.shards), default=0)
+
+    @classmethod
+    def merged(
+        cls,
+        parts: Iterable["Snapshot"],
+        taken_at: Optional[float] = None,
+    ) -> "Snapshot":
+        """Merge partial snapshots over *disjoint* shard subsets.
+
+        The parallel collector scatters shards across worker processes;
+        each worker snapshots only the shards it owns, and this merge
+        reassembles the whole-collector view -- shard lists are
+        concatenated and ordered by ``shard_id``, so the result is
+        field-for-field identical to the snapshot a single-process
+        collector over the same shards would have taken.  Overlapping
+        shard ids are rejected (a shard's counters live in exactly one
+        worker; summing duplicates would double-count).
+
+        ``taken_at`` defaults to the latest part (workers trail the
+        front-door clock only by in-flight batches; pass the front
+        door's own clock for an exact stamp).
+        """
+        parts = list(parts)
+        shards = [s for p in parts for s in p.shards]
+        ids = [s.shard_id for s in shards]
+        if len(set(ids)) != len(ids):
+            raise ValueError(
+                "cannot merge snapshots with overlapping shard ids "
+                f"(got {sorted(ids)})"
+            )
+        if taken_at is None:
+            taken_at = max((p.taken_at for p in parts), default=0.0)
+        return cls(
+            taken_at=taken_at,
+            shards=sorted(shards, key=lambda s: s.shard_id),
+        )
 
     def as_dict(self) -> Dict:
         """JSON-friendly dump, aggregates included."""

@@ -28,6 +28,7 @@ import numpy as np
 from repro.apps.congestion import UtilizationCodec
 from repro.collector import (
     Collector,
+    ParallelCollector,
     congestion_consumer_factory,
     path_consumer_factory,
 )
@@ -63,8 +64,14 @@ class ScenarioReport:
 
     @property
     def records_per_sec(self) -> float:
-        """End-to-end replay rate (select + encode + ingest)."""
-        return self.records / self.seconds if self.seconds > 0 else float("inf")
+        """End-to-end replay rate (select + encode + ingest).
+
+        Always finite: a degenerate zero-second measurement (an empty
+        trace, or a clock too coarse to see the work) reports 0.0
+        rather than ``inf`` -- ``json.dump`` would otherwise emit the
+        non-standard ``Infinity`` token into the bench artifacts.
+        """
+        return self.records / self.seconds if self.seconds > 0 else 0.0
 
     @property
     def path_coverage(self) -> float:
@@ -110,6 +117,17 @@ class ReplayDriver:
         Records per columnar batch -- the unit of vectorised work.
     num_shards:
         Collector sharding (both sinks).
+    workers:
+        ``None`` (default) replays into single-process collectors; an
+        integer builds a :class:`~repro.collector.ParallelCollector`
+        *path* sink with that many worker processes (at most
+        ``num_shards`` -- every worker owns at least one shard), so
+        every scenario can replay parallel.  The congestion sink
+        always stays in-process: its max-aggregation is cheaper than
+        the scatter transport (DESIGN.md section 5), so ``workers=N``
+        costs exactly N extra processes, all spent on the
+        decode-heavy query.  Results are bit-identical either way;
+        the knob only moves where the decode work runs.
     """
 
     def __init__(
@@ -122,11 +140,20 @@ class ReplayDriver:
         path_share: float = 0.8,
         congestion_share: float = 0.2,
         congestion_bits: int = 8,
+        workers: Optional[int] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if path_share <= 0.0:
             raise ValueError("path_share must be positive")
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1 (or None for serial)")
+        if workers is not None and workers > num_shards:
+            raise ValueError(
+                f"workers ({workers}) must not exceed num_shards "
+                f"({num_shards}): a worker owns at least one shard"
+            )
+        self.workers = workers
         self.digest_bits = digest_bits
         self.num_hashes = num_hashes
         self.seed = seed
@@ -156,22 +183,35 @@ class ReplayDriver:
         """Ground-truth bottleneck utilisation per record, in (0, 1.5)."""
         return self._util_hash.uniform_array(trace.pid) * 1.5
 
+    def _make_sink(self, consumer_factory):
+        """One sink collector: serial, or parallel when ``workers`` set."""
+        if self.workers is None:
+            return Collector(
+                consumer_factory, num_shards=self.num_shards, seed=self.seed,
+            )
+        return ParallelCollector(
+            consumer_factory, workers=self.workers,
+            num_shards=self.num_shards, seed=self.seed,
+        )
+
     def replay(self, trace: Trace) -> ScenarioReport:
         """Stream one trace end-to-end; return its report."""
         dataplane = TraceDataplane(
             trace, digest_bits=self.digest_bits, num_hashes=self.num_hashes,
             seed=self.seed,
         )
-        path_sink = Collector(
+        path_sink = self._make_sink(
             path_consumer_factory(
                 trace.universe, digest_bits=self.digest_bits,
                 num_hashes=self.num_hashes, seed=self.seed,
-            ),
-            num_shards=self.num_shards, seed=self.seed,
+            )
         )
         cong_sink: Optional[Collector] = None
         codec: Optional[UtilizationCodec] = None
         if self.has_congestion:
+            # Always serial: the max-aggregation consumer is cheaper
+            # than the scatter transport, so workers would only burn
+            # cores the path sink needs (DESIGN.md section 5).
             cong_sink = Collector(
                 congestion_consumer_factory(
                     bits=self.congestion_bits, seed=self.seed,
@@ -179,42 +219,53 @@ class ReplayDriver:
                 num_shards=self.num_shards, seed=self.seed,
             )
             codec = UtilizationCodec(self.congestion_bits, seed=self.seed)
-        hop_counts = trace.hop_counts
-        utils = self.utilizations(trace) if self.has_congestion else None
-        batches = 0
-        path_records = 0
-        cong_records = 0
-        start = time.perf_counter()
-        for lo, hi in trace.batches(self.batch_size):
-            rows = np.arange(lo, hi, dtype=np.int64)
-            entry = self.plan.select_array(trace.pid[lo:hi])
-            now = float(trace.ts[hi - 1])
-            path_rows = rows[entry == 0]
-            if path_rows.size:
-                digests = dataplane.encode_rows(path_rows)
-                path_sink.ingest_batch(
-                    trace.flow_id[path_rows], trace.pid[path_rows],
-                    hop_counts[path_rows], digests, now=now,
-                )
-                path_records += int(path_rows.size)
+        try:
+            hop_counts = trace.hop_counts
+            utils = self.utilizations(trace) if self.has_congestion else None
+            batches = 0
+            path_records = 0
+            cong_records = 0
+            start = time.perf_counter()
+            for lo, hi in trace.batches(self.batch_size):
+                rows = np.arange(lo, hi, dtype=np.int64)
+                entry = self.plan.select_array(trace.pid[lo:hi])
+                now = float(trace.ts[hi - 1])
+                path_rows = rows[entry == 0]
+                if path_rows.size:
+                    digests = dataplane.encode_rows(path_rows)
+                    path_sink.ingest_batch(
+                        trace.flow_id[path_rows], trace.pid[path_rows],
+                        hop_counts[path_rows], digests, now=now,
+                    )
+                    path_records += int(path_rows.size)
+                if cong_sink is not None:
+                    cong_rows = rows[entry == 1]
+                    if cong_rows.size:
+                        codes = compress_utilizations(
+                            codec, utils[cong_rows], trace.pid[cong_rows],
+                            hop_counts[cong_rows],
+                        )
+                        cong_sink.ingest_batch(
+                            trace.flow_id[cong_rows], trace.pid[cong_rows],
+                            hop_counts[cong_rows], codes, now=now,
+                        )
+                        cong_records += int(cong_rows.size)
+                batches += 1
+            # The throughput clock stops only after every scattered
+            # batch is applied -- a no-op barrier on serial sinks, the
+            # honest accounting on parallel ones.
+            path_sink.drain()
             if cong_sink is not None:
-                cong_rows = rows[entry == 1]
-                if cong_rows.size:
-                    codes = compress_utilizations(
-                        codec, utils[cong_rows], trace.pid[cong_rows],
-                        hop_counts[cong_rows],
-                    )
-                    cong_sink.ingest_batch(
-                        trace.flow_id[cong_rows], trace.pid[cong_rows],
-                        hop_counts[cong_rows], codes, now=now,
-                    )
-                    cong_records += int(cong_rows.size)
-            batches += 1
-        seconds = time.perf_counter() - start
-        return self._score(
-            trace, path_sink, cong_sink, codec, utils, batches,
-            path_records, cong_records, seconds,
-        )
+                cong_sink.drain()
+            seconds = time.perf_counter() - start
+            return self._score(
+                trace, path_sink, cong_sink, codec, utils, batches,
+                path_records, cong_records, seconds,
+            )
+        finally:
+            path_sink.close()
+            if cong_sink is not None:
+                cong_sink.close()
 
     def _score(
         self,
@@ -233,8 +284,11 @@ class ReplayDriver:
         truth = trace.flow_paths()
         path_flows = np.unique(trace.flow_id[entry == 0])
         decoded = correct = resets = 0
-        for fid in path_flows.tolist():
-            consumer = path_sink.flow(fid)
+        fid_list = path_flows.tolist()
+        # Bulk fetch: one RPC per worker on a parallel sink instead of
+        # one (decoder-pickling) round-trip per flow.
+        consumers = path_sink.flows(fid_list)
+        for fid, consumer in zip(fid_list, consumers):
             if consumer is None:
                 continue
             resets += consumer.decode_errors

@@ -72,8 +72,11 @@ class Trace:
                 "trace columns must be equal-length 1-D arrays, got shapes "
                 + "/".join(str(c.shape) for c in cols)
             )
-        if not paths:
-            raise ValueError("trace needs a non-empty path table")
+        if not paths and n:
+            raise ValueError(
+                "trace needs a non-empty path table (only a zero-row "
+                "trace may have no paths)"
+            )
         self.paths: Tuple[Tuple[int, ...], ...] = tuple(
             tuple(int(s) for s in p) for p in paths
         )
@@ -142,8 +145,13 @@ class Trace:
     # -- persistence -------------------------------------------------------
 
     def save(self, path: str) -> None:
-        """Write the trace as a compressed ``.npz`` (round-trip exact)."""
-        k_max = int(self._path_lens.max())
+        """Write the trace as a compressed ``.npz`` (round-trip exact).
+
+        Zero-row traces round-trip too (an empty path table pads to a
+        ``(0, 0)`` matrix): a capture pipeline that saw no packets in
+        a window must still be able to checkpoint.
+        """
+        k_max = int(self._path_lens.max()) if self._path_lens.size else 0
         table = np.full((len(self.paths), k_max), -1, dtype=np.int64)
         for i, p in enumerate(self.paths):
             table[i, : len(p)] = p
@@ -219,7 +227,8 @@ class Trace:
                 pids.append(int(row["pid"]))
                 sizes.append(int(row["size"]))
                 path_ids.append(pid_idx)
-        if not paths:
-            raise ValueError(f"{path}: empty trace CSV")
+        # A header-only CSV is a legitimate zero-row trace (an empty
+        # capture window); only a file without the header is malformed
+        # and already rejected above.
         return Trace(ts, fids, pids, path_ids, sizes, paths,
                      universe=universe, name=name)

@@ -390,3 +390,186 @@ class TestDESIntegration:
                 # Randomised rounding can land one grid step above
                 # the codec's max_util anchor (16).
                 assert u is not None and 0.0 <= u <= 17.0
+
+
+class TestShardRouterEdgeIds:
+    """The parallel scatter relies on scalar/vector routing agreeing
+    on *every* representable flow id, not just small ones."""
+
+    def test_extreme_int64_ids_scalar_matches_vectorised(self):
+        router = ShardRouter(16, seed=3)
+        edge = np.array([0, 1, 2**62, 2**63 - 1], dtype=np.int64)
+        arr = router.shard_of_array(edge)
+        assert [router.shard_of(int(v)) for v in edge] == arr.tolist()
+
+    def test_random_uint64_ids_scalar_matches_vectorised(self):
+        rng = np.random.default_rng(9)
+        fids = rng.integers(0, 2**64, size=2000, dtype=np.uint64)
+        router = ShardRouter(8, seed=1)
+        arr = router.shard_of_array(fids)
+        assert int(arr.min()) >= 0 and int(arr.max()) < 8
+        assert all(
+            router.shard_of(int(v)) == int(s) for v, s in zip(fids, arr)
+        )
+
+    def test_uint64_boundary_ids(self):
+        router = ShardRouter(4, seed=2)
+        for v in (0, 2**63 - 1, 2**63, 2**64 - 1):
+            arr = router.shard_of_array(np.array([v], dtype=np.uint64))
+            assert router.shard_of(v) == int(arr[0])
+
+
+class TestFlowTableTTLBoundaries:
+    def test_entry_exactly_ttl_old_is_evicted(self):
+        # expire() keeps only entries *strictly* newer than the
+        # deadline: last_seen == now - ttl is gone.
+        table = FlowTable(lambda fid: CongestionDigestConsumer(), ttl=10.0)
+        table.touch(1, now=0.0)
+        table.touch(2, now=0.0 + 1e-9)
+        assert table.expire(now=10.0) == 1
+        assert 1 not in table and 2 in table
+
+    def test_maybe_expire_amortisation_window(self):
+        table = FlowTable(lambda fid: CongestionDigestConsumer(), ttl=8.0)
+        table.touch(1, now=0.0)
+        assert table.maybe_expire(0.0) == 0     # arms the sweep clock
+        table.touch(2, now=9.0)
+        # 9.0 - 0.0 >= ttl/4, so this sweep runs and catches flow 1
+        # (idle 9.0 > ttl 8.0).
+        assert table.maybe_expire(9.0) == 1
+        # within ttl/4 of the last sweep: no sweep, whatever is due
+        assert table.maybe_expire(10.0) == 0
+
+
+class TestBatchLRUExactRecency:
+    """With max_flows set, ingest_batch must be record-faithful: same
+    eviction victims, counters and surviving consumer state as a
+    record-at-a-time replay of the stream (same clock readings)."""
+
+    @staticmethod
+    def _pair(num_shards, max_flows, seed=11):
+        make = lambda: Collector(
+            congestion_consumer_factory(), num_shards=num_shards,
+            max_flows_per_shard=max_flows, seed=seed,
+        )
+        return make(), make()
+
+    def test_known_divergence_case_now_matches(self):
+        # Pre-state [Y, X] (Y least recent), capacity 2, batch
+        # [X, A, X]: record order touches X before A arrives, so A
+        # evicts Y and the final LRU order is [A, X].  Group-ordered
+        # batching used to leave [X, A] and evict X next -- the
+        # documented divergence this path removes.
+        scalar, batched = self._pair(num_shards=1, max_flows=2)
+        for col in (scalar, batched):
+            col.ingest(2, 1, 3, 20, now=1.0)   # Y
+            col.ingest(1, 2, 3, 10, now=2.0)   # X
+        fids, pids, hops, digs = [1, 3, 1], [3, 4, 5], [3, 3, 3], [7, 8, 9]
+        for i in range(3):
+            scalar.ingest(fids[i], pids[i], hops[i], digs[i], now=3.0)
+        batched.ingest_batch(fids, pids, hops, digs, now=3.0)
+        for col in (scalar, batched):
+            assert col.flow(2) is None          # Y evicted
+            assert col.flow(1).max_code == 10   # X kept pre-batch state
+            assert col.flow(1).records == 3     # 1 pre-batch + 2 in-batch
+        # The next single-flow batch must evict the same victim (A).
+        scalar.ingest(4, 6, 3, 1, now=4.0)
+        batched.ingest_batch([4], [6], [3], [1], now=4.0)
+        for col in (scalar, batched):
+            assert col.flow(3) is None and col.flow(1) is not None
+
+    def test_midbatch_evict_and_recreate_drops_early_records(self):
+        # Capacity 1, batch [A, B, A]: the scalar replay evicts A's
+        # first incarnation before its second record arrives, so the
+        # surviving consumer saw only the last record.
+        scalar, batched = self._pair(num_shards=1, max_flows=1)
+        fids, pids, hops, digs = [1, 2, 1], [1, 2, 3], [3, 3, 3], [10, 20, 3]
+        for i in range(3):
+            scalar.ingest(fids[i], pids[i], hops[i], digs[i], now=1.0)
+        batched.ingest_batch(fids, pids, hops, digs, now=1.0)
+        for col in (scalar, batched):
+            consumer = col.flow(1)
+            assert col.flow(2) is None
+            assert consumer.max_code == 3       # 10 died with incarnation 1
+            assert consumer.records == 1
+            table = col.shards[0].table
+            assert table.created == 3
+            assert table.lru_evictions == 2
+
+    @pytest.mark.parametrize("num_shards,max_flows", [(1, 3), (4, 2), (4, 5)])
+    def test_random_streams_match_scalar_replay(self, num_shards, max_flows):
+        rng = np.random.default_rng(num_shards * 31 + max_flows)
+        n = 3000
+        fids = rng.integers(1, 40, n).tolist()
+        pids = list(range(1, n + 1))
+        hops = rng.integers(2, 6, n).tolist()
+        digs = rng.integers(0, 256, n).tolist()
+        scalar, batched = self._pair(num_shards, max_flows)
+        batch = 257  # deliberately unaligned batch edges
+        now = 0.0
+        for lo in range(0, n, batch):
+            hi = min(lo + batch, n)
+            now += 1.0
+            for i in range(lo, hi):
+                scalar.ingest(fids[i], pids[i], hops[i], digs[i], now=now)
+            batched.ingest_batch(
+                fids[lo:hi], pids[lo:hi], hops[lo:hi], digs[lo:hi], now=now
+            )
+        s_snap, b_snap = scalar.snapshot(), batched.snapshot()
+        for s, b in zip(s_snap.shards, b_snap.shards):
+            assert s.flows == b.flows
+            assert s.records == b.records
+            assert s.created == b.created
+            assert s.lru_evictions == b.lru_evictions
+            assert s.state_bytes == b.state_bytes
+        for sh_s, sh_b in zip(scalar.shards, batched.shards):
+            keys_s = [f for f, _ in sh_s.table.items()]
+            keys_b = [f for f, _ in sh_b.table.items()]
+            assert keys_s == keys_b          # identical LRU order
+            for fid in keys_s:
+                a = sh_s.table.get(fid)
+                b = sh_b.table.get(fid)
+                assert a.generation == b.generation
+                assert a.records == b.records
+                assert a.consumer.max_code == b.consumer.max_code
+                assert a.consumer.last_code == b.consumer.last_code
+
+    def test_ttl_without_capacity_is_batch_granular(self):
+        # Documented fast-path semantics: with ttl set but no
+        # max_flows, a flow idle past its TTL whose next record
+        # arrives in the same batch is revived with its state intact
+        # (a record-at-a-time replay might sweep it first, depending
+        # on which record triggers the amortised sweep).
+        col = Collector(congestion_consumer_factory(), num_shards=1, ttl=5.0)
+        col.ingest_batch([1], [1], [3], [50], now=0.0)
+        col.ingest_batch([2, 1], [2, 3], [3, 3], [7, 9], now=10.0)
+        assert col.flow(1).max_code == 50
+        assert col.shards[0].table.ttl_evictions == 0
+
+    def test_lru_with_ttl_matches_scalar_replay(self):
+        rng = np.random.default_rng(4)
+        n = 1200
+        fids = rng.integers(1, 25, n).tolist()
+        make = lambda: Collector(
+            congestion_consumer_factory(), num_shards=2,
+            max_flows_per_shard=3, ttl=6.0, seed=1,
+        )
+        scalar, batched = make(), make()
+        now = 0.0
+        for lo in range(0, n, 100):
+            hi = min(lo + 100, n)
+            now += 1.0
+            for i in range(lo, hi):
+                scalar.ingest(fids[i], i + 1, 3, i % 256, now=now)
+            batched.ingest_batch(
+                fids[lo:hi], list(range(lo + 1, hi + 1)), [3] * (hi - lo),
+                [i % 256 for i in range(lo, hi)], now=now,
+            )
+        s_dict = scalar.snapshot().as_dict()
+        b_dict = batched.snapshot().as_dict()
+        # `batches` counts ingest_batch calls, which the scalar replay
+        # by definition never makes; everything else must agree.
+        for d in (s_dict, b_dict):
+            for shard in d["shards"]:
+                shard.pop("batches")
+        assert s_dict == b_dict

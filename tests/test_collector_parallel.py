@@ -1,0 +1,335 @@
+"""Tests for the multi-process parallel collector (repro.collector.parallel)."""
+
+import numpy as np
+import pytest
+
+from repro.collector import (
+    Collector,
+    ParallelCollector,
+    ShardRouter,
+    Snapshot,
+    congestion_consumer_factory,
+)
+from repro.collector.snapshot import ShardStats
+
+
+def make_cols(n=4000, flows=60, seed=2):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(1, flows, n),
+        np.arange(1, n + 1),
+        rng.integers(2, 7, n),
+        rng.integers(0, 256, n),
+    )
+
+
+def feed_both(serial, par, cols, batch=777, timed=False):
+    """Stream the same batches into both collectors; drain the parallel one."""
+    fids, pids, hops, digs = cols
+    n = len(fids)
+    now = 0.0
+    for lo in range(0, n, batch):
+        hi = min(lo + batch, n)
+        now += 1.0
+        kw = {"now": now} if timed else {}
+        serial.ingest_batch(fids[lo:hi], pids[lo:hi], hops[lo:hi],
+                            digs[lo:hi], **kw)
+        par.ingest_batch(fids[lo:hi], pids[lo:hi], hops[lo:hi],
+                         digs[lo:hi], **kw)
+    par.drain()
+
+
+class TestLifecycle:
+    def test_context_manager_starts_and_stops(self):
+        par = ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=4
+        )
+        assert not par.started
+        with par:
+            assert par.started
+            par.ingest_batch([1, 2, 3], [1, 2, 3], [3, 3, 3], [5, 6, 7])
+            par.drain()
+            assert len(par) == 3
+        assert not par.started
+        with pytest.raises(RuntimeError):
+            par.start()  # a closed collector does not resurrect
+
+    def test_lazy_start_on_first_ingest(self):
+        par = ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=2
+        )
+        try:
+            par.ingest(9, 1, 3, 40)
+            assert par.started
+            assert par.result(9) is not None
+        finally:
+            par.close()
+
+    def test_close_is_idempotent(self):
+        par = ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=2
+        ).start()
+        par.close()
+        par.close()
+
+    def test_validation(self):
+        factory = congestion_consumer_factory()
+        with pytest.raises(ValueError):
+            ParallelCollector(factory, workers=0, num_shards=4)
+        with pytest.raises(ValueError):
+            ParallelCollector(factory, workers=8, num_shards=4)
+        with pytest.raises(ValueError):
+            ParallelCollector(factory, workers=2, num_shards=4,
+                              router=ShardRouter(8, 0))
+
+    def test_queries_do_not_fork_before_first_ingest(self):
+        # Read-only probes on a collector that never ingested answer
+        # "empty" locally instead of spawning worker processes -- and
+        # the idle snapshot still shows the same per-shard rows a
+        # fresh serial collector would (monitoring parity).
+        par = ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=4
+        )
+        snap = par.snapshot()
+        assert snap.records == 0 and snap.flows == 0
+        serial = Collector(congestion_consumer_factory(), num_shards=4)
+        assert snap.as_dict() == serial.snapshot().as_dict()
+        assert par.flow(1) is None
+        assert par.result(1) is None
+        assert par.evict(1) is False
+        assert len(par) == 0
+        assert par.expire() == 0
+        assert not par.started
+
+    def test_closed_collector_refuses_queries(self):
+        # After close() the worker state is gone; empty answers would
+        # masquerade as real ones, so every operation raises.
+        par = ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=2
+        )
+        with par:
+            par.ingest_batch([1, 2], [1, 2], [3, 3], [9, 9])
+            par.drain()
+            assert par.result(1) is not None
+        for op in (
+            lambda: par.result(1), lambda: par.flow(1),
+            lambda: par.flows([1]), lambda: par.snapshot(),
+            lambda: len(par), lambda: par.expire(),
+            lambda: par.evict(1), lambda: par.drain(),
+            lambda: par.ingest_batch([], [], [], []),  # even empty
+        ):
+            with pytest.raises(RuntimeError, match="closed"):
+                op()
+
+
+class TestEquivalence:
+    def test_snapshot_and_results_match_serial(self):
+        cols = make_cols()
+        serial = Collector(
+            congestion_consumer_factory(seed=1), num_shards=8, seed=1
+        )
+        with ParallelCollector(
+            congestion_consumer_factory(seed=1), workers=4, num_shards=8,
+            seed=1,
+        ) as par:
+            feed_both(serial, par, cols)
+            assert serial.snapshot().as_dict() == par.snapshot().as_dict()
+            assert len(serial) == len(par)
+            for fid in np.unique(cols[0]).tolist():
+                assert serial.result(fid) == par.result(fid)
+
+    def test_flow_returns_detached_consumer_copy(self):
+        with ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=2
+        ) as par:
+            par.ingest_batch([5, 5], [1, 2], [3, 3], [10, 30])
+            consumer = par.flow(5)
+            assert consumer.max_code == 30
+            consumer.max_code = 999          # mutating the copy...
+            assert par.flow(5).max_code == 30  # ...never reaches the worker
+            assert par.flow(404) is None
+
+    def test_bulk_flows_matches_per_flow_rpc(self):
+        cols = make_cols(n=1500, flows=25, seed=7)
+        serial = Collector(
+            congestion_consumer_factory(seed=2), num_shards=4, seed=2
+        )
+        with ParallelCollector(
+            congestion_consumer_factory(seed=2), workers=2, num_shards=4,
+            seed=2,
+        ) as par:
+            feed_both(serial, par, cols)
+            probe = np.unique(cols[0]).tolist() + [10**9]  # + unknown id
+            bulk = par.flows(probe)
+            assert len(bulk) == len(probe)
+            for fid, consumer in zip(probe, bulk):
+                single = par.flow(fid)
+                reference = serial.flow(fid)
+                assert (consumer is None) == (single is None) == (
+                    reference is None
+                )
+                if consumer is not None:
+                    assert consumer.max_code == reference.max_code
+            assert par.flows([]) == []
+
+    def test_scalar_ingest_routes_like_serial(self):
+        serial = Collector(congestion_consumer_factory(), num_shards=4, seed=3)
+        with ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=4, seed=3
+        ) as par:
+            for i in range(60):
+                serial.ingest(i % 7, i, 4, i % 256)
+                par.ingest(i % 7, i, 4, i % 256)
+            par.drain()
+            assert serial.snapshot().as_dict() == par.snapshot().as_dict()
+
+    def test_lru_bounded_tables_match_serial(self):
+        cols = make_cols(n=2500, flows=30, seed=5)
+        serial = Collector(
+            congestion_consumer_factory(), num_shards=4,
+            max_flows_per_shard=2, seed=0,
+        )
+        with ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=4,
+            max_flows_per_shard=2, seed=0,
+        ) as par:
+            feed_both(serial, par, cols)
+            assert serial.snapshot().as_dict() == par.snapshot().as_dict()
+            for fid in np.unique(cols[0]).tolist():
+                assert serial.result(fid) == par.result(fid)
+
+    def test_ttl_expiry_and_evict_rpc(self):
+        serial = Collector(
+            congestion_consumer_factory(), num_shards=4, ttl=3.0, seed=0
+        )
+        with ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=4, ttl=3.0,
+            seed=0,
+        ) as par:
+            feed_both(serial, par, make_cols(n=600, flows=12), timed=True)
+            assert serial.expire(now=100.0) == par.expire(now=100.0)
+            assert len(serial) == len(par) == 0
+            serial.ingest(3, 1, 3, 9, now=101.0)
+            par.ingest(3, 1, 3, 9, now=101.0)
+            assert serial.evict(3) is par.evict(3) is True
+            assert serial.evict(3) is par.evict(3) is False
+
+
+class TestClockGuard:
+    def test_clock_modes_cannot_mix(self):
+        with ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=2
+        ) as par:
+            par.ingest(1, 1, 3, 10, now=1.0)
+            with pytest.raises(ValueError):
+                par.ingest(1, 2, 3, 10)
+            with pytest.raises(ValueError):
+                par.ingest_batch([1], [3], [3], [1])
+        with ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=2
+        ) as free:
+            free.ingest(1, 1, 3, 10)
+            with pytest.raises(ValueError):
+                free.ingest(1, 2, 3, 10, now=2.0)
+            with pytest.raises(ValueError):
+                free.expire(now=2.0)
+            assert free.expire() == 0
+
+
+def _exploding_factory(flow_id):
+    if flow_id == 13:
+        raise RuntimeError("unlucky flow")
+    if flow_id == 17:
+        raise RuntimeError("second failure mode")
+    from repro.collector import CongestionDigestConsumer
+    return CongestionDigestConsumer()
+
+
+class TestFailurePropagation:
+    def test_worker_ingest_failure_surfaces_at_drain(self):
+        with ParallelCollector(
+            _exploding_factory, workers=2, num_shards=2
+        ) as par:
+            par.ingest_batch([13], [1], [3], [5])
+            with pytest.raises(RuntimeError, match="unlucky flow"):
+                par.drain()
+            # The failed drain consumed *every* worker's reply, so the
+            # RPC protocol stays in sync: snapshots and further ingest
+            # keep working on all workers, error delivered once.
+            assert par.snapshot().num_shards == 2
+            par.drain()
+            par.ingest_batch([7], [2], [3], [9])
+            par.drain()
+            assert par.result(7) is not None
+            # The exploding batch died before counting its record.
+            assert par.snapshot().records == 1
+
+    def test_close_reports_a_dead_worker(self):
+        import os
+        import signal
+
+        par = ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=2
+        ).start()
+        par.ingest_batch([1, 2], [1, 2], [3, 3], [9, 9])
+        par.drain()
+        os.kill(par._procs[0].pid, signal.SIGKILL)
+        par._procs[0].join(timeout=5.0)
+        # A worker that died holding shard state must not vanish
+        # silently: close() reports it instead of returning clean.
+        with pytest.raises(RuntimeError, match="stop"):
+            par.close()
+        par.close()  # idempotent afterwards
+
+    def test_distinct_failures_are_all_reported(self):
+        # A second batch failing for a different reason must not be
+        # shadowed by the first parked error.
+        with ParallelCollector(
+            _exploding_factory, workers=1, num_shards=1
+        ) as par:
+            par.ingest_batch([13], [1], [3], [5])
+            par.ingest_batch([17], [2], [3], [5])
+            with pytest.raises(RuntimeError) as excinfo:
+                par.drain()
+            assert "unlucky flow" in str(excinfo.value)
+            assert "second failure mode" in str(excinfo.value)
+            par.drain()  # delivered once, then serviceable again
+
+    def test_worker_ingest_failure_surfaces_at_close(self):
+        # Even without an intervening drain()/query, the error parked
+        # by a fire-and-forget batch must come out on close().
+        par = ParallelCollector(_exploding_factory, workers=2, num_shards=2)
+        par.ingest_batch([13], [1], [3], [5])
+        with pytest.raises(RuntimeError, match="unlucky flow"):
+            par.close()
+        assert not par.started
+        par.close()  # still idempotent after the raise
+
+
+class TestSnapshotMerge:
+    def _stats(self, shard_id):
+        return ShardStats(
+            shard_id=shard_id, flows=1, records=2, batches=1, created=1,
+            lru_evictions=0, ttl_evictions=0, completed_flows=1,
+            state_bytes=100,
+        )
+
+    def test_merged_orders_by_shard_id(self):
+        a = Snapshot(taken_at=1.0, shards=[self._stats(2), self._stats(0)])
+        b = Snapshot(taken_at=3.0, shards=[self._stats(1)])
+        merged = Snapshot.merged([a, b])
+        assert [s.shard_id for s in merged.shards] == [0, 1, 2]
+        assert merged.taken_at == 3.0
+        assert merged.records == 6
+
+    def test_merged_explicit_stamp(self):
+        merged = Snapshot.merged(
+            [Snapshot(taken_at=1.0, shards=[self._stats(0)])], taken_at=9.0
+        )
+        assert merged.taken_at == 9.0
+
+    def test_merged_rejects_overlapping_shards(self):
+        a = Snapshot(taken_at=1.0, shards=[self._stats(0)])
+        b = Snapshot(taken_at=1.0, shards=[self._stats(0)])
+        with pytest.raises(ValueError):
+            Snapshot.merged([a, b])

@@ -63,6 +63,12 @@ class TestExamplesRun:
         assert "records streamed to sink" in out
         assert "paths decoded exactly      : 16/16" in out
 
+    def test_parallel_collector(self, capsys):
+        _load("parallel_collector").main()
+        out = capsys.readouterr().out
+        assert "decode outcomes identical  : True" in out
+        assert "merged snapshot identical  : True" in out
+
     def test_replay_scenarios(self, capsys):
         _load("replay_scenarios").main()
         out = capsys.readouterr().out

@@ -4,7 +4,12 @@ import math
 
 import pytest
 
-from repro.replay import ReplayDriver, build_trace, scenario_names
+from repro.replay import (
+    ReplayDriver,
+    ScenarioReport,
+    build_trace,
+    scenario_names,
+)
 
 
 class TestReplayDriver:
@@ -61,3 +66,44 @@ class TestReplayDriver:
             ReplayDriver(batch_size=0)
         with pytest.raises(ValueError):
             ReplayDriver(path_share=0.0)
+
+
+class TestReportFiniteness:
+    def test_records_per_sec_clamped_on_zero_seconds(self):
+        import json
+
+        report = ScenarioReport(
+            scenario="degenerate", records=10, flows=1, batches=1,
+            seconds=0.0, path_records=10, path_flows=1, path_decoded=0,
+            path_correct=0, path_resets=0, congestion_records=0,
+            congestion_flows=0, congestion_median_rel_err=float("nan"),
+        )
+        assert report.records_per_sec == 0.0
+        # The clamped rate is strict-JSON safe (the bench writers
+        # additionally sanitise the NaN error field to null).
+        json.dumps(report.records_per_sec, allow_nan=False)
+        assert "rec/s" in report.summary()
+
+
+class TestParallelReplay:
+    def test_workers_knob_matches_serial_decode(self):
+        trace = build_trace("incast", packets=2500, seed=0)
+        serial = ReplayDriver(batch_size=1024, seed=0).replay(trace)
+        par = ReplayDriver(batch_size=1024, seed=0, workers=2).replay(trace)
+        for field in (
+            "records", "flows", "batches", "path_records", "path_flows",
+            "path_decoded", "path_correct", "path_resets",
+            "congestion_records", "congestion_flows",
+        ):
+            assert getattr(serial, field) == getattr(par, field), field
+        s_err = serial.congestion_median_rel_err
+        p_err = par.congestion_median_rel_err
+        assert s_err == p_err or (s_err != s_err and p_err != p_err)
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ReplayDriver(workers=0)
+        with pytest.raises(ValueError):
+            # The driver honors num_shards rather than silently
+            # widening it; more workers than shards cannot be served.
+            ReplayDriver(num_shards=2, workers=4)

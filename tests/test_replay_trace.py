@@ -100,3 +100,50 @@ class TestPersistence:
         f.write_text("ts,flow_id\n0.0,1\n")
         with pytest.raises(ValueError):
             Trace.from_csv(str(f))
+
+
+class TestEmptyTraces:
+    """A capture window that saw no packets must still checkpoint."""
+
+    def test_construct_empty(self):
+        t = Trace([], [], [], [], [], [], name="empty")
+        assert len(t) == 0
+        assert t.num_flows == 0
+        assert t.paths == () and t.universe == ()
+        assert t.hop_counts.shape == (0,)
+        assert t.flow_paths() == {}
+        assert list(t.batches(16)) == []
+        assert len(t.sorted_by_time()) == 0
+
+    def test_zero_rows_may_keep_a_path_table(self):
+        t = Trace([], [], [], [], [], [(1, 2, 3)], name="warm")
+        assert len(t) == 0 and t.paths == ((1, 2, 3),)
+        assert t.universe == (1, 2, 3)
+
+    def test_npz_roundtrip_empty(self, tmp_path):
+        for paths in ([], [(4, 5)]):
+            t = Trace([], [], [], [], [], paths, name="e")
+            f = str(tmp_path / f"e{len(paths)}.npz")
+            t.save(f)
+            back = Trace.load(f)
+            assert len(back) == 0
+            assert back.paths == t.paths
+            assert back.universe == t.universe
+            assert back.name == "e"
+
+    def test_csv_roundtrip_empty(self, tmp_path):
+        t = Trace([], [], [], [], [], [], name="e")
+        f = str(tmp_path / "e.csv")
+        t.to_csv(f)
+        back = Trace.from_csv(f)
+        assert len(back) == 0 and back.paths == ()
+
+    def test_header_only_csv_imports(self, tmp_path):
+        f = tmp_path / "empty.csv"
+        f.write_text("ts,flow_id,pid,size,path\n")
+        back = Trace.from_csv(str(f))
+        assert len(back) == 0
+
+    def test_rows_without_paths_still_rejected(self):
+        with pytest.raises(ValueError):
+            Trace([0.0], [1], [0], [0], [9], [])
