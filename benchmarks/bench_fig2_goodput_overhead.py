@@ -7,7 +7,6 @@ especially at 70% load (~20% loss at 108B).  Scaled workload: the
 
 from conftest import print_table
 
-from repro.baselines import int_overhead_bytes
 from repro.sim import run_overhead_experiment, web_search_cdf
 
 OVERHEADS = [0, 28, 68, 108]

@@ -71,6 +71,73 @@ def write_bench_json(path: str, payload: dict) -> None:
     print(f"\nwrote {path}")
 
 
+# -- bench-regression gate -------------------------------------------------
+
+def resolve_metric(payload: dict, dotted: str):
+    """Walk ``a.b.c`` into a nested payload dict.
+
+    Raises ``KeyError`` naming the missing segment -- a baseline that
+    points at a metric the bench no longer emits must fail the gate
+    loudly (silent skips are how floors rot).
+    """
+    cur = payload
+    for part in dotted.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            raise KeyError(
+                f"metric path {dotted!r}: segment {part!r} not found"
+            )
+        cur = cur[part]
+    return cur
+
+
+def compare_bench(payloads: dict, baseline: dict):
+    """Check bench artifacts against the committed floors.
+
+    ``payloads`` maps artifact filename -> parsed JSON; ``baseline``
+    is the committed ``BENCH_baseline.json``: a ``tolerance`` (how far
+    below its floor a metric may regress before the gate fails; 0.4
+    means fail at >40% below) and per-file ``floors`` of dotted metric
+    path -> floor value.  Floors are records/sec numbers recorded from
+    a known-good ``--quick`` run, deliberately set *well below*
+    typical so runner-to-runner variance never trips the gate -- only
+    a real regression does.
+
+    Returns ``(failures, checked)``: human-readable failure strings
+    (empty when the gate passes) and one ``(file, path, value, floor,
+    gate)`` tuple per metric checked.
+    """
+    tolerance = float(baseline.get("tolerance", 0.4))
+    if not 0.0 <= tolerance < 1.0:
+        raise ValueError(f"tolerance must be in [0, 1), got {tolerance}")
+    failures = []
+    checked = []
+    for fname, floors in baseline.get("floors", {}).items():
+        if fname not in payloads:
+            failures.append(f"{fname}: artifact missing (bench not run?)")
+            continue
+        payload = payloads[fname]
+        for dotted, floor in floors.items():
+            try:
+                value = resolve_metric(payload, dotted)
+            except KeyError as err:
+                failures.append(f"{fname}: {err.args[0]}")
+                continue
+            if not isinstance(value, (int, float)) or value is None:
+                failures.append(
+                    f"{fname}: {dotted} is not numeric (got {value!r})"
+                )
+                continue
+            gate = floor * (1.0 - tolerance)
+            checked.append((fname, dotted, float(value), float(floor), gate))
+            if value < gate:
+                failures.append(
+                    f"{fname}: {dotted} = {value:,.0f} regressed more "
+                    f"than {tolerance:.0%} below its floor {floor:,.0f} "
+                    f"(gate {gate:,.0f})"
+                )
+    return failures, checked
+
+
 # -- shared workloads ------------------------------------------------------
 
 def zipf_flow_ids(records: int, flows: int, rng) -> np.ndarray:

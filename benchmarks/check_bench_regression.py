@@ -1,0 +1,77 @@
+"""CI bench-regression gate: fail when a smoke regresses below floor.
+
+Loads the committed ``BENCH_baseline.json`` (records/sec floors per
+pipeline stage, recorded from a known-good ``--quick`` run) and the
+``BENCH_*.json`` artifacts the preceding smoke steps just wrote, then
+fails the job when any gated metric fell more than ``tolerance``
+(default 40%) below its floor.  This replaces "assert a fixed speedup
+ratio" as the only throughput guard: ratios catch a stage falling
+behind its scalar twin, floors catch the whole pipeline quietly
+getting slower release over release.
+
+The baseline schema::
+
+    {"tolerance": 0.4,
+     "floors": {"BENCH_replay.json": {"scenarios.web-search.vector_rps": 120000,
+                                      ...},
+                ...}}
+
+Floors are intentionally far below typical rates (roughly known-good /
+5) so hosted-runner variance never trips the gate; re-record them only
+when a deliberate change moves a stage's floor.
+
+Run:  PYTHONPATH=src python benchmarks/check_bench_regression.py
+      (after running the --quick smokes that produce the artifacts)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from benchlib import compare_bench
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="BENCH_baseline.json",
+                        help="committed floors file")
+    parser.add_argument("--artifacts-dir", default=".",
+                        help="directory the BENCH_*.json artifacts are in")
+    args = parser.parse_args()
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    payloads = {}
+    for fname in baseline.get("floors", {}):
+        path = os.path.join(args.artifacts_dir, fname)
+        if os.path.exists(path):
+            with open(path) as fh:
+                payloads[fname] = json.load(fh)
+
+    failures, checked = compare_bench(payloads, baseline)
+
+    tolerance = baseline.get("tolerance", 0.4)
+    print(f"bench-regression gate: {len(checked)} metrics, "
+          f"tolerance {tolerance:.0%} below floor\n")
+    width = max((len(f"{f}:{p}") for f, p, *_ in checked), default=20)
+    for fname, dotted, value, floor, gate in checked:
+        status = "ok  " if value >= gate else "FAIL"
+        print(f"  {status} {f'{fname}:{dotted}':<{width}}  "
+              f"value {value:>12,.0f}  floor {floor:>12,.0f}  "
+              f"gate {gate:>12,.0f}")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s):")
+        for line in failures:
+            print(f"  - {line}")
+        return 1
+    print("\nOK: no gated metric regressed below its floor")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,12 +8,7 @@ and compares slowdowns and bytes spent on telemetry.
 Run:  python examples/congestion_control.py
 """
 
-from repro.sim import (
-    INTTelemetry,
-    PINTTelemetry,
-    hadoop_cdf,
-    run_hpcc_experiment,
-)
+from repro.sim import hadoop_cdf, run_hpcc_experiment
 
 
 def main() -> None:

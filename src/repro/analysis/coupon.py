@@ -11,7 +11,6 @@ against.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 
 def harmonic(n: int) -> float:

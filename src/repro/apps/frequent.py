@@ -11,7 +11,7 @@ most common egress port (load-imbalance diagnosis, Table 2).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Tuple
 
 from repro.core.framework import QueryRuntime
 from repro.core.query import Query

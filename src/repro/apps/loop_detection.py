@@ -11,7 +11,7 @@ per packet while adding only ceil(log2(T+1)) bits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.hashing import GlobalHash
 

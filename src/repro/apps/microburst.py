@@ -11,7 +11,7 @@ classic microburst signature.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Tuple
 
 from repro.approx import AdditiveCompressor, delta_for_bits
 from repro.core.framework import QueryRuntime

@@ -20,7 +20,6 @@ from repro.coding import (
     CodingScheme,
     DistributedMessage,
     HashDecoder,
-    PathEncoder,
     multilayer_scheme,
     pack_reps,
     packet_count_distribution,

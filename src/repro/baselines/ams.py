@@ -14,7 +14,7 @@ carries a uniformly-chosen hop's mark.  Overhead: 16 bits.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 

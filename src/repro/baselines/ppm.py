@@ -15,8 +15,7 @@ of 16 bits per packet".
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Set, Tuple
 
 from repro.coding.simulate import TrialStats
 from repro.hashing import GlobalHash, reservoir_carrier

@@ -291,6 +291,16 @@ class RawDecoder:
         arr = self._decoded_arr.nbytes if self._decoded_arr is not None else 0
         return 16 * len(self.decoded) + 64 * len(self._pending) + arr
 
+    def known_blocks(self) -> Dict[int, int]:
+        """Hops decoded so far (1-based) -- the partial-decode answer.
+
+        Well-defined at any point of the stream: loss leaves hops
+        missing, duplicates only re-confirm, so a sink can always
+        report *which* hops it knows even when the flow never
+        completes (the decode-under-loss contract).
+        """
+        return dict(self.decoded)
+
     def _resolve(self, hop: int, value: int) -> None:
         """Record a decoded hop and peel any digests it unblocks."""
         worklist = [(hop, value)]
@@ -625,6 +635,10 @@ class HashDecoder:
             raise DecodingError(f"{self.missing} hops still unknown")
         return [self.decoded[h] for h in range(1, self.k + 1)]
 
+    def known_blocks(self) -> Dict[int, int]:
+        """Hops with a unique candidate so far (the partial decode)."""
+        return dict(self.decoded)
+
     def state_bytes(self) -> int:
         """Rough resident-state estimate (candidate arrays dominate).
 
@@ -710,6 +724,25 @@ class FragmentDecoder:
         """Sum of the fragment sub-decoders' resident state."""
         return sum(dec.state_bytes() for dec in self._subdecoders)
 
+    def known_blocks(self) -> Dict[int, int]:
+        """Hops whose *every* fragment is decoded, reassembled.
+
+        A hop with some-but-not-all fragments stays unknown: a partial
+        concatenation is not a prefix of the value, so reporting it
+        would hand callers a wrong block rather than a missing one.
+        """
+        out: Dict[int, int] = {}
+        for hop in range(1, self.k + 1):
+            value = 0
+            for frag, dec in enumerate(self._subdecoders):
+                piece = dec.decoded.get(hop)
+                if piece is None:
+                    break
+                value |= piece << (frag * self.digest_bits)
+            else:
+                out[hop] = value
+        return out
+
     def path(self) -> List[int]:
         """Reassembled blocks, hop 1 first (raises if incomplete)."""
         if not self.is_complete:
@@ -734,7 +767,7 @@ def make_decoder(
     seed straight from the encoder so the pair cannot drift apart.
     ``adjacency`` enables topology-aware inference (hash mode only).
     """
-    from repro.coding.encoder import FRAGMENT, HASH, RAW  # local: avoid cycle
+    from repro.coding.encoder import HASH, RAW
 
     msg = message if message is not None else encoder.message
     ctx = encoder.ctx
@@ -745,6 +778,11 @@ def make_decoder(
         )
     if encoder.mode == RAW:
         return RawDecoder(msg.k, ctx.scheme, ctx.digest_bits, ctx.seed)
+    # Derive the width from the encoder's *effective* fragment count --
+    # a value_bits override (the sink's universe-wide layout) widens it
+    # past the message's own block_bits, and the decoder must split
+    # into the same number of sub-problems or nothing lines up.
     return FragmentDecoder(
-        msg.k, msg.block_bits(), ctx.scheme, ctx.digest_bits, ctx.seed
+        msg.k, encoder.num_fragments * ctx.digest_bits, ctx.scheme,
+        ctx.digest_bits, ctx.seed,
     )

@@ -20,7 +20,7 @@ is ``num_hashes * digest_bits``.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -178,6 +178,12 @@ class PathEncoder:
         Independent hash instantiations per packet (hash mode only).
     seed:
         Root seed for all derived global hashes.
+    value_bits:
+        Fragment mode only: value width the fragment count is derived
+        from, overriding the message's own ``block_bits()``.  A sink
+        decoding many paths shares one fragment layout derived from
+        the universe-wide width; encoders must fragment against the
+        same width or the sub-problems cannot line up.
     """
 
     def __init__(
@@ -188,6 +194,7 @@ class PathEncoder:
         mode: str = "auto",
         num_hashes: int = 1,
         seed: int = 0,
+        value_bits: Optional[int] = None,
     ) -> None:
         if mode == "auto":
             if message.universe is not None:
@@ -213,7 +220,15 @@ class PathEncoder:
         #: Number of fragments F = ceil(q / b) (1 unless fragment mode).
         self.num_fragments = 1
         if mode == FRAGMENT:
-            self.num_fragments = -(-message.block_bits() // digest_bits)
+            width = message.block_bits()
+            if value_bits is not None:
+                if value_bits < width:
+                    raise ValueError(
+                        f"value_bits ({value_bits}) narrower than the "
+                        f"widest block ({width} bits)"
+                    )
+                width = value_bits
+            self.num_fragments = -(-width // digest_bits)
 
     @property
     def bit_overhead(self) -> int:

@@ -34,7 +34,9 @@ from repro.apps.congestion import UtilizationCodec
 from repro.apps.latency import HopLatencyStore, LatencyCompressor
 from repro.coding import (
     CodingScheme,
+    FragmentDecoder,
     HashDecoder,
+    RawDecoder,
     multilayer_scheme,
     unpack_reps,
 )
@@ -92,6 +94,17 @@ class DigestConsumer:
         """True when the flow's query has a decodable answer."""
         return False
 
+    @property
+    def coverage(self) -> float:
+        """How much of the flow's answer is known, in [0, 1].
+
+        The decode-under-loss metric: impaired streams leave flows
+        partially decoded, and snapshots/reports aggregate this per
+        flow (see ``Snapshot.mean_coverage``).  Consumers whose answer
+        is all-or-nothing report 1.0 once complete.
+        """
+        return 1.0 if self.is_complete else 0.0
+
     def result(self):
         """The query answer so far (None while undecodable)."""
         return None
@@ -104,19 +117,31 @@ class DigestConsumer:
 class PathDigestConsumer(DigestConsumer):
     """Incremental per-flow path decoding (paper §4.2 peeling).
 
-    The :class:`HashDecoder` is built lazily from the first record's
-    ``hop_count`` (the sink learns the path length from the packet
-    itself), so one factory serves flows of any length: by default the
-    coding scheme is likewise derived per flow from that hop count,
-    matching encoders tuned to each flow's actual path.  Pass ``d`` to
-    pin the scheme to a typical diameter (the :class:`PathTracer`
-    harness convention) or ``scheme`` to pin it outright -- the scheme
-    must match the flow's encoder or nothing decodes.  A digest that
-    contradicts the candidate sets -- a reroute mid-flow, or state that
-    was evicted and re-created against a stale path -- raises
+    The decoder is built lazily from the first record's ``hop_count``
+    (the sink learns the path length from the packet itself), so one
+    factory serves flows of any length: by default the coding scheme
+    is likewise derived per flow from that hop count, matching
+    encoders tuned to each flow's actual path.  Pass ``d`` to pin the
+    scheme to a typical diameter (the :class:`PathTracer` harness
+    convention) or ``scheme`` to pin it outright -- the scheme must
+    match the flow's encoder or nothing decodes.  ``mode`` selects the
+    digest representation the flow's encoders used: ``"hash"`` (the
+    default) peels with a :class:`HashDecoder` over ``universe``,
+    ``"raw"`` with a :class:`RawDecoder`, ``"fragment"`` with a
+    :class:`FragmentDecoder` whose fragment count derives from
+    ``value_bits`` (universe-wide width by default -- pass the same
+    value the encoders fragmented against).  A digest that contradicts
+    the candidate sets -- a reroute mid-flow, or state that was
+    evicted and re-created against a stale path -- raises
     :class:`DecodingError` inside the decoder; the consumer counts it
     and resets, so the flow re-converges on the new path instead of
     wedging the shard.
+
+    Decode-under-loss contract: gaps in the packet stream only slow
+    convergence (every packet re-draws its role by hash) and
+    duplicates only re-confirm, so at any point the consumer exposes a
+    well-defined partial answer -- :attr:`coverage` (fraction of hops
+    known) and :meth:`partial_path` (known hops, None elsewhere).
     """
 
     kind = "path"
@@ -130,11 +155,30 @@ class PathDigestConsumer(DigestConsumer):
         scheme: Optional[CodingScheme] = None,
         d: Optional[int] = None,
         adjacency=None,
+        mode: str = "hash",
+        value_bits: Optional[int] = None,
     ) -> None:
+        if mode not in ("raw", "hash", "fragment"):
+            raise ValueError(
+                f"mode must be 'raw', 'hash' or 'fragment', got {mode!r}"
+            )
+        if mode != "hash" and num_hashes != 1:
+            raise ValueError("multiple hash instantiations need hash mode")
         self.universe = tuple(universe)
         self.digest_bits = digest_bits
         self.num_hashes = num_hashes
         self.seed = seed
+        self.mode = mode
+        # Fragment layout width: the universe-wide block width unless
+        # the caller pins it (must match the encoders' value_bits).
+        if value_bits is None and self.universe:
+            value_bits = max(1, max(self.universe).bit_length())
+        if mode == "fragment" and value_bits is None:
+            raise ValueError(
+                "fragment mode needs value_bits (or a non-empty "
+                "universe to derive it from)"
+            )
+        self.value_bits = value_bits
         # Scheme resolution: explicit scheme > tuned-for-d scheme >
         # (default) per-flow scheme derived from the observed hop
         # count, for sinks whose encoders tune to each flow's length.
@@ -151,23 +195,33 @@ class PathDigestConsumer(DigestConsumer):
     def _unpack(self, digest: int) -> tuple:
         return unpack_reps(digest, self.digest_bits, self.num_hashes)
 
-    def _ensure_decoder(self, hop_count: int) -> HashDecoder:
-        """Build the flow's decoder from an observed hop count."""
+    def _ensure_decoder(self, hop_count: int):
+        """Build the flow's mode-matching decoder from a hop count."""
         if self._decoder is None:
             scheme = (
                 self.scheme
                 if self.scheme is not None
                 else multilayer_scheme(hop_count)
             )
-            self._decoder = HashDecoder(
-                hop_count,
-                self.universe,
-                scheme,
-                self.digest_bits,
-                self.num_hashes,
-                self.seed,
-                adjacency=self.adjacency,
-            )
+            if self.mode == "raw":
+                self._decoder = RawDecoder(
+                    hop_count, scheme, self.digest_bits, self.seed
+                )
+            elif self.mode == "fragment":
+                self._decoder = FragmentDecoder(
+                    hop_count, self.value_bits, scheme,
+                    self.digest_bits, self.seed,
+                )
+            else:
+                self._decoder = HashDecoder(
+                    hop_count,
+                    self.universe,
+                    scheme,
+                    self.digest_bits,
+                    self.num_hashes,
+                    self.seed,
+                    adjacency=self.adjacency,
+                )
         return self._decoder
 
     def consume(self, pid: int, hop_count: int, digest: int) -> None:
@@ -210,6 +264,34 @@ class PathDigestConsumer(DigestConsumer):
         if self._decoder is None:
             return (0, 0)
         return (self._decoder.k - self._decoder.missing, self._decoder.k)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the flow's hops with a *reportable* value.
+
+        Counted from ``known_blocks()`` so it always agrees with
+        :meth:`partial_path`: in fragment mode a hop counts only once
+        every fragment is decoded (``FragmentDecoder.missing`` rounds
+        partially-fragmented hops optimistically, which would overstate
+        what the sink can actually answer).  0.0 before the first
+        record (no decoder, no path length); a flow whose packets were
+        all dropped by the network never grows past that, which is
+        exactly the degradation the impairment sweeps chart.
+        """
+        if self._decoder is None:
+            return 0.0
+        return len(self._decoder.known_blocks()) / self._decoder.k
+
+    def partial_path(self) -> Optional[List[Optional[int]]]:
+        """Known hops in order, None where still undecoded.
+
+        None (not a list) before the first record: without a hop count
+        the consumer does not yet know the path length.
+        """
+        if self._decoder is None:
+            return None
+        known = self._decoder.known_blocks()
+        return [known.get(h) for h in range(1, self._decoder.k + 1)]
 
     def result(self) -> Optional[List[int]]:
         """The decoded switch path, or None while incomplete."""

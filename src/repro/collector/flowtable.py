@@ -138,6 +138,19 @@ class FlowTable:
             1 for e in self._entries.values() if e.consumer.is_complete
         )
 
+    def coverage_sum(self) -> float:
+        """Sum of per-flow decode coverage over live flows.
+
+        The snapshot-side decode-under-loss aggregate: dividing by the
+        flow count gives the mean fraction of each flow's answer the
+        sink knows.  Summed in LRU order, which is the same on every
+        record-identical replay, so parallel workers reproduce the
+        serial sum bit-for-bit.
+        """
+        return float(
+            sum(e.consumer.coverage for e in self._entries.values())
+        )
+
     def state_bytes(self) -> int:
         """Estimated resident bytes across all live consumers.
 

@@ -56,8 +56,6 @@ import os
 import traceback
 from typing import List, Optional
 
-import numpy as np
-
 from repro.collector.collector import Collector, IngestClock
 from repro.collector.consumers import ConsumerFactory, DigestConsumer
 from repro.collector.records import Column, normalize_batch

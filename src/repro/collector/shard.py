@@ -116,5 +116,6 @@ class Shard:
             lru_evictions=table.lru_evictions,
             ttl_evictions=table.ttl_evictions,
             completed_flows=table.completed_flows(),
+            coverage_sum=table.coverage_sum(),
             state_bytes=table.state_bytes(),
         )

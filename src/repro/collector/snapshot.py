@@ -26,11 +26,20 @@ class ShardStats:
     ttl_evictions: int
     completed_flows: int
     state_bytes: int
+    #: Sum of per-flow decode coverage (see
+    #: :attr:`DigestConsumer.coverage`) over the shard's live flows --
+    #: the decode-under-loss aggregate impaired replays degrade.
+    coverage_sum: float = 0.0
 
     @property
     def completion_rate(self) -> float:
         """Fraction of live flows with a decodable answer."""
         return self.completed_flows / self.flows if self.flows else 0.0
+
+    @property
+    def mean_coverage(self) -> float:
+        """Mean per-flow decode coverage (NaN with no live flows)."""
+        return self.coverage_sum / self.flows if self.flows else float("nan")
 
 
 @dataclass(frozen=True)
@@ -69,6 +78,23 @@ class Snapshot:
         """Decode-completion rate over all live flows."""
         flows = self.flows
         return self.completed_flows / flows if flows else 0.0
+
+    @property
+    def coverage_sum(self) -> float:
+        """Summed per-flow decode coverage across all shards."""
+        return sum(s.coverage_sum for s in self.shards)
+
+    @property
+    def mean_coverage(self) -> float:
+        """Mean per-flow decode coverage across all live flows.
+
+        NaN when no flows are live (e.g. every flow of an impaired
+        replay was fully dropped); JSON writers must route snapshots
+        through :func:`benchlib.write_bench_json`, which serialises
+        the NaN as null instead of crashing strict parsers.
+        """
+        flows = self.flows
+        return self.coverage_sum / flows if flows else float("nan")
 
     @property
     def state_bytes(self) -> int:
@@ -125,6 +151,12 @@ class Snapshot:
             "evictions": self.evictions,
             "completed_flows": self.completed_flows,
             "completion_rate": self.completion_rate,
+            "coverage_sum": self.coverage_sum,
+            # None (JSON null), not NaN, when no flows are live: the
+            # dump stays strict-JSON and snapshot dicts stay ==-
+            # comparable (NaN != NaN would break the serial/parallel
+            # equivalence assertions on idle collectors).
+            "mean_coverage": self.mean_coverage if self.flows else None,
             "state_bytes": self.state_bytes,
             "shards": [asdict(s) for s in self.shards],
         }

@@ -15,7 +15,7 @@ list of per-hop :class:`~repro.core.values.HopView` snapshots.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.core.plan import ExecutionPlan
 from repro.core.query import Query

@@ -16,8 +16,8 @@ flow definition, frequency])``:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.values import MetadataType
 from repro.exceptions import ConfigurationError

@@ -19,7 +19,7 @@ Three named hashes from the paper map onto instances of this class:
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Union
+from typing import Sequence, Union
 
 import numpy as np
 

@@ -22,6 +22,18 @@ numbers.
 
 from repro.replay.dataplane import TraceDataplane, compress_utilizations
 from repro.replay.driver import ReplayDriver, ScenarioReport
+from repro.replay.impair import (
+    DeliverySummary,
+    Duplicate,
+    GilbertElliott,
+    IIDLoss,
+    ImpairmentModel,
+    Reorder,
+    describe_models,
+    impair_trace,
+    plan_delivery,
+    summarize_delivery,
+)
 from repro.replay.scenarios import (
     SCENARIOS,
     Scenario,
@@ -42,4 +54,14 @@ __all__ = [
     "compress_utilizations",
     "ReplayDriver",
     "ScenarioReport",
+    "ImpairmentModel",
+    "IIDLoss",
+    "GilbertElliott",
+    "Reorder",
+    "Duplicate",
+    "DeliverySummary",
+    "plan_delivery",
+    "summarize_delivery",
+    "impair_trace",
+    "describe_models",
 ]

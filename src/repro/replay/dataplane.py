@@ -66,6 +66,11 @@ class TraceDataplane:
         Maps path length k to the :class:`CodingScheme` its encoder
         runs; defaults to :func:`multilayer_scheme` (Algorithm 1),
         matching the collector's per-flow decoder derivation.
+    value_bits:
+        Fragment mode: the shared value width every encoder fragments
+        against (defaults to the trace universe's widest switch ID),
+        so sink-side :class:`~repro.coding.FragmentDecoder` layouts
+        derived from the same universe line up with every path.
     """
 
     def __init__(
@@ -76,6 +81,7 @@ class TraceDataplane:
         mode: str = "auto",
         seed: int = 0,
         scheme_factory: SchemeFactory = multilayer_scheme,
+        value_bits: Optional[int] = None,
     ) -> None:
         if digest_bits * num_hashes > 63:
             raise ValueError(
@@ -89,6 +95,9 @@ class TraceDataplane:
         self.mode = mode
         self.seed = seed
         self.scheme_factory = scheme_factory
+        if value_bits is None and mode == "fragment" and trace.universe:
+            value_bits = max(1, max(trace.universe).bit_length())
+        self.value_bits = value_bits
         #: Lazily compiled scalar twins, one per path id.  Each carries
         #: the CodecContext the vectorised path replays, so the two
         #: paths cannot diverge in configuration.
@@ -108,6 +117,7 @@ class TraceDataplane:
                 message, self.scheme_factory(len(path)),
                 digest_bits=self.digest_bits, mode=self.mode,
                 num_hashes=self.num_hashes, seed=self.seed,
+                value_bits=self.value_bits,
             )
             self._encoders[path_id] = enc
         return enc

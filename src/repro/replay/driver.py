@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import asdict, dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +37,12 @@ from repro.core.query import AggregationType, Query
 from repro.core.values import MetadataType
 from repro.hashing import GlobalHash
 from repro.replay.dataplane import TraceDataplane, compress_utilizations
+from repro.replay.impair import (
+    ImpairmentModel,
+    describe_models,
+    plan_delivery,
+    summarize_delivery,
+)
 from repro.replay.scenarios import build_trace, scenario_names
 from repro.replay.trace import Trace
 
@@ -61,6 +67,48 @@ class ScenarioReport:
     congestion_records: int
     congestion_flows: int
     congestion_median_rel_err: float
+    #: -- impairment bookkeeping (defaults = the perfect network) ----------
+    #: Records the scenario *sent*; ``records`` counts what the network
+    #: delivered (duplicates included) and the sink actually ingested.
+    offered_records: int = 0
+    dropped_records: int = 0
+    duplicated_records: int = 0
+    #: Deliveries arriving after a later-sent record of their flow.
+    reordered_records: int = 0
+    #: Mean per-flow decode coverage over path-query flows the sink
+    #: holds state for; NaN when every such flow was fully dropped
+    #: (bench writers serialise the NaN as null via benchlib).
+    path_coverage_mean: float = float("nan")
+    #: Fully-decoded path flows that lost at least one path record --
+    #: the paper's "any subset still decodes" claim, counted.
+    path_completed_under_loss: int = 0
+    #: One-line descriptions of the applied impairment models.
+    impairments: Tuple[str, ...] = ()
+
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of offered records delivered at least once."""
+        if self.offered_records <= 0:
+            return float("nan")
+        return (
+            self.offered_records - self.dropped_records
+        ) / self.offered_records
+
+    def as_dict(self) -> dict:
+        """JSON-ready dump: fields plus the derived rates.
+
+        May contain NaN (coverage of fully-dropped streams, median
+        error of empty congestion sets); writers must route it
+        through :func:`benchlib.write_bench_json`, which turns
+        non-finite floats into JSON null.
+        """
+        d = asdict(self)
+        d["impairments"] = list(self.impairments)
+        d["records_per_sec"] = self.records_per_sec
+        d["path_coverage"] = self.path_coverage
+        d["path_accuracy"] = self.path_accuracy
+        d["delivery_rate"] = self.delivery_rate
+        return d
 
     @property
     def records_per_sec(self) -> float:
@@ -91,7 +139,7 @@ class ScenarioReport:
         """One human-readable report line."""
         err = self.congestion_median_rel_err
         err_s = f"{err * 100:.1f}%" if not math.isnan(err) else "n/a"
-        return (
+        line = (
             f"{self.scenario:<15} {self.records:>7} rec "
             f"{self.records_per_sec:>11,.0f} rec/s  "
             f"path {self.path_decoded}/{self.path_flows} decoded "
@@ -99,6 +147,15 @@ class ScenarioReport:
             f"{self.path_resets} resets)  "
             f"cong err {err_s}"
         )
+        if self.impairments:
+            cov = self.path_coverage_mean
+            cov_s = f"{cov * 100:.0f}%" if not math.isnan(cov) else "n/a"
+            line += (
+                f"  [delivered {self.records}/{self.offered_records}"
+                f" (-{self.dropped_records} +{self.duplicated_records}"
+                f" ~{self.reordered_records}), cov {cov_s}]"
+            )
+        return line
 
 
 class ReplayDriver:
@@ -128,6 +185,19 @@ class ReplayDriver:
         costs exactly N extra processes, all spent on the
         decode-heavy query.  Results are bit-identical either way;
         the knob only moves where the decode work runs.
+    mode:
+        Path-digest representation the dataplane stamps and the sink
+        decodes: "auto" (hash, since traces carry a universe), "raw",
+        "hash" or "fragment" -- the three §4.2 representations the
+        impairment sweeps compare under loss.
+    impairments:
+        Optional sequence of :class:`~repro.replay.impair.
+        ImpairmentModel` applied between encode and ingest: the driver
+        plans one delivery schedule over the whole trace (so bursty
+        loss and reorder bounds span batch boundaries) and replays
+        *delivered* records only, in delivered order -- on the serial
+        and the ``workers=N`` paths alike.  An empty sequence (or all
+        zero-rate models) is bit-identical to no impairment.
     """
 
     def __init__(
@@ -141,11 +211,22 @@ class ReplayDriver:
         congestion_share: float = 0.2,
         congestion_bits: int = 8,
         workers: Optional[int] = None,
+        mode: str = "auto",
+        impairments: Optional[Sequence[ImpairmentModel]] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if path_share <= 0.0:
             raise ValueError("path_share must be positive")
+        if mode not in ("auto", "raw", "hash", "fragment"):
+            raise ValueError(
+                f"mode must be 'auto', 'raw', 'hash' or 'fragment', "
+                f"got {mode!r}"
+            )
+        self.mode = mode
+        self.impairments: List[ImpairmentModel] = (
+            list(impairments) if impairments is not None else []
+        )
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1 (or None for serial)")
         if workers is not None and workers > num_shards:
@@ -194,16 +275,29 @@ class ReplayDriver:
             num_shards=self.num_shards, seed=self.seed,
         )
 
-    def replay(self, trace: Trace) -> ScenarioReport:
-        """Stream one trace end-to-end; return its report."""
+    def replay(
+        self,
+        trace: Trace,
+        impairments: Optional[Sequence[ImpairmentModel]] = None,
+    ) -> ScenarioReport:
+        """Stream one trace end-to-end; return its report.
+
+        ``impairments`` overrides the driver-level models for this
+        trace only (None means use the driver's).
+        """
+        models = (
+            self.impairments if impairments is None else list(impairments)
+        )
         dataplane = TraceDataplane(
             trace, digest_bits=self.digest_bits, num_hashes=self.num_hashes,
-            seed=self.seed,
+            mode=self.mode, seed=self.seed,
         )
+        consumer_mode = "hash" if self.mode == "auto" else self.mode
         path_sink = self._make_sink(
             path_consumer_factory(
                 trace.universe, digest_bits=self.digest_bits,
                 num_hashes=self.num_hashes, seed=self.seed,
+                mode=consumer_mode, value_bits=dataplane.value_bits,
             )
         )
         cong_sink: Optional[Collector] = None
@@ -222,14 +316,32 @@ class ReplayDriver:
         try:
             hop_counts = trace.hop_counts
             utils = self.utilizations(trace) if self.has_congestion else None
+            # The delivery schedule is planned over the whole trace up
+            # front: bursty-loss state and reorder displacement must
+            # span batch boundaries, exactly as a network precedes the
+            # sink's batching.  No models -> the schedule is the
+            # identity and the loop below is the exact pre-impairment
+            # code path (bit-identity is golden-tested).
+            delivery: Optional[np.ndarray] = None
+            if models:
+                delivery = plan_delivery(models, len(trace), trace.flow_id)
+            total = len(trace) if delivery is None else int(delivery.shape[0])
             batches = 0
             path_records = 0
             cong_records = 0
             start = time.perf_counter()
-            for lo, hi in trace.batches(self.batch_size):
-                rows = np.arange(lo, hi, dtype=np.int64)
-                entry = self.plan.select_array(trace.pid[lo:hi])
-                now = float(trace.ts[hi - 1])
+            for lo in range(0, total, self.batch_size):
+                hi = min(lo + self.batch_size, total)
+                if delivery is None:
+                    rows = np.arange(lo, hi, dtype=np.int64)
+                    now = float(trace.ts[hi - 1])
+                else:
+                    rows = delivery[lo:hi]
+                    # Delivered order is not time order under reorder;
+                    # the clock advances to the newest send stamp seen
+                    # (IngestClock is monotone anyway).
+                    now = float(trace.ts[rows].max())
+                entry = self.plan.select_array(trace.pid[rows])
                 path_rows = rows[entry == 0]
                 if path_rows.size:
                     digests = dataplane.encode_rows(path_rows)
@@ -260,7 +372,7 @@ class ReplayDriver:
             seconds = time.perf_counter() - start
             return self._score(
                 trace, path_sink, cong_sink, codec, utils, batches,
-                path_records, cong_records, seconds,
+                path_records, cong_records, seconds, delivery, models,
             )
         finally:
             path_sink.close()
@@ -278,12 +390,36 @@ class ReplayDriver:
         path_records: int,
         cong_records: int,
         seconds: float,
+        delivery: Optional[np.ndarray] = None,
+        models: Sequence[ImpairmentModel] = (),
     ) -> ScenarioReport:
-        """Compare the sinks' answers against the trace's ground truth."""
+        """Compare the sinks' answers against the trace's ground truth.
+
+        Path flows are scored against the *offered* stream (a flow
+        whose packets were all dropped still counts undecoded -- that
+        is the degradation the sweeps chart), while congestion truth
+        is the max over *delivered* records: the sink cannot know a
+        utilisation the network never carried to it.
+        """
         entry = self.plan.select_array(trace.pid)
         truth = trace.flow_paths()
         path_flows = np.unique(trace.flow_id[entry == 0])
+        summary = (
+            summarize_delivery(len(trace), delivery, trace.flow_id)
+            if delivery is not None else None
+        )
+        delivered_rows: Optional[np.ndarray] = None
+        flows_with_drops = frozenset()
+        if delivery is not None:
+            delivered_rows = np.unique(delivery)
+            path_rows = np.flatnonzero(entry == 0)
+            dropped_path = path_rows[~np.isin(path_rows, delivered_rows)]
+            flows_with_drops = frozenset(
+                np.unique(trace.flow_id[dropped_path]).tolist()
+            )
         decoded = correct = resets = 0
+        completed_under_loss = 0
+        coverages: List[float] = []
         fid_list = path_flows.tolist()
         # Bulk fetch: one RPC per worker on a parallel sink instead of
         # one (decoder-pickling) round-trip per flow.
@@ -292,19 +428,28 @@ class ReplayDriver:
             if consumer is None:
                 continue
             resets += consumer.decode_errors
+            coverages.append(consumer.coverage)
             result = consumer.result()
             if result is None:
                 continue
             decoded += 1
+            if fid in flows_with_drops:
+                completed_under_loss += 1
             traversed = {trace.paths[pid] for pid in truth[fid]}
             if tuple(result) in traversed:
                 correct += 1
+        coverage_mean = (
+            float(np.mean(coverages)) if coverages else float("nan")
+        )
         median_err = float("nan")
         cong_flows = 0
         if cong_sink is not None and cong_records:
-            mask = entry == 1
-            fids = trace.flow_id[mask]
-            true_utils = utils[mask]
+            if delivered_rows is None:
+                sel = np.flatnonzero(entry == 1)
+            else:
+                sel = delivered_rows[entry[delivered_rows] == 1]
+            fids = trace.flow_id[sel]
+            true_utils = utils[sel]
             order = np.argsort(fids, kind="stable")
             fids = fids[order]
             true_utils = true_utils[order]
@@ -328,7 +473,9 @@ class ReplayDriver:
                 median_err = float(np.median(errs))
         return ScenarioReport(
             scenario=trace.name,
-            records=len(trace),
+            records=(
+                len(trace) if delivery is None else int(delivery.shape[0])
+            ),
             flows=trace.num_flows,
             batches=batches,
             seconds=seconds,
@@ -340,6 +487,13 @@ class ReplayDriver:
             congestion_records=cong_records,
             congestion_flows=cong_flows,
             congestion_median_rel_err=median_err,
+            offered_records=len(trace),
+            dropped_records=summary.dropped if summary else 0,
+            duplicated_records=summary.duplicated if summary else 0,
+            reordered_records=summary.reordered if summary else 0,
+            path_coverage_mean=coverage_mean,
+            path_completed_under_loss=completed_under_loss,
+            impairments=describe_models(models),
         )
 
     def run_scenario(
@@ -349,10 +503,14 @@ class ReplayDriver:
         return self.replay(build_trace(name, packets=packets, seed=seed, **kw))
 
     def run_all(
-        self, packets: int = 20_000, seed: int = 0
+        self, packets: int = 20_000, seed: int = 0, variants: bool = False
     ) -> List[ScenarioReport]:
-        """Replay every registered scenario; one report each."""
+        """Replay every registered scenario; one report each.
+
+        ``variants=True`` also replays the impaired (lossy /
+        reordered / bursty) derivatives of each base scenario.
+        """
         return [
             self.run_scenario(name, packets=packets, seed=seed)
-            for name in scenario_names()
+            for name in scenario_names(variants=variants)
         ]

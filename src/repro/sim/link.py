@@ -10,7 +10,7 @@ material of both INT and PINT telemetry.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque
 
 from repro.sim.events import Simulator
 from repro.sim.packet import SimPacket

@@ -7,7 +7,7 @@ matching the paper's NS3 setup ("standard ECMP routing").
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 

@@ -15,7 +15,7 @@ packet and echoes whatever telemetry the packet carried.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.sim.network import Network
 from repro.sim.packet import INTRecord, SimPacket

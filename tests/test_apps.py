@@ -1,7 +1,6 @@
 """Tests for the use-case applications (path tracing, latency, congestion,
 loop detection)."""
 
-import math
 import random
 
 import pytest
@@ -24,7 +23,6 @@ from repro.core import (
     PINTFramework,
     PlanEntry,
     Query,
-    QueryEngine,
 )
 from repro.core.plan import ExecutionPlan
 from repro.net import fat_tree, linear_topology, us_carrier

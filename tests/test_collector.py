@@ -14,7 +14,6 @@ from repro.collector import (
     Collector,
     CongestionDigestConsumer,
     FlowTable,
-    LatencyDigestConsumer,
     ShardRouter,
     congestion_consumer_factory,
     latency_consumer_factory,

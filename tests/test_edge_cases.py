@@ -7,7 +7,6 @@ from repro.coding import (
     FragmentDecoder,
     PathEncoder,
     baseline_scheme,
-    hybrid_scheme,
 )
 from repro.exceptions import (
     BudgetError,

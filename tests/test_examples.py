@@ -77,3 +77,11 @@ class TestExamplesRun:
         assert "trace round-trip" in out
         assert "exact" in out
         assert "identical to original: True" in out
+
+    def test_lossy_replay(self, capsys):
+        _load("lossy_replay").main()
+        out = capsys.readouterr().out
+        assert "perfect network" in out
+        assert "graceful degradation" in out
+        assert "decoded fully" in out
+        assert "partial path" in out

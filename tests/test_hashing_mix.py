@@ -1,7 +1,6 @@
 """Tests for the low-level mixing primitives."""
 
 import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.hashing import mix

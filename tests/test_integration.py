@@ -12,7 +12,6 @@ import pytest
 from repro.apps import (
     CongestionRuntime,
     LatencyRuntime,
-    PathTracer,
     PathTracingRuntime,
 )
 from repro.core import (

@@ -14,7 +14,6 @@ from repro.pipeline import (
     latency_layout,
     merge_parallel,
     path_tracing_layout,
-    query_selection_layout,
     schedule,
 )
 

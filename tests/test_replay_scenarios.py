@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.replay import SCENARIOS, build_trace, scenario, scenario_names
+from repro.replay import build_trace, scenario, scenario_names
 
 
 class TestRegistry:

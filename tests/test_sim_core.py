@@ -12,7 +12,6 @@ from repro.sim import (
     INTTelemetry,
     Link,
     Network,
-    NoTelemetry,
     PINTTelemetry,
     SimPacket,
     Simulator,
