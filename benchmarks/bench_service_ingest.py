@@ -1,0 +1,299 @@
+"""Wire-path ingest: the network front door vs in-process, plus equivalence.
+
+Three claims ride in this benchmark:
+
+* **Bit-identity.**  For every registered replay scenario, a collector
+  fed over the loopback wire -- reliable UDP (seq/ACK/RTO, fragment
+  reassembly) and a TCP stream alike -- ends bit-identical to one fed
+  the same columnar batches in-process: every per-shard snapshot
+  counter and every per-flow query answer.  The wire may fragment,
+  retransmit and reorder; ``FLAG_MORE`` reassembly plus in-order
+  exactly-once delivery must hide all of it.  Always runs.
+
+* **Reliability.**  Under a 10% per-transmission simulated-loss hook
+  the reliable sender still delivers 100% of the records, exactly
+  once (retransmits observed, duplicates deduped server-side).
+
+* **Throughput.**  The full wire path -- encode frames, loopback
+  socket, decode, admission queue, ingest thread -- is measured in
+  records/sec for both transports and gated in CI against committed
+  floors (``BENCH_baseline.json``), so the service layer cannot
+  quietly decay.
+
+Writes machine-readable ``BENCH_service.json``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_service_ingest.py
+      (--quick for the CI smoke run)
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from benchlib import make_path_workload, write_bench_json
+from repro.collector import Collector, path_consumer_factory
+from repro.replay import ReplayDriver, TraceDataplane, build_trace, scenario_names
+from repro.service import CollectorServer, ReliableUDPSender, TCPSender
+
+
+def make_sender(transport: str, server: CollectorServer, **kw):
+    if transport == "udp":
+        return ReliableUDPSender("127.0.0.1", server.udp_port, **kw)
+    return TCPSender("127.0.0.1", server.tcp_port, **kw)
+
+
+def server_ports(transport: str) -> dict:
+    return {"udp_port": 0, "tcp_port": None} if transport == "udp" else \
+           {"udp_port": None, "tcp_port": 0}
+
+
+def time_in_process(factory, cols, batch: int, repeats: int,
+                    num_shards: int, seed: int) -> float:
+    fids, pids, hops, digs = cols
+    n = len(fids)
+    best = float("inf")
+    for _ in range(repeats):
+        col = Collector(factory(), num_shards=num_shards, seed=seed)
+        start = time.perf_counter()
+        for lo in range(0, n, batch):
+            hi = lo + batch
+            col.ingest_batch(fids[lo:hi], pids[lo:hi], hops[lo:hi],
+                             digs[lo:hi])
+        best = min(best, time.perf_counter() - start)
+        assert col.snapshot().records == n
+    return best
+
+
+def time_wire(transport: str, factory, cols, batch: int, repeats: int,
+              num_shards: int, seed: int) -> float:
+    """Best-of-``repeats`` seconds for the full wire path.
+
+    The server is started before the clock (a sink is a long-lived
+    service); the clock stops only after ``wait_for_records`` confirms
+    the last frame cleared socket, queue and ingest thread -- anything
+    less would time the sendto, not the work.
+    """
+    fids, pids, hops, digs = cols
+    n = len(fids)
+    best = float("inf")
+    for _ in range(repeats):
+        col = Collector(factory(), num_shards=num_shards, seed=seed)
+        with CollectorServer(col, **server_ports(transport)) as srv:
+            with make_sender(transport, srv) as tx:
+                start = time.perf_counter()
+                for lo in range(0, n, batch):
+                    hi = lo + batch
+                    tx.send_batch(fids[lo:hi], pids[lo:hi], hops[lo:hi],
+                                  digs[lo:hi])
+                tx.flush()
+                srv.wait_for_records(n, timeout=120)
+                best = min(best, time.perf_counter() - start)
+            assert srv.snapshot().records == n
+    return best
+
+
+def bench_throughput(args) -> dict:
+    cols, universe, factory_kwargs = make_path_workload(
+        args.records, args.flows, args.seed
+    )
+    factory = lambda: path_consumer_factory(universe, **factory_kwargs)
+    print(f"\nworkload: {args.records} path-query records over "
+          f"{args.flows} flows, batch={args.batch}, "
+          f"{args.num_shards} shards")
+    base_s = time_in_process(factory, cols, args.batch, args.repeats,
+                             args.num_shards, args.seed)
+    base_rate = args.records / base_s
+    print(f"in-process            {base_rate:>12,.0f} rec/s")
+    out = {"in_process_rps": round(base_rate)}
+    for transport in ("udp", "tcp"):
+        wire_s = time_wire(transport, factory, cols, args.batch,
+                           args.repeats, args.num_shards, args.seed)
+        rate = args.records / wire_s
+        out[f"{transport}_rps"] = round(rate)
+        print(f"wire ({transport:<3})            {rate:>12,.0f} rec/s   "
+              f"{rate / base_rate:.2f}x of in-process")
+    return out
+
+
+def check_scenario_equivalence(
+    name: str, packets: int, batch: int, num_shards: int, seed: int,
+) -> dict:
+    """In-process vs behind-the-wire on one scenario: bit-identical.
+
+    Feeds a direct collector and two served collectors (reliable UDP
+    with a small frame size -- forcing fragmentation + reassembly --
+    and a TCP stream) the identical encoded columns with identical
+    clock stamps, then compares snapshot dicts and per-flow answers.
+    """
+    trace = build_trace(name, packets=packets, seed=seed)
+    dataplane = TraceDataplane(trace, digest_bits=8, num_hashes=1, seed=seed)
+    digests = dataplane.encode_rows(np.arange(len(trace), dtype=np.int64))
+    hops = trace.hop_counts
+    flows = np.unique(trace.flow_id).tolist()
+
+    def factory():
+        return path_consumer_factory(
+            trace.universe, digest_bits=8, num_hashes=1, seed=seed
+        )
+
+    direct = Collector(factory(), num_shards=num_shards, seed=seed)
+    served = {
+        t: Collector(factory(), num_shards=num_shards, seed=seed)
+        for t in ("udp", "tcp")
+    }
+    servers = {
+        t: CollectorServer(served[t], **server_ports(t)).start()
+        for t in served
+    }
+    # max_records=256 on UDP: every 1000-record batch fragments into
+    # FLAG_MORE runs, so reassembly is exercised on every scenario.
+    senders = {
+        "udp": make_sender("udp", servers["udp"], max_records=256),
+        "tcp": make_sender("tcp", servers["tcp"]),
+    }
+    try:
+        sent = 0
+        for lo, hi in trace.batches(batch):
+            now = float(trace.ts[hi - 1])
+            cols = (trace.flow_id[lo:hi], trace.pid[lo:hi], hops[lo:hi],
+                    digests[lo:hi])
+            direct.ingest_batch(*cols, now=now)
+            for tx in senders.values():
+                tx.send_batch(*cols, now=now)
+            sent += hi - lo
+        d_snap = direct.snapshot().as_dict()
+        for t in ("udp", "tcp"):
+            senders[t].flush()
+            servers[t].wait_for_records(sent, timeout=120)
+            servers[t].drain()
+            w_snap = served[t].snapshot().as_dict()
+            assert w_snap == d_snap, (
+                f"{name}/{t}: wire-fed snapshot diverges: "
+                + str({k: (d_snap[k], w_snap[k]) for k in d_snap
+                       if d_snap[k] != w_snap[k]})
+            )
+            mismatches = [
+                fid for fid in flows
+                if direct.result(fid) != served[t].result(fid)
+            ]
+            assert not mismatches, (
+                f"{name}/{t}: per-flow results diverge for flows "
+                f"{mismatches[:5]}..."
+            )
+    finally:
+        for tx in senders.values():
+            tx.sock.close()
+        for srv in servers.values():
+            srv.close()
+    return {"flows": len(flows), "records": len(trace)}
+
+
+def bench_equivalence(args) -> dict:
+    print(f"\nequivalence: in-process vs wire (udp fragmenting + tcp), "
+          f"{args.eq_packets} records/scenario")
+    scenarios = {}
+    for name in scenario_names():
+        scenarios[name] = check_scenario_equivalence(
+            name, args.eq_packets, args.batch, args.num_shards, args.seed,
+        )
+        print(f"  {name:<15} snapshot + per-flow results bit-identical")
+    # Belt and braces: the driver's own transport knob, whole pipeline.
+    trace = build_trace("incast", packets=args.eq_packets, seed=args.seed)
+    base = ReplayDriver(batch_size=args.batch, seed=args.seed).replay(trace)
+    for transport in ("udp", "tcp"):
+        over = ReplayDriver(batch_size=args.batch, seed=args.seed,
+                            transport=transport).replay(trace)
+        for f in ("records", "batches", "path_decoded", "path_correct",
+                  "path_resets", "congestion_flows"):
+            assert getattr(base, f) == getattr(over, f), (transport, f)
+    print("  driver transport=udp/tcp reports match in-process")
+    return {"packets": args.eq_packets, "scenarios": scenarios, "ok": True}
+
+
+def bench_reliability(args) -> dict:
+    """100% delivery, exactly once, under 10% simulated loss."""
+    records = min(args.records, 20_000)
+    cols, universe, factory_kwargs = make_path_workload(
+        records, args.flows, args.seed
+    )
+    rng = np.random.default_rng(args.seed)
+    col = Collector(path_consumer_factory(universe, **factory_kwargs),
+                    num_shards=args.num_shards, seed=args.seed)
+    with CollectorServer(col, tcp_port=None) as srv:
+        tx = ReliableUDPSender(
+            "127.0.0.1", srv.udp_port, max_records=512,
+            drop_fn=lambda seq, attempt: bool(rng.random() < 0.10),
+            min_rto=0.01, initial_rto=0.05,
+        )
+        fids, pids, hops, digs = cols
+        with tx:
+            for lo in range(0, records, args.batch):
+                hi = lo + args.batch
+                tx.send_batch(fids[lo:hi], pids[lo:hi], hops[lo:hi],
+                              digs[lo:hi])
+            tx.flush()
+        srv.wait_for_records(records, timeout=120)
+        stats = srv.service_stats()
+        assert stats.records_ingested == records, (
+            f"reliable sender lost records: {stats.records_ingested} "
+            f"of {records} under 10% loss"
+        )
+        assert tx.retransmits > 0, "10% loss produced no retransmits?"
+        delivered = {
+            "records": records,
+            "frames_sent": tx.frames_sent,
+            "retransmits": tx.retransmits,
+            "duplicates_deduped": stats.duplicate_frames,
+        }
+    print(f"\nreliability: {records} records through 10% loss -- "
+          f"{delivered['retransmits']} retransmits, "
+          f"{delivered['duplicates_deduped']} dups deduped, 0 lost")
+    return delivered
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=120_000,
+                        help="records in the throughput workload")
+    parser.add_argument("--flows", type=int, default=256)
+    parser.add_argument("--num-shards", type=int, default=4)
+    parser.add_argument("--batch", type=int, default=4096,
+                        help="columnar batch size (one logical wire batch)")
+    parser.add_argument("--eq-packets", type=int, default=8_000,
+                        help="records per scenario in the equivalence check")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--json", default="BENCH_service.json",
+                        help="output path for the machine-readable results")
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI smoke run")
+    args = parser.parse_args()
+    if args.quick:
+        args.records = min(args.records, 40_000)
+        args.eq_packets = min(args.eq_packets, 3_000)
+        args.repeats = min(args.repeats, 2)
+
+    throughput = bench_throughput(args)
+    equivalence = bench_equivalence(args)
+    reliability = bench_reliability(args)
+
+    write_bench_json(args.json, {
+        "benchmark": "service_wire_ingest",
+        "records": args.records,
+        "flows": args.flows,
+        "num_shards": args.num_shards,
+        "batch": args.batch,
+        "seed": args.seed,
+        **throughput,
+        "reliability": reliability,
+        "equivalence": equivalence,
+    })
+    print("OK: wire-fed collectors bit-identical to in-process on every "
+          "scenario; reliable delivery 100% under loss")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,7 +40,7 @@ from repro.collector.flowtable import FlowEntry, FlowTable
 from repro.collector.parallel import ParallelCollector
 from repro.collector.records import TelemetryRecord, normalize_batch
 from repro.collector.shard import Shard, ShardRouter
-from repro.collector.snapshot import ShardStats, Snapshot
+from repro.collector.snapshot import ServiceStats, ShardStats, Snapshot
 
 __all__ = [
     "CarrierCache",
@@ -53,6 +53,7 @@ __all__ = [
     "LatencyDigestConsumer",
     "ParallelCollector",
     "PathDigestConsumer",
+    "ServiceStats",
     "Shard",
     "ShardRouter",
     "ShardStats",

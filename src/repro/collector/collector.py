@@ -35,6 +35,7 @@ from repro.collector.consumers import ConsumerFactory, DigestConsumer
 from repro.collector.records import Column, normalize_batch
 from repro.collector.shard import Shard, ShardRouter
 from repro.collector.snapshot import Snapshot
+from repro.exceptions import CollectorClosedError
 
 
 class IngestClock:
@@ -127,6 +128,7 @@ class Collector:
             for i in range(self.num_shards)
         ]
         self.clock = IngestClock()
+        self._closed = False
 
     # -- clock -------------------------------------------------------------
 
@@ -150,6 +152,7 @@ class Collector:
         now: Optional[float] = None,
     ) -> None:
         """Fold one record into its flow's consumer (scalar path)."""
+        self._check_open()
         t = self._tick(now, 1)
         shard = self.shards[self.router.shard_of(flow_id)]
         shard.ingest(flow_id, pid, hop_count, digest, t)
@@ -188,6 +191,7 @@ class Collector:
           exactly those of a record-at-a-time replay (TTL sweeps
           included: the walk re-checks them per record).
         """
+        self._check_open()
         fids, ps, hops, digs = normalize_batch(
             flow_ids, pids, hop_counts, digests
         )
@@ -363,6 +367,21 @@ class Collector:
             shards=[shard.stats() for shard in self.shards],
         )
 
+    def _check_open(self) -> None:
+        """Writes into a closed collector must fail like the parallel
+        front door's do -- silently accepting records after close()
+        would hide a lifecycle bug a process-backed deployment turns
+        into data loss."""
+        if self._closed:
+            raise CollectorClosedError(
+                "collector is closed; ingest before close(), not after"
+            )
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
     def drain(self) -> None:
         """Wait until every ingested record is applied (no-op here).
 
@@ -373,7 +392,20 @@ class Collector:
         """
 
     def close(self) -> None:
-        """Release service resources (no-op here; see :meth:`drain`)."""
+        """Mark the collector closed (idempotent).
+
+        There are no processes to stop here, but the lifecycle
+        contract is shared with :class:`~repro.collector.parallel.
+        ParallelCollector`: after ``close()``, :meth:`ingest` and
+        :meth:`ingest_batch` raise :class:`~repro.exceptions.
+        CollectorClosedError` on both implementations.  Reads
+        (:meth:`flow`, :meth:`snapshot`, ...) stay valid on the serial
+        collector -- its state lives in this process, not in workers
+        that close() tore down -- which is the one deliberate
+        asymmetry (a parallel collector's state is *gone*, so its
+        reads raise too; see DESIGN.md section 5).
+        """
+        self._closed = True
 
     def __enter__(self) -> "Collector":
         return self

@@ -61,6 +61,7 @@ from repro.collector.consumers import ConsumerFactory, DigestConsumer
 from repro.collector.records import Column, normalize_batch
 from repro.collector.shard import ShardRouter
 from repro.collector.snapshot import Snapshot
+from repro.exceptions import CollectorClosedError
 
 #: Commands a worker understands.  Batches are fire-and-forget; every
 #: other command is synchronous and gets exactly one ``("ok", value)``
@@ -261,7 +262,7 @@ class ParallelCollector:
     def start(self) -> "ParallelCollector":
         """Spawn the worker processes (idempotent)."""
         if self._closed:
-            raise RuntimeError("collector is closed")
+            raise CollectorClosedError("collector is closed")
         if self._procs:
             return self
         for w in range(self.workers):
@@ -307,7 +308,7 @@ class ParallelCollector:
         "empty" would be indistinguishable from real answers, so every
         operation after close() raises instead."""
         if self._closed:
-            raise RuntimeError(
+            raise CollectorClosedError(
                 "collector is closed; its worker state is gone -- "
                 "query results before close(), not after"
             )

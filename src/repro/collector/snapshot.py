@@ -43,11 +43,56 @@ class ShardStats:
 
 
 @dataclass(frozen=True)
+class ServiceStats:
+    """Network front-door counters (see :mod:`repro.service.server`).
+
+    The wire boundary can lose work the in-process collector never
+    could -- a malformed datagram, a frame from a future protocol
+    version, an admission queue already full -- and each loss reason
+    gets its own counter so operators can tell overload
+    (``dropped_queue_full``) from version skew (``dropped_bad_version``)
+    from corruption (``dropped_bad_frame``).  ``dropped_queue_full``
+    counts *admission rejections*: for fire-and-forget frames the
+    records are gone, while a reliable frame is parked unacked and
+    re-admitted on the sender's retransmit, so there it measures
+    backpressure events rather than loss.
+    """
+
+    frames_received: int = 0
+    records_ingested: int = 0
+    batches_ingested: int = 0
+    acks_sent: int = 0
+    duplicate_frames: int = 0
+    dropped_queue_full: int = 0
+    dropped_bad_version: int = 0
+    dropped_bad_frame: int = 0
+    #: Reliable frames beyond the per-peer reorder window (a sender
+    #: too far ahead of a stalled stream); unacked, so retransmitted.
+    dropped_window: int = 0
+
+    @property
+    def dropped_total(self) -> int:
+        """All admission rejections, every reason summed."""
+        return (
+            self.dropped_queue_full + self.dropped_bad_version
+            + self.dropped_bad_frame + self.dropped_window
+        )
+
+
+@dataclass(frozen=True)
 class Snapshot:
-    """Whole-collector view: per-shard stats + aggregates."""
+    """Whole-collector view: per-shard stats + aggregates.
+
+    ``service`` is populated only by the network front door
+    (:meth:`repro.service.server.CollectorServer.snapshot`); snapshots
+    taken straight off a collector carry ``None`` there, so in-process
+    and behind-the-wire snapshots of the same collector state still
+    compare equal on every shard counter.
+    """
 
     taken_at: float
     shards: List[ShardStats] = field(default_factory=list)
+    service: Optional[ServiceStats] = None
 
     @property
     def num_shards(self) -> int:
@@ -159,4 +204,5 @@ class Snapshot:
             "mean_coverage": self.mean_coverage if self.flows else None,
             "state_bytes": self.state_bytes,
             "shards": [asdict(s) for s in self.shards],
+            "service": asdict(self.service) if self.service else None,
         }

@@ -21,5 +21,17 @@ class SimulationError(ReproError):
     """Raised on inconsistent simulator state (a bug, not user error)."""
 
 
+class CollectorClosedError(ReproError, RuntimeError):
+    """Raised when ingesting into (or querying) a closed collector.
+
+    Subclasses ``RuntimeError`` so callers that predate the typed
+    error (and code treating a closed parallel collector as a generic
+    runtime failure) keep working; new code should catch this class.
+    Serial and parallel collectors raise the *same* type, so the
+    drop-in parity DESIGN.md section 5 claims holds for the post-close
+    contract too.
+    """
+
+
 class TopologyError(ReproError):
     """Raised for invalid topologies or unroutable node pairs."""

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -45,6 +45,7 @@ from repro.replay.impair import (
 )
 from repro.replay.scenarios import build_trace, scenario_names
 from repro.replay.trace import Trace
+from repro.service import CollectorServer, ReliableUDPSender, TCPSender
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,13 @@ class ScenarioReport:
     path_completed_under_loss: int = 0
     #: One-line descriptions of the applied impairment models.
     impairments: Tuple[str, ...] = ()
+    #: -- wire transport bookkeeping (defaults = the library path) ----------
+    #: How batches reached the sinks: "in-process", "udp" or "tcp".
+    transport: str = "in-process"
+    #: Wire frames transmitted (retransmits included) across both sinks.
+    wire_frames: int = 0
+    #: Reliable-UDP retransmissions (0 on tcp / in-process).
+    wire_retransmits: int = 0
 
     @property
     def delivery_rate(self) -> float:
@@ -198,6 +206,16 @@ class ReplayDriver:
         *delivered* records only, in delivered order -- on the serial
         and the ``workers=N`` paths alike.  An empty sequence (or all
         zero-rate models) is bit-identical to no impairment.
+    transport:
+        ``None`` (default) ingests in-process -- the library path.
+        ``"udp"`` or ``"tcp"`` instead stands up one
+        :class:`~repro.service.CollectorServer` per sink on loopback
+        and ships every batch through the :mod:`repro.service.wire`
+        format: reliable seq/ACK/RTO UDP, or a TCP stream.  Fragment
+        reassembly (``FLAG_MORE``) and in-order exactly-once delivery
+        make the wire run bit-identical to the in-process one --
+        snapshots and per-flow answers alike -- which
+        ``bench_service_ingest.py`` asserts on every scenario.
     """
 
     def __init__(
@@ -213,6 +231,7 @@ class ReplayDriver:
         workers: Optional[int] = None,
         mode: str = "auto",
         impairments: Optional[Sequence[ImpairmentModel]] = None,
+        transport: Optional[str] = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -223,6 +242,11 @@ class ReplayDriver:
                 f"mode must be 'auto', 'raw', 'hash' or 'fragment', "
                 f"got {mode!r}"
             )
+        if transport not in (None, "udp", "tcp"):
+            raise ValueError(
+                f"transport must be None, 'udp' or 'tcp', got {transport!r}"
+            )
+        self.transport = transport
         self.mode = mode
         self.impairments: List[ImpairmentModel] = (
             list(impairments) if impairments is not None else []
@@ -275,6 +299,16 @@ class ReplayDriver:
             num_shards=self.num_shards, seed=self.seed,
         )
 
+    def _wire_sink(self, sink):
+        """Stand a sink behind a loopback server; return (server, sender)."""
+        if self.transport == "udp":
+            server = CollectorServer(sink, tcp_port=None).start()
+            sender = ReliableUDPSender("127.0.0.1", server.udp_port)
+        else:
+            server = CollectorServer(sink, udp_port=None).start()
+            sender = TCPSender("127.0.0.1", server.tcp_port)
+        return server, sender
+
     def replay(
         self,
         trace: Trace,
@@ -313,7 +347,22 @@ class ReplayDriver:
                 num_shards=self.num_shards, seed=self.seed,
             )
             codec = UtilizationCodec(self.congestion_bits, seed=self.seed)
+        path_server = cong_server = None
+        path_tx = cong_tx = None
         try:
+            # The ingest callables: the sinks' own ingest_batch, or --
+            # behind a transport -- the matching sender's send_batch
+            # (same signature by design, so the loop below is shared).
+            path_ingest = path_sink.ingest_batch
+            cong_ingest = (
+                cong_sink.ingest_batch if cong_sink is not None else None
+            )
+            if self.transport is not None:
+                path_server, path_tx = self._wire_sink(path_sink)
+                path_ingest = path_tx.send_batch
+                if cong_sink is not None:
+                    cong_server, cong_tx = self._wire_sink(cong_sink)
+                    cong_ingest = cong_tx.send_batch
             hop_counts = trace.hop_counts
             utils = self.utilizations(trace) if self.has_congestion else None
             # The delivery schedule is planned over the whole trace up
@@ -345,7 +394,7 @@ class ReplayDriver:
                 path_rows = rows[entry == 0]
                 if path_rows.size:
                     digests = dataplane.encode_rows(path_rows)
-                    path_sink.ingest_batch(
+                    path_ingest(
                         trace.flow_id[path_rows], trace.pid[path_rows],
                         hop_counts[path_rows], digests, now=now,
                     )
@@ -357,12 +406,24 @@ class ReplayDriver:
                             codec, utils[cong_rows], trace.pid[cong_rows],
                             hop_counts[cong_rows],
                         )
-                        cong_sink.ingest_batch(
+                        cong_ingest(
                             trace.flow_id[cong_rows], trace.pid[cong_rows],
                             hop_counts[cong_rows], codes, now=now,
                         )
                         cong_records += int(cong_rows.size)
                 batches += 1
+            # Wire path: flush the retransmit queues, then wait for
+            # the last frame to clear socket, admission queue and
+            # ingest thread -- the wire is part of the measured path,
+            # so the clock keeps running until the sinks hold it all.
+            if path_tx is not None:
+                path_tx.flush()
+                path_server.wait_for_records(path_records)
+                path_server.drain()
+            if cong_tx is not None:
+                cong_tx.flush()
+                cong_server.wait_for_records(cong_records)
+                cong_server.drain()
             # The throughput clock stops only after every scattered
             # batch is applied -- a no-op barrier on serial sinks, the
             # honest accounting on parallel ones.
@@ -370,11 +431,31 @@ class ReplayDriver:
             if cong_sink is not None:
                 cong_sink.drain()
             seconds = time.perf_counter() - start
-            return self._score(
+            report = self._score(
                 trace, path_sink, cong_sink, codec, utils, batches,
                 path_records, cong_records, seconds, delivery, models,
             )
+            if self.transport is not None:
+                frames = path_tx.frames_sent
+                retx = getattr(path_tx, "retransmits", 0)
+                if cong_tx is not None:
+                    frames += cong_tx.frames_sent
+                    retx += getattr(cong_tx, "retransmits", 0)
+                report = replace(
+                    report, transport=self.transport,
+                    wire_frames=frames, wire_retransmits=retx,
+                )
+            return report
         finally:
+            # Bare socket release, not sender.close(): the success
+            # path flushed already, and an error path must not spend a
+            # flush timeout re-offering frames nobody will score.
+            for tx in (path_tx, cong_tx):
+                if tx is not None:
+                    tx.sock.close()
+            for server in (path_server, cong_server):
+                if server is not None:
+                    server.close()
             path_sink.close()
             if cong_sink is not None:
                 cong_sink.close()

@@ -1,0 +1,355 @@
+"""Digest-batch senders: fire-and-forget UDP, reliable UDP, and TCP.
+
+Three ways to get a columnar batch from a dataplane to a
+:class:`~repro.service.server.CollectorServer`, all sharing the same
+``send_batch(flow_ids, pids, hop_counts, digests, now=...)`` signature
+as ``Collector.ingest_batch`` -- the replay driver swaps one for the
+other without touching its loop:
+
+* :class:`UDPSender` -- fire and forget.  Cheapest, lossy under
+  pressure; what a switch ASIC streaming digests would do.
+* :class:`ReliableUDPSender` -- the SNIPPETS 1-2 idiom: seq-numbered
+  frames, an inflight map, per-ACK RTT samples folded into EWMA
+  ``srtt``/``rttvar`` (RFC 6298 shape: ``RTO = srtt + 4*rttvar``,
+  clamped), retransmit on RTO expiry, a bounded send window for flow
+  control, and Karn's rule (retransmitted frames contribute no RTT
+  sample -- the ACK is ambiguous).  Delivery is exactly-once end to
+  end: the server dedups on seq and ACKs only frames it has admitted.
+* :class:`TCPSender` -- hand reliability to the kernel; frames ride a
+  stream, so a logical batch need not fragment at the datagram cap.
+
+``drop_fn`` on the reliable sender is a deterministic loss hook for
+tests and demos: when it returns True for ``(seq, attempt)``, the
+frame is *not* put on the wire (simulating network loss ahead of the
+sink) but stays inflight and retries -- this is how the lossy-loopback
+example drives a seeded :class:`~repro.replay.impair.IIDLoss`-style
+channel without root or tc.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.exceptions import ReproError
+from repro.service import wire
+
+
+class DeliveryError(ReproError):
+    """A reliable send could not be completed (retries/flush exhausted)."""
+
+
+class _SenderBase:
+    """Shared frame numbering + accounting for all senders."""
+
+    def __init__(self, host: str, port: int, max_records: int) -> None:
+        if max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        self.addr = (host, port)
+        self.max_records = max_records
+        self.next_seq = 0
+        self.frames_sent = 0      # transmissions, retransmits included
+        self.records_sent = 0
+        self.batches_sent = 0
+
+    def _frames(self, flow_ids, pids, hop_counts, digests, now,
+                reliable: bool) -> List[bytes]:
+        frames = wire.encode_frames(
+            flow_ids, pids, hop_counts, digests, now,
+            start_seq=self.next_seq, max_records=self.max_records,
+            reliable=reliable,
+        )
+        self.next_seq += len(frames)
+        return frames
+
+    def flush(self, timeout: float = 30.0) -> None:
+        """Block until everything sent is out the door (no-op unless
+        the transport buffers)."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class UDPSender(_SenderBase):
+    """Fire-and-forget datagram sender: no ACKs, no retransmit."""
+
+    def __init__(self, host: str, port: int,
+                 max_records: int = 1024) -> None:
+        if max_records > wire.MAX_UDP_RECORDS:
+            raise ValueError(
+                f"max_records {max_records} exceeds the UDP frame cap "
+                f"({wire.MAX_UDP_RECORDS})"
+            )
+        super().__init__(host, port, max_records)
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 1 << 21)
+
+    def send_batch(self, flow_ids, pids, hop_counts, digests,
+                   now: Optional[float] = None) -> int:
+        """Ship one columnar batch; returns the record count."""
+        frames = self._frames(flow_ids, pids, hop_counts, digests, now,
+                              reliable=False)
+        records = 0
+        for payload in frames:
+            self.sock.sendto(payload, self.addr)
+        for payload in frames:
+            records += (len(payload) - 21) // 32
+        self.frames_sent += len(frames)
+        self.records_sent += records
+        if frames:
+            self.batches_sent += 1
+        return records
+
+    def close(self) -> None:
+        self.sock.close()
+
+
+class _InFlight:
+    """One unacked frame: payload + timing for RTO and RTT sampling."""
+
+    __slots__ = ("payload", "first_sent", "last_sent", "retries")
+
+    def __init__(self, payload: bytes, now: float) -> None:
+        self.payload = payload
+        self.first_sent = now
+        self.last_sent = now
+        self.retries = 0
+
+
+class ReliableUDPSender(_SenderBase):
+    """Seq/ACK/RTO reliable delivery over UDP (SNIPPETS 1-2 idiom).
+
+    Parameters
+    ----------
+    window:
+        Max unacked frames in flight; :meth:`send_batch` blocks (on
+        ACK progress) when the window is full -- sender-side flow
+        control matching the server's bounded admission queue.
+    max_retries:
+        Retransmissions per frame before :class:`DeliveryError` (the
+        sink is gone; buffering forever is not reliability).
+    alpha / beta / min_rto / max_rto / initial_rto:
+        EWMA RTT estimator constants (RFC 6298 defaults, clamped to
+        loopback-friendly bounds).
+    drop_fn:
+        Optional ``(seq, attempt) -> bool`` simulated-loss hook; True
+        suppresses the actual ``sendto`` for that transmission.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        max_records: int = 1024,
+        window: int = 64,
+        max_retries: int = 16,
+        alpha: float = 0.125,
+        beta: float = 0.25,
+        min_rto: float = 0.02,
+        max_rto: float = 2.0,
+        initial_rto: float = 0.2,
+        drop_fn: Optional[Callable[[int, int], bool]] = None,
+    ) -> None:
+        if max_records > wire.MAX_UDP_RECORDS:
+            raise ValueError(
+                f"max_records {max_records} exceeds the UDP frame cap "
+                f"({wire.MAX_UDP_RECORDS})"
+            )
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        super().__init__(host, port, max_records)
+        self.window = window
+        self.max_retries = max_retries
+        self.alpha = alpha
+        self.beta = beta
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.initial_rto = initial_rto
+        self.drop_fn = drop_fn
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self.acked_frames = 0
+        self.retransmits = 0
+        self.inflight: Dict[int, _InFlight] = {}
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.sock.setblocking(False)
+
+    # -- RTO ---------------------------------------------------------------
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout (EWMA RTT + 4 deviations)."""
+        if self.srtt is None:
+            return self.initial_rto
+        return min(self.max_rto,
+                   max(self.min_rto, self.srtt + 4.0 * self.rttvar))
+
+    def _sample_rtt(self, r: float) -> None:
+        if self.srtt is None:
+            self.srtt = r
+            self.rttvar = r / 2.0
+        else:
+            self.rttvar = ((1.0 - self.beta) * self.rttvar
+                           + self.beta * abs(self.srtt - r))
+            self.srtt = (1.0 - self.alpha) * self.srtt + self.alpha * r
+
+    # -- send path ---------------------------------------------------------
+
+    def send_batch(self, flow_ids, pids, hop_counts, digests,
+                   now: Optional[float] = None) -> int:
+        """Ship one batch reliably; blocks while the window is full."""
+        frames = self._frames(flow_ids, pids, hop_counts, digests, now,
+                              reliable=True)
+        records = 0
+        base_seq = self.next_seq - len(frames)
+        for i, payload in enumerate(frames):
+            while len(self.inflight) >= self.window:
+                self._pump(self.rto)
+            state = _InFlight(payload, time.monotonic())
+            self.inflight[base_seq + i] = state
+            self._transmit(base_seq + i, state)
+            records += (len(payload) - 21) // 32
+        self.records_sent += records
+        if frames:
+            self.batches_sent += 1
+        return records
+
+    def _transmit(self, seq: int, state: _InFlight) -> None:
+        state.last_sent = time.monotonic()
+        self.frames_sent += 1
+        if self.drop_fn is not None and self.drop_fn(seq, state.retries):
+            return  # simulated network loss: never reaches the wire
+        try:
+            self.sock.sendto(state.payload, self.addr)
+        except (BlockingIOError, InterruptedError):  # pragma: no cover
+            pass  # RTO covers it: an unsendable frame just retries
+
+    def _pump(self, max_wait: float) -> None:
+        """Receive ACKs and retransmit expired frames (one cycle).
+
+        Waits at most ``max_wait`` (or until the next RTO deadline,
+        whichever is sooner) for socket readability, drains every
+        pending ACK, then sweeps the inflight map for expiries.
+        """
+        now = time.monotonic()
+        wait = max(0.0, min(
+            max_wait,
+            min((st.last_sent + self.rto - now
+                 for st in self.inflight.values()), default=max_wait),
+        ))
+        readable, _, _ = select.select([self.sock], [], [], wait)
+        if readable:
+            while True:
+                try:
+                    data, _ = self.sock.recvfrom(1 << 12)
+                except (BlockingIOError, InterruptedError):
+                    break
+                except OSError:
+                    break
+                try:
+                    frame = wire.decode_frame(data)
+                except wire.WireError:
+                    continue  # not ours; ignore
+                if not isinstance(frame, wire.AckFrame):
+                    continue
+                state = self.inflight.pop(frame.seq, None)
+                if state is None:
+                    continue  # duplicate ACK
+                self.acked_frames += 1
+                if state.retries == 0:
+                    # Karn's rule: only a first-transmission ACK is an
+                    # unambiguous RTT sample.
+                    self._sample_rtt(time.monotonic() - state.first_sent)
+        now = time.monotonic()
+        rto = self.rto
+        for seq, state in list(self.inflight.items()):
+            if now - state.last_sent < rto:
+                continue
+            if state.retries >= self.max_retries:
+                raise DeliveryError(
+                    f"frame seq={seq} unacked after {self.max_retries} "
+                    f"retransmissions (rto={rto:.3f}s); sink unreachable"
+                )
+            state.retries += 1
+            self.retransmits += 1
+            self._transmit(seq, state)
+
+    def flush(self, timeout: float = 30.0) -> None:
+        """Block until every sent frame is ACKed (or raise)."""
+        deadline = time.monotonic() + timeout
+        while self.inflight:
+            if time.monotonic() >= deadline:
+                raise DeliveryError(
+                    f"flush timed out after {timeout}s with "
+                    f"{len(self.inflight)} frame(s) unacked"
+                )
+            self._pump(0.05)
+
+    def close(self) -> None:
+        """Flush, then release the socket."""
+        try:
+            if self.inflight:
+                self.flush()
+        finally:
+            self.sock.close()
+
+
+class TCPSender(_SenderBase):
+    """Stream sender: the kernel's reliability, our framing.
+
+    ``max_records=None`` (the default) ships each logical batch as a
+    single frame -- a stream has no datagram cap, so the server-side
+    reassembly path is exercised only when the batch tops
+    ``MAX_FRAME_RECORDS``.
+    """
+
+    def __init__(self, host: str, port: int,
+                 max_records: Optional[int] = None,
+                 timeout: float = 30.0) -> None:
+        super().__init__(host, port,
+                         max_records or wire.MAX_FRAME_RECORDS)
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def send_batch(self, flow_ids, pids, hop_counts, digests,
+                   now: Optional[float] = None) -> int:
+        frames = self._frames(flow_ids, pids, hop_counts, digests, now,
+                              reliable=False)
+        records = 0
+        if frames:
+            self.sock.sendall(b"".join(frames))
+            for payload in frames:
+                records += (len(payload) - 21) // 32
+            self.frames_sent += len(frames)
+            self.records_sent += records
+            self.batches_sent += 1
+        return records
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_WR)
+        except OSError:  # pragma: no cover - already closed/reset
+            pass
+        self.sock.close()
+
+
+def make_sender(transport: str, host: str, port: int, **kwargs):
+    """Build a sender by transport name ("udp" / "udp-unreliable" / "tcp")."""
+    if transport == "udp":
+        return ReliableUDPSender(host, port, **kwargs)
+    if transport == "udp-unreliable":
+        return UDPSender(host, port, **kwargs)
+    if transport == "tcp":
+        return TCPSender(host, port, **kwargs)
+    raise ValueError(
+        f"unknown transport {transport!r} "
+        "(expected 'udp', 'udp-unreliable' or 'tcp')"
+    )

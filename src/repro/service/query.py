@@ -1,0 +1,301 @@
+"""JSON query port: snapshots and per-flow answers over a TCP socket.
+
+The read side of the service boundary.  The protocol is deliberately
+boring -- newline-delimited JSON objects, one request per line, one
+response per line, many requests per connection -- because the answers
+are small and operators will point ``jq``/scripts at it, not a binary
+codec.
+
+Requests (``op`` selects the verb)::
+
+    {"op": "ping"}
+    {"op": "snapshot"}                 -> Snapshot.as_dict() + service counters
+    {"op": "stats"}                    -> front-door ServiceStats
+    {"op": "flow",   "flow_id": 17}    -> decode state + answer for one flow
+    {"op": "result", "flow_id": 17}    -> just the answer
+    {"op": "flows",  "flow_ids": [..]} -> bulk "flow" (one round-trip)
+
+Every response carries ``"ok": true`` or ``"ok": false`` with an
+``"error"`` string; a malformed line gets an error response rather
+than a dropped connection.  Non-finite floats are serialised as JSON
+``null`` (same policy as the bench writers), and latency answers --
+dicts keyed by hop index -- arrive with string keys because JSON
+object keys are strings.
+
+``QueryHandler`` is the transport-free core (also what the CLI and
+tests exercise); ``QueryServer`` wraps it in an accept loop sharing
+the ingest thread's collector lock; ``QueryClient`` is the matching
+blocking client.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import socket
+import threading
+from typing import Callable, List, Optional
+
+from repro.exceptions import ReproError
+
+
+class QueryError(ReproError):
+    """Raised client-side when the server answers ``ok: false``."""
+
+
+def jsonable(obj):
+    """Coerce an answer into plain JSON types (non-finite floats -> None)."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj if math.isfinite(obj) else None
+    if isinstance(obj, dict):
+        return {str(k): jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [jsonable(v) for v in obj]
+    if hasattr(obj, "tolist"):  # NumPy array or scalar
+        return jsonable(obj.tolist())
+    return str(obj)
+
+
+class QueryHandler:
+    """Answer query dicts against a collector (transport-free).
+
+    ``lock`` serialises reads against the server's ingest thread;
+    pass a fresh ``threading.Lock()`` when wrapping a bare collector.
+    """
+
+    def __init__(
+        self,
+        collector,
+        lock,
+        stats_fn: Optional[Callable] = None,
+        snapshot_fn: Optional[Callable] = None,
+    ) -> None:
+        self.collector = collector
+        self.lock = lock
+        self._stats_fn = stats_fn
+        self._snapshot_fn = snapshot_fn
+
+    def handle(self, request) -> dict:
+        """One request dict in, one JSON-ready response dict out."""
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        op = request.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "op": "ping"}
+            if op == "snapshot":
+                if self._snapshot_fn is not None:
+                    snap = self._snapshot_fn()
+                else:
+                    with self.lock:
+                        snap = self.collector.snapshot()
+                return {"ok": True, "op": op,
+                        "snapshot": jsonable(snap.as_dict())}
+            if op == "stats":
+                if self._stats_fn is None:
+                    return {"ok": False,
+                            "error": "no service stats on this endpoint"}
+                return {"ok": True, "op": op,
+                        "stats": dataclasses.asdict(self._stats_fn())}
+            if op == "flow":
+                return self._flow(request)
+            if op == "flows":
+                fids = request.get("flow_ids")
+                if not isinstance(fids, list):
+                    return {"ok": False,
+                            "error": "'flows' needs a flow_ids list"}
+                return {"ok": True, "op": op,
+                        "flows": [self._flow({"flow_id": f})
+                                  for f in fids]}
+            if op == "result":
+                fid = _flow_id(request)
+                with self.lock:
+                    result = self.collector.result(fid)
+                return {"ok": True, "op": op, "flow_id": fid,
+                        "result": jsonable(result)}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except (TypeError, ValueError) as exc:
+            return {"ok": False, "error": str(exc)}
+
+    def _flow(self, request) -> dict:
+        fid = _flow_id(request)
+        with self.lock:
+            consumer = self.collector.flow(fid)
+            if consumer is None:
+                return {"ok": True, "op": "flow", "flow_id": fid,
+                        "known": False}
+            return {
+                "ok": True,
+                "op": "flow",
+                "flow_id": fid,
+                "known": True,
+                "complete": bool(consumer.is_complete),
+                "coverage": jsonable(float(consumer.coverage)),
+                "result": jsonable(consumer.result()),
+            }
+
+
+def _flow_id(request) -> int:
+    fid = request.get("flow_id")
+    if not isinstance(fid, int) or isinstance(fid, bool):
+        raise ValueError(f"flow_id must be an integer, got {fid!r}")
+    return fid
+
+
+class QueryServer:
+    """Serve a :class:`QueryHandler` on a TCP port (one thread + conn threads)."""
+
+    def __init__(
+        self,
+        collector,
+        lock,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        stats_fn: Optional[Callable] = None,
+        snapshot_fn: Optional[Callable] = None,
+    ) -> None:
+        self.handler = QueryHandler(
+            collector, lock, stats_fn=stats_fn, snapshot_fn=snapshot_fn
+        )
+        self.host = host
+        self.port = port
+        self._sock: Optional[socket.socket] = None
+        self._thread: Optional[threading.Thread] = None
+        self._conn_threads: List[threading.Thread] = []
+        self._stopping = threading.Event()
+
+    def start(self) -> "QueryServer":
+        if self._sock is not None:
+            return self
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((self.host, self.port))
+        # Stop-aware accept/recv polls: a closed socket does not
+        # reliably wake an already-blocked thread, a timeout does.
+        self._sock.settimeout(0.2)
+        self._sock.listen(16)
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(
+            target=self._accept_loop, name="service-query", daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._stopping.set()
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        for t in self._conn_threads:
+            t.join(timeout=5.0)
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            conn.settimeout(0.2)
+            t = threading.Thread(
+                target=self._conn_loop, args=(conn,),
+                name="service-query-conn", daemon=True,
+            )
+            self._conn_threads.append(t)
+            t.start()
+
+    def _conn_loop(self, conn: socket.socket) -> None:
+        buf = b""
+        try:
+            while not self._stopping.is_set():
+                try:
+                    data = conn.recv(1 << 16)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not data:
+                    break
+                buf += data
+                while b"\n" in buf:
+                    line, buf = buf.split(b"\n", 1)
+                    if not line.strip():
+                        continue
+                    try:
+                        request = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        response = {"ok": False,
+                                    "error": f"bad JSON: {exc}"}
+                    else:
+                        response = self.handler.handle(request)
+                    payload = json.dumps(
+                        response, allow_nan=False
+                    ).encode() + b"\n"
+                    try:
+                        conn.sendall(payload)
+                    except OSError:
+                        return
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+class QueryClient:
+    """Blocking line-JSON client for :class:`QueryServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0) -> None:
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self._fh = self.sock.makefile("rb")
+
+    def request(self, obj: dict) -> dict:
+        """One round-trip; raises :class:`QueryError` on ``ok: false``."""
+        self.sock.sendall(json.dumps(obj, allow_nan=False).encode() + b"\n")
+        line = self._fh.readline()
+        if not line:
+            raise QueryError("query connection closed by server")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise QueryError(response.get("error", "unknown query failure"))
+        return response
+
+    def ping(self) -> bool:
+        return self.request({"op": "ping"})["ok"]
+
+    def snapshot(self) -> dict:
+        return self.request({"op": "snapshot"})["snapshot"]
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def flow(self, flow_id: int) -> dict:
+        return self.request({"op": "flow", "flow_id": int(flow_id)})
+
+    def result(self, flow_id: int):
+        return self.request(
+            {"op": "result", "flow_id": int(flow_id)}
+        )["result"]
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        finally:
+            try:
+                self.sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "QueryClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,546 @@
+"""The collector's network front door: UDP + TCP listeners over a queue.
+
+``CollectorServer`` is the boundary ROADMAP item 1 calls for -- the
+step from "library" to "service": digest batches arrive as
+:mod:`repro.service.wire` frames on a UDP socket (one frame per
+datagram) or a TCP stream (frames back-to-back), pass through a
+*bounded* admission queue, and a single ingest thread folds them into
+the wrapped collector -- serial :class:`~repro.collector.Collector` or
+:class:`~repro.collector.ParallelCollector` alike, both already speak
+``ingest_batch``.
+
+Admission is where a service differs from a library call, and every
+way it can refuse work is explicit and counted (the BASEL lesson:
+admission/drop policy is part of the system, not an accident):
+
+* **queue full** -- the ingest thread is behind.  Fire-and-forget
+  frames are dropped (``dropped_queue_full``); reliable frames are
+  parked *unacked*, so the sender's retransmit re-offers them -- the
+  drop counter then measures backpressure events, not loss.
+* **bad version** -- a frame from a protocol this server does not
+  speak (``dropped_bad_version``): version skew, surfaced, never
+  misparsed.
+* **bad frame** -- truncated/corrupt bytes (``dropped_bad_frame``).
+
+Reliable streams (``FLAG_RELIABLE``) additionally get per-peer seq
+tracking: duplicates are re-ACKed but not re-ingested, out-of-order
+frames are held in a bounded reorder buffer and delivered in seq
+order, and an ACK is sent only once the frame is actually handed to
+the queue -- an ACK is a durability promise, not a reception note.
+Fragment runs (``FLAG_MORE``) are reassembled per source before
+ingesting, so the wrapped collector sees exactly the logical batches
+the sender encoded and every batch-granular snapshot counter matches
+the in-process run bit for bit.
+
+Lifecycle mirrors the collector's own ``drain()/close()`` contract:
+:meth:`drain` barriers until every admitted frame is folded (then
+drains the collector), :meth:`close` stops the listeners, drains what
+was admitted, and surfaces any ingest error that happened on the
+queue-consumer side -- never silently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.collector.snapshot import ServiceStats, Snapshot
+from repro.exceptions import ReproError
+from repro.service import wire
+from repro.service.query import QueryServer
+
+#: Queue sentinel telling the ingest thread to exit.
+_STOP = object()
+
+
+class ServiceError(ReproError):
+    """Raised on service-lifecycle failures (timeouts, post-close use)."""
+
+
+class _Peer:
+    """Per-sender reliable-stream state: next expected seq + holes."""
+
+    __slots__ = ("expected", "buffer")
+
+    def __init__(self) -> None:
+        self.expected = 0
+        self.buffer: Dict[int, wire.DataFrame] = {}
+
+
+class CollectorServer:
+    """Serve a collector over loopback/LAN sockets.
+
+    Parameters
+    ----------
+    collector:
+        Any object with the collector ingest surface
+        (``ingest_batch``, ``drain``, ``close``, ``snapshot``, ``flow``,
+        ``result``) -- serial or parallel.
+    host / udp_port / tcp_port / query_port:
+        Bind addresses.  Port 0 binds an ephemeral port (read the
+        resolved one back from :attr:`udp_port` etc. after
+        :meth:`start`); ``None`` disables that listener entirely.
+    queue_frames:
+        Admission queue bound, in frames.  Small on purpose: the queue
+        is a shock absorber, not a second buffer tier -- sustained
+        overload must surface as drops/backpressure, not latency.
+    reorder_limit:
+        How far (in frames) a reliable sender may run ahead of a hole
+        before further frames are refused (``dropped_window``).
+    """
+
+    def __init__(
+        self,
+        collector,
+        host: str = "127.0.0.1",
+        udp_port: Optional[int] = 0,
+        tcp_port: Optional[int] = 0,
+        query_port: Optional[int] = None,
+        queue_frames: int = 256,
+        reorder_limit: int = 4096,
+    ) -> None:
+        if udp_port is None and tcp_port is None:
+            raise ValueError("enable at least one of udp_port/tcp_port")
+        if queue_frames < 1:
+            raise ValueError("queue_frames must be >= 1")
+        if reorder_limit < 1:
+            raise ValueError("reorder_limit must be >= 1")
+        self.collector = collector
+        self.host = host
+        self.udp_port = udp_port
+        self.tcp_port = tcp_port
+        self.query_port = query_port
+        self.queue_frames = queue_frames
+        self.reorder_limit = reorder_limit
+
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_frames)
+        self._peers: Dict[Tuple, _Peer] = {}
+        #: Reassembly state: source key -> frames of the open batch.
+        self._pending: Dict[Tuple, List[wire.DataFrame]] = {}
+        #: Guards the wrapped collector (ingest thread vs query port).
+        self._lock = threading.RLock()
+        #: Guards the counters below.
+        self._stats_lock = threading.Lock()
+        self._counters = {f.name: 0 for f in
+                          dataclasses.fields(ServiceStats)}
+        self._ingest_errors: List[str] = []
+        self._suppressed_errors = 0
+
+        self._stopping = threading.Event()
+        self._started = False
+        self._closed = False
+        self._udp_sock: Optional[socket.socket] = None
+        self._tcp_sock: Optional[socket.socket] = None
+        self._threads: List[threading.Thread] = []
+        self._conn_threads: List[threading.Thread] = []
+        self._conns: List[socket.socket] = []
+        self._query_server: Optional[QueryServer] = None
+
+    # -- counters ----------------------------------------------------------
+
+    def _bump(self, name: str, by: int = 1) -> None:
+        with self._stats_lock:
+            self._counters[name] += by
+
+    def service_stats(self) -> ServiceStats:
+        """Point-in-time copy of the front-door counters."""
+        with self._stats_lock:
+            return ServiceStats(**self._counters)
+
+    def snapshot(self) -> Snapshot:
+        """The wrapped collector's snapshot with service counters attached."""
+        with self._lock:
+            snap = self.collector.snapshot()
+        return dataclasses.replace(snap, service=self.service_stats())
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "CollectorServer":
+        """Bind sockets and spawn the listener/ingest threads (idempotent)."""
+        if self._closed:
+            raise ServiceError("server is closed")
+        if self._started:
+            return self
+        if self.udp_port is not None:
+            self._udp_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            self._udp_sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_RCVBUF, 1 << 21
+            )
+            self._udp_sock.bind((self.host, self.udp_port))
+            # Closing a socket does not reliably wake a thread already
+            # blocked in recvfrom/accept; a short timeout turns the
+            # listener loops into stop-aware polls so close() joins
+            # promptly instead of riding out its full timeout.
+            self._udp_sock.settimeout(0.2)
+            self.udp_port = self._udp_sock.getsockname()[1]
+            self._threads.append(threading.Thread(
+                target=self._udp_loop, name="service-udp", daemon=True,
+            ))
+        if self.tcp_port is not None:
+            self._tcp_sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            self._tcp_sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+            )
+            self._tcp_sock.bind((self.host, self.tcp_port))
+            self._tcp_sock.settimeout(0.2)
+            self._tcp_sock.listen(16)
+            self.tcp_port = self._tcp_sock.getsockname()[1]
+            self._threads.append(threading.Thread(
+                target=self._accept_loop, name="service-tcp", daemon=True,
+            ))
+        self._threads.append(threading.Thread(
+            target=self._ingest_loop, name="service-ingest", daemon=True,
+        ))
+        if self.query_port is not None:
+            self._query_server = QueryServer(
+                self.collector, self._lock,
+                host=self.host, port=self.query_port,
+                stats_fn=self.service_stats,
+                snapshot_fn=self.snapshot,
+            ).start()
+            self.query_port = self._query_server.port
+        for t in self._threads:
+            t.start()
+        self._started = True
+        return self
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Barrier: every frame admitted so far is folded into the collector.
+
+        Covers the admission queue (a popped frame mid-fold included),
+        then delegates to the collector's own ``drain()``; a deferred
+        ingest-side failure surfaces here (same contract as the
+        parallel collector's drain).  Not waited for: frames still in
+        flight on the network, frames parked unacked in a reorder
+        buffer, and fragment runs whose terminating frame has not
+        arrived (half a logical batch cannot be folded) -- callers who
+        need "everything I sent arrived" wait on
+        :meth:`wait_for_records` or the reliable sender's ACKs.
+        """
+        self._check_open()
+        deadline = _Deadline(timeout)
+        # unfinished_tasks (not empty()): a popped frame still being
+        # folded counts as unfinished until the ingest thread calls
+        # task_done, so the barrier covers the in-flight batch too.
+        while self._queue.unfinished_tasks:
+            if deadline.expired:
+                raise ServiceError(
+                    f"drain timed out after {timeout}s with "
+                    f"{self._queue.unfinished_tasks} frame(s) unapplied"
+                )
+            deadline.sleep()
+        with self._lock:
+            self.collector.drain()
+        self._raise_ingest_errors()
+
+    def wait_for_records(self, n: int, timeout: float = 30.0) -> None:
+        """Block until ``n`` records have been ingested (or time out).
+
+        The cross-network drain: a sender that shipped ``n`` records
+        (reliable, or fire-and-forget over a loss-free loopback) waits
+        here for the last datagram to clear socket, queue and ingest
+        thread.  Raises :class:`ServiceError` on timeout, carrying the
+        shortfall -- which under fire-and-forget loss is the honest
+        answer.
+        """
+        self._check_open()
+        deadline = _Deadline(timeout)
+        while True:
+            with self._stats_lock:
+                got = self._counters["records_ingested"]
+            if got >= n:
+                break
+            if deadline.expired:
+                raise ServiceError(
+                    f"waited {timeout}s for {n} records; only {got} "
+                    "arrived (lost datagrams, or a stalled sender)"
+                )
+            deadline.sleep()
+        self._raise_ingest_errors()
+
+    def close(self, close_collector: bool = False, timeout: float = 30.0) -> None:
+        """Graceful drain-then-close (idempotent).
+
+        Stops accepting new frames (sockets closed), folds everything
+        already admitted, joins the threads, and re-raises any
+        deferred ingest failure -- nothing admitted is ever silently
+        discarded.  The wrapped collector is left open unless
+        ``close_collector`` is set (the caller may still be scoring
+        its flows).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._stopping.set()
+        for sock in (self._udp_sock, self._tcp_sock):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover - close is best-effort
+                    pass
+        for conn in list(self._conns):
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for t in self._conn_threads:
+            t.join(timeout=5.0)
+        # Listener threads exit on their closed sockets; the ingest
+        # thread drains the queue to the sentinel then exits.
+        if self._started:
+            try:
+                self._queue.put(_STOP, timeout=timeout)
+            except queue.Full:  # pragma: no cover - ingest thread wedged
+                pass
+            for t in self._threads:
+                t.join(timeout=timeout)
+        if self._query_server is not None:
+            self._query_server.close()
+        with self._lock:
+            self.collector.drain()
+            if close_collector:
+                self.collector.close()
+        self._raise_ingest_errors()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("server is closed")
+        if not self._started:
+            raise ServiceError("server is not started (call start())")
+
+    def _raise_ingest_errors(self) -> None:
+        with self._stats_lock:
+            if not self._ingest_errors:
+                return
+            text = "\n".join(self._ingest_errors)
+            if self._suppressed_errors:
+                text += (f"\n... and {self._suppressed_errors} further "
+                         "ingest failure(s) suppressed")
+            self._ingest_errors = []
+            self._suppressed_errors = 0
+        raise RuntimeError(f"service ingest failed:\n{text}")
+
+    def __enter__(self) -> "CollectorServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- admission (shared by both listeners) ------------------------------
+
+    def _on_datagram(self, data: bytes, addr) -> None:
+        """Decode and admit one UDP datagram (may carry several frames)."""
+        try:
+            frames = wire.decode_frames(data)
+        except wire.BadVersionError:
+            self._bump("dropped_bad_version")
+            return
+        except wire.WireError:
+            self._bump("dropped_bad_frame")
+            return
+        for frame in frames:
+            if isinstance(frame, wire.DataFrame):
+                self._admit(frame, ("udp", addr), addr)
+
+    def _admit(self, frame: wire.DataFrame, source: Tuple, addr) -> None:
+        """Run one decoded data frame through the admission policy."""
+        self._bump("frames_received")
+        if not frame.reliable or addr is None:
+            # Fire-and-forget (or TCP, which is ordered and reliable
+            # by transport): straight to the queue, drop when full.
+            if not self._enqueue(frame, source, block=addr is None):
+                self._bump("dropped_queue_full")
+            return
+        peer = self._peers.setdefault(source, _Peer())
+        if frame.seq < peer.expected or frame.seq in peer.buffer:
+            # Already delivered (or parked): the ACK was lost or the
+            # retransmit raced it.  Re-promise, do not re-ingest.
+            self._bump("duplicate_frames")
+            if frame.seq < peer.expected:
+                self._send_ack(addr, frame.seq)
+            else:
+                self._drain_peer(peer, source, addr)
+            return
+        if frame.seq - peer.expected > self.reorder_limit:
+            self._bump("dropped_window")
+            return
+        peer.buffer[frame.seq] = frame
+        self._drain_peer(peer, source, addr)
+
+    def _drain_peer(self, peer: _Peer, source: Tuple, addr) -> None:
+        """Deliver the peer's in-order prefix; ACK what was delivered."""
+        while peer.expected in peer.buffer:
+            frame = peer.buffer[peer.expected]
+            if not self._enqueue(frame, source, block=False):
+                # Queue full: park (still buffered, still unacked) --
+                # the retransmit will re-offer it.  Counted as a
+                # backpressure event, not a loss.
+                self._bump("dropped_queue_full")
+                return
+            del peer.buffer[peer.expected]
+            self._send_ack(addr, peer.expected)
+            peer.expected += 1
+
+    def _enqueue(self, frame: wire.DataFrame, source: Tuple,
+                 block: bool) -> bool:
+        """Hand one frame to the ingest queue.
+
+        TCP connections block (with a stop-aware timeout loop): not
+        reading the socket *is* the backpressure signal TCP was built
+        to carry.  UDP paths never block -- a full queue answers
+        immediately so the listener keeps the socket drained.
+        """
+        item = (source, frame)
+        if not block:
+            try:
+                self._queue.put_nowait(item)
+                return True
+            except queue.Full:
+                return False
+        while not self._stopping.is_set():
+            try:
+                self._queue.put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def _send_ack(self, addr, seq: int) -> None:
+        sock = self._udp_sock
+        if sock is None:  # pragma: no cover - reliable implies UDP here
+            return
+        try:
+            sock.sendto(wire.encode_ack(seq), addr)
+            self._bump("acks_sent")
+        except OSError:  # pragma: no cover - racing close()
+            pass
+
+    # -- listener threads --------------------------------------------------
+
+    def _udp_loop(self) -> None:
+        sock = self._udp_sock
+        while not self._stopping.is_set():
+            try:
+                data, addr = sock.recvfrom(1 << 16)
+            except socket.timeout:
+                continue  # poll tick: re-check _stopping
+            except OSError:
+                break  # socket closed by close()
+            self._on_datagram(data, addr)
+
+    def _accept_loop(self) -> None:
+        sock = self._tcp_sock
+        while not self._stopping.is_set():
+            try:
+                conn, addr = sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn.settimeout(0.2)
+            self._conns.append(conn)
+            t = threading.Thread(
+                target=self._conn_loop, args=(conn, addr),
+                name="service-tcp-conn", daemon=True,
+            )
+            self._conn_threads.append(t)
+            t.start()
+
+    def _conn_loop(self, conn: socket.socket, addr) -> None:
+        """One TCP connection: stream-decode frames until EOF or poison."""
+        source = ("tcp", addr)
+        decoder = wire.StreamDecoder()
+        try:
+            while not self._stopping.is_set():
+                try:
+                    data = conn.recv(1 << 16)
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                if not data:
+                    break
+                try:
+                    frames = decoder.feed(data)
+                except wire.BadVersionError:
+                    self._bump("dropped_bad_version")
+                    break  # framing is lost; drop the connection
+                except wire.WireError:
+                    self._bump("dropped_bad_frame")
+                    break
+                for frame in frames:
+                    if isinstance(frame, wire.DataFrame):
+                        self._admit(frame, source, None)
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    # -- ingest thread -----------------------------------------------------
+
+    def _ingest_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                self._queue.task_done()
+                break
+            source, frame = item
+            run = self._pending.setdefault(source, [])
+            run.append(frame)
+            if not frame.more:  # the batch's terminating fragment
+                del self._pending[source]
+                self._ingest_run(run)
+            self._queue.task_done()
+
+    def _ingest_run(self, run: List[wire.DataFrame]) -> None:
+        """Fold one reassembled logical batch into the collector."""
+        last = run[-1]
+        if len(run) == 1:
+            fids, pids = last.flow_ids, last.pids
+            hops, digs = last.hop_counts, last.digests
+        else:
+            fids = np.concatenate([f.flow_ids for f in run])
+            pids = np.concatenate([f.pids for f in run])
+            hops = np.concatenate([f.hop_counts for f in run])
+            digs = np.concatenate([f.digests for f in run])
+        try:
+            with self._lock:
+                n = self.collector.ingest_batch(
+                    fids, pids, hops, digs, now=last.now
+                )
+        except Exception as exc:
+            with self._stats_lock:
+                if len(self._ingest_errors) < 8:
+                    self._ingest_errors.append(
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                else:
+                    self._suppressed_errors += 1
+            return
+        with self._stats_lock:
+            self._counters["records_ingested"] += int(n)
+            self._counters["batches_ingested"] += 1
+
+
+class _Deadline:
+    """Tiny poll helper: expiry check + a short fixed sleep."""
+
+    __slots__ = ("_deadline",)
+
+    def __init__(self, timeout: float) -> None:
+        self._deadline = time.monotonic() + timeout
+
+    @property
+    def expired(self) -> bool:
+        return time.monotonic() >= self._deadline
+
+    def sleep(self) -> None:
+        time.sleep(0.002)

@@ -1,0 +1,377 @@
+"""Versioned binary wire format for columnar digest batches.
+
+The unit a PINT sink receives off the network is a **frame**: a fixed
+struct-packed header followed (for data frames) by four little-endian
+``int64`` columns -- ``flow_id``, ``pid``, ``hop_count``, ``digest`` --
+exactly the columnar batch :meth:`repro.collector.Collector.
+ingest_batch` consumes, so a received frame feeds the collector with
+zero per-record Python work (``np.frombuffer`` views straight into the
+payload bytes).
+
+Layout (all little-endian, no padding)::
+
+    common   magic:u16 = 0x4950 ("PI")   version:u8   ftype:u8
+    DATA     seq:u32  count:u32  flags:u8  now:f64
+             flow_id[count]:i64  pid[count]:i64
+             hop_count[count]:i64  digest[count]:i64
+    ACK      seq:u32
+
+``version`` is checked before anything else in the frame is trusted:
+a frame from a newer protocol is rejected as
+:class:`BadVersionError` (and counted separately by the server), so
+the format can evolve without a flag day -- old sinks refuse loudly
+instead of misparsing, new sinks can keep a decoder per version.
+
+Flags:
+
+* ``FLAG_RELIABLE`` -- the sender numbers frames contiguously from 0,
+  expects a per-frame ACK, and retransmits on RTO; the server
+  deduplicates and delivers in seq order.
+* ``FLAG_MORE`` -- this frame is a *fragment* of a larger logical
+  batch (a UDP datagram caps a frame at ~64 KiB); the server
+  coalesces a run of MORE frames with its terminating non-MORE frame
+  back into one ``ingest_batch`` call, so batch boundaries -- and
+  therefore every batch-granular counter in the snapshot -- survive
+  the wire bit-identically.
+* ``FLAG_NO_TIME`` -- the sender has no clock column; the sink
+  ingests with ``now=None`` (records-driven collector clock).
+
+Malformed input is rejected with typed errors, never a crash: short
+buffers raise :class:`TruncatedFrameError`, wrong magic
+:class:`BadMagicError`, unknown frame types / impossible counts /
+trailing datagram bytes :class:`BadFrameError`.  All subclass
+:class:`WireError` (itself a :class:`~repro.exceptions.ReproError`),
+which is what the server catches to count a drop and move on.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.collector.records import Column, normalize_batch
+from repro.exceptions import ReproError
+
+#: First two bytes of every frame: ``b"PI"`` read as a little-endian u16.
+MAGIC = 0x4950
+#: Current protocol version; bump on any layout change.
+VERSION = 1
+
+FT_DATA = 1
+FT_ACK = 2
+
+FLAG_RELIABLE = 0x01
+FLAG_MORE = 0x02
+FLAG_NO_TIME = 0x04
+_KNOWN_FLAGS = FLAG_RELIABLE | FLAG_MORE | FLAG_NO_TIME
+
+_COMMON = struct.Struct("<HBB")
+_DATA_HDR = struct.Struct("<HBBIIBd")
+_ACK = struct.Struct("<HBBI")
+
+#: Hard per-frame record cap: a count field beyond this is corruption,
+#: not a big batch, and must not drive a gigabyte allocation.
+MAX_FRAME_RECORDS = 1 << 20
+#: Largest record count that still fits one UDP datagram (65507-byte
+#: payload ceiling minus the data header, 32 bytes per record).
+MAX_UDP_RECORDS = (65507 - _DATA_HDR.size) // 32
+
+_COL_BYTES = 8  # one little-endian int64 per column cell
+_COLS = 4
+
+
+class WireError(ReproError):
+    """Base class for wire-format violations (always typed, never a crash)."""
+
+
+class TruncatedFrameError(WireError):
+    """The buffer ends before the frame its header promises."""
+
+
+class BadMagicError(WireError):
+    """The first two bytes are not the protocol magic."""
+
+
+class BadVersionError(WireError):
+    """The frame's protocol version is not one this decoder speaks."""
+
+    def __init__(self, version: int) -> None:
+        super().__init__(
+            f"unsupported wire protocol version {version} "
+            f"(this decoder speaks {VERSION})"
+        )
+        self.version = version
+
+
+class BadFrameError(WireError):
+    """Structurally invalid frame (unknown type, bad count, trailing bytes)."""
+
+
+@dataclass(frozen=True)
+class DataFrame:
+    """One decoded data frame: a (fragment of a) columnar digest batch."""
+
+    seq: int
+    #: Batch clock reading, or None when the sender set FLAG_NO_TIME.
+    now: Optional[float]
+    reliable: bool
+    #: True when this frame is a non-final fragment of a logical batch.
+    more: bool
+    flow_ids: np.ndarray
+    pids: np.ndarray
+    hop_counts: np.ndarray
+    digests: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return int(self.flow_ids.shape[0])
+
+
+@dataclass(frozen=True)
+class AckFrame:
+    """Server acknowledgement of one reliable data frame."""
+
+    seq: int
+
+
+Frame = Union[DataFrame, AckFrame]
+
+
+# -- encoding --------------------------------------------------------------
+
+def encode_frame(
+    flow_ids: Column,
+    pids: Column,
+    hop_counts: Column,
+    digests: Column,
+    now: Optional[float],
+    seq: int,
+    *,
+    reliable: bool = False,
+    more: bool = False,
+) -> bytes:
+    """Pack one data frame (zero-record frames are legal keepalives)."""
+    fids, ps, hops, digs = normalize_batch(flow_ids, pids, hop_counts, digests)
+    n = int(fids.shape[0])
+    if n > MAX_FRAME_RECORDS:
+        raise ValueError(
+            f"frame of {n} records exceeds MAX_FRAME_RECORDS "
+            f"({MAX_FRAME_RECORDS}); fragment with encode_frames"
+        )
+    flags = 0
+    if reliable:
+        flags |= FLAG_RELIABLE
+    if more:
+        flags |= FLAG_MORE
+    if now is None:
+        flags |= FLAG_NO_TIME
+        now = 0.0
+    header = _DATA_HDR.pack(
+        MAGIC, VERSION, FT_DATA, seq & 0xFFFFFFFF, n, flags, float(now)
+    )
+    return b"".join((
+        header,
+        fids.astype("<i8", copy=False).tobytes(),
+        ps.astype("<i8", copy=False).tobytes(),
+        hops.astype("<i8", copy=False).tobytes(),
+        digs.astype("<i8", copy=False).tobytes(),
+    ))
+
+
+def encode_frames(
+    flow_ids: Column,
+    pids: Column,
+    hop_counts: Column,
+    digests: Column,
+    now: Optional[float] = None,
+    *,
+    start_seq: int = 0,
+    max_records: int = 1024,
+    reliable: bool = False,
+) -> List[bytes]:
+    """Pack one columnar batch as a run of frames (vectorised).
+
+    Batches larger than ``max_records`` are fragmented; every fragment
+    but the last carries ``FLAG_MORE`` so the receiver reassembles the
+    original batch boundary before ingesting.  Frames are numbered
+    contiguously from ``start_seq``.  An empty batch encodes to no
+    frames (there is nothing to ship).
+    """
+    if max_records < 1:
+        raise ValueError("max_records must be >= 1")
+    fids, ps, hops, digs = normalize_batch(flow_ids, pids, hop_counts, digests)
+    n = int(fids.shape[0])
+    if n == 0:
+        return []
+    out: List[bytes] = []
+    seq = start_seq
+    for lo in range(0, n, max_records):
+        hi = min(lo + max_records, n)
+        out.append(encode_frame(
+            fids[lo:hi], ps[lo:hi], hops[lo:hi], digs[lo:hi],
+            now, seq, reliable=reliable, more=hi < n,
+        ))
+        seq += 1
+    return out
+
+
+def encode_ack(seq: int) -> bytes:
+    """Pack one ACK frame."""
+    return _ACK.pack(MAGIC, VERSION, FT_ACK, seq & 0xFFFFFFFF)
+
+
+# -- decoding --------------------------------------------------------------
+
+def _check_common(buf, offset: int) -> int:
+    """Validate magic + version at ``offset``; return the frame type."""
+    if len(buf) - offset < _COMMON.size:
+        raise TruncatedFrameError(
+            f"{len(buf) - offset} bytes is shorter than the "
+            f"{_COMMON.size}-byte frame prefix"
+        )
+    magic, version, ftype = _COMMON.unpack_from(buf, offset)
+    if magic != MAGIC:
+        raise BadMagicError(
+            f"bad frame magic 0x{magic:04x} (expected 0x{MAGIC:04x})"
+        )
+    if version != VERSION:
+        raise BadVersionError(version)
+    return ftype
+
+
+def _frame_length(buf, offset: int) -> Optional[int]:
+    """Total byte length of the frame at ``offset``, or None if the
+    header itself is still incomplete (stream decoding needs to tell
+    "wait for more bytes" apart from "reject").  Raises on anything
+    already provably invalid."""
+    avail = len(buf) - offset
+    if avail < _COMMON.size:
+        return None
+    ftype = _check_common(buf, offset)
+    if ftype == FT_ACK:
+        return _ACK.size
+    if ftype == FT_DATA:
+        if avail < _DATA_HDR.size:
+            return None
+        _, _, _, _, count, flags, _ = _DATA_HDR.unpack_from(buf, offset)
+        if count > MAX_FRAME_RECORDS:
+            raise BadFrameError(
+                f"frame claims {count} records "
+                f"(cap {MAX_FRAME_RECORDS}); rejecting as corrupt"
+            )
+        if flags & ~_KNOWN_FLAGS:
+            raise BadFrameError(f"unknown flag bits 0x{flags:02x}")
+        return _DATA_HDR.size + _COLS * _COL_BYTES * count
+    raise BadFrameError(f"unknown frame type {ftype}")
+
+
+def _decode_at(buf, offset: int) -> Tuple[Frame, int]:
+    """Decode the frame at ``offset``; return it and the next offset."""
+    length = _frame_length(buf, offset)
+    if length is None or len(buf) - offset < length:
+        raise TruncatedFrameError(
+            f"frame at offset {offset} is truncated "
+            f"({len(buf) - offset} bytes available)"
+        )
+    ftype = _COMMON.unpack_from(buf, offset)[2]
+    if ftype == FT_ACK:
+        seq = _ACK.unpack_from(buf, offset)[3]
+        return AckFrame(seq=seq), offset + length
+    _, _, _, seq, count, flags, now = _DATA_HDR.unpack_from(buf, offset)
+    base = offset + _DATA_HDR.size
+    cols = [
+        np.frombuffer(buf, dtype="<i8", count=count,
+                      offset=base + i * _COL_BYTES * count)
+        for i in range(_COLS)
+    ]
+    frame = DataFrame(
+        seq=seq,
+        now=None if flags & FLAG_NO_TIME else now,
+        reliable=bool(flags & FLAG_RELIABLE),
+        more=bool(flags & FLAG_MORE),
+        flow_ids=cols[0], pids=cols[1], hop_counts=cols[2], digests=cols[3],
+    )
+    return frame, offset + length
+
+
+def decode_frame(datagram: bytes) -> Frame:
+    """Decode exactly one frame (the UDP unit: one frame per datagram).
+
+    Strict: trailing bytes after the frame are rejected -- a datagram
+    is either one well-formed frame or garbage, and garbage must be
+    counted, not half-ingested.
+    """
+    frame, end = _decode_at(datagram, 0)
+    if end != len(datagram):
+        raise BadFrameError(
+            f"{len(datagram) - end} trailing byte(s) after the frame"
+        )
+    return frame
+
+
+def decode_frames(data: bytes) -> List[Frame]:
+    """Decode a buffer holding whole frames back-to-back.
+
+    Every byte must be consumed: a partial frame at the tail raises
+    :class:`TruncatedFrameError` (stream receivers that legitimately
+    see partial tails use :class:`StreamDecoder` instead).
+    """
+    frames: List[Frame] = []
+    offset = 0
+    while offset < len(data):
+        frame, offset = _decode_at(data, offset)
+        frames.append(frame)
+    return frames
+
+
+class StreamDecoder:
+    """Incremental frame decoder for byte streams (the TCP receive path).
+
+    Feed arbitrary chunks; complete frames come back as they close.  A
+    wire error poisons the stream permanently -- after losing framing
+    there is no way to resynchronise a length-prefixed stream, so the
+    caller must drop the connection (and count the drop).
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._poisoned: Optional[WireError] = None
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered waiting for the rest of a frame."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Append ``data``; return every frame completed by it."""
+        if self._poisoned is not None:
+            raise self._poisoned
+        self._buf.extend(data)
+        frames: List[Frame] = []
+        offset = 0
+        buf = bytes(self._buf)
+        while True:
+            try:
+                length = _frame_length(buf, offset)
+            except WireError as err:
+                self._poisoned = err
+                raise
+            if length is None or len(buf) - offset < length:
+                break
+            try:
+                frame, offset = _decode_at(buf, offset)
+            except WireError as err:  # pragma: no cover - length checked
+                self._poisoned = err
+                raise
+            frames.append(frame)
+        if offset:
+            del self._buf[:offset]
+        return frames
+
+
+def frames_payload_records(frames: Sequence[Frame]) -> int:
+    """Total records across the data frames of ``frames``."""
+    return sum(f.count for f in frames if isinstance(f, DataFrame))

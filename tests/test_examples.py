@@ -85,3 +85,11 @@ class TestExamplesRun:
         assert "graceful degradation" in out
         assert "decoded fully" in out
         assert "partial path" in out
+
+    def test_live_service(self, capsys):
+        _load("live_service").main()
+        out = capsys.readouterr().out
+        assert "json query port" in out
+        assert "exactly once" in out
+        assert "complete=True" in out
+        assert "despite the lossy wire" in out

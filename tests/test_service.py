@@ -1,0 +1,743 @@
+"""Live collector service: wire codec, server, senders, query port, CLI.
+
+Covers the PR-6 contract: the binary frame layout is pinned byte for
+byte (golden vectors) and version-checked before anything else is
+trusted; malformed input of every shape is rejected with typed errors
+and counted per reason, never crashed on; the admission queue drops
+fire-and-forget overload but parks reliable frames unacked; the
+seq/ACK/RTO sender delivers exactly once under heavy simulated loss;
+fragment reassembly keeps wire-fed collectors bit-identical to
+in-process ingest (snapshots and per-flow answers alike, including
+through ``ReplayDriver(transport=...)``); and both collector
+implementations refuse post-close ingest with the same typed error.
+"""
+
+import json
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collector import Collector, ParallelCollector, path_consumer_factory
+from repro.exceptions import CollectorClosedError, ReproError
+from repro.replay import ReplayDriver, build_trace
+from repro.service import (
+    AckFrame,
+    BadFrameError,
+    BadMagicError,
+    BadVersionError,
+    CollectorServer,
+    DataFrame,
+    DeliveryError,
+    QueryClient,
+    QueryError,
+    QueryHandler,
+    QueryServer,
+    ReliableUDPSender,
+    ServiceError,
+    StreamDecoder,
+    TCPSender,
+    TruncatedFrameError,
+    UDPSender,
+    WireError,
+    decode_frame,
+    decode_frames,
+    encode_ack,
+    encode_frame,
+    encode_frames,
+    make_sender,
+)
+from repro.service import wire
+from repro.service.query import jsonable
+from repro.service.__main__ import build_parser, main
+
+UNIVERSE = list(range(1, 33))
+REPO = Path(__file__).resolve().parent.parent
+
+
+def make_collector(**kw):
+    kw.setdefault("num_shards", 4)
+    kw.setdefault("seed", 0)
+    return Collector(
+        path_consumer_factory(UNIVERSE, digest_bits=8, num_hashes=1, seed=0),
+        **kw,
+    )
+
+
+def batch(n, base=0):
+    """A deterministic n-record columnar batch."""
+    fids = np.arange(base, base + n, dtype=np.int64) % 17
+    pids = np.arange(base, base + n, dtype=np.int64)
+    hops = np.full(n, 4, dtype=np.int64)
+    digs = (pids * 31 + 7) % 251
+    return fids, pids, hops, digs
+
+
+FAST_RTO = dict(min_rto=0.005, initial_rto=0.02, max_rto=0.1)
+
+
+# -- wire: golden layout ----------------------------------------------------
+
+class TestWireGolden:
+    def test_data_frame_bytes_pinned(self):
+        # One record (1, 2, 3, 4), now=1.5, seq=7: the exact wire
+        # image, pinned so any layout change is a deliberate VERSION
+        # bump, not an accident.
+        got = encode_frame([1], [2], [3], [4], 1.5, 7)
+        assert got.hex() == (
+            "50490101070000000100000000000000000000f83f"
+            "0100000000000000020000000000000003000000000000000400000000000000"
+        )
+
+    def test_frame_starts_with_magic_and_version(self):
+        frame = encode_frame([1], [2], [3], [4], 0.0, 0)
+        assert frame[:2] == b"PI"
+        assert frame[2] == wire.VERSION
+
+    def test_empty_no_time_frame_bytes_pinned(self):
+        got = encode_frame([], [], [], [], None, 0)
+        assert got.hex() == "504901010000000000000000040000000000000000"
+
+    def test_ack_bytes_pinned(self):
+        assert encode_ack(9).hex() == "5049010209000000"
+
+    def test_header_sizes(self):
+        # 21-byte data header + 32 bytes per record; 8-byte ACK.
+        assert len(encode_frame([1], [2], [3], [4], 0.0, 0)) == 21 + 32
+        assert len(encode_ack(0)) == 8
+
+
+# -- wire: round trips ------------------------------------------------------
+
+class TestWireRoundTrip:
+    def test_single_frame_round_trip(self):
+        fids, pids, hops, digs = batch(10)
+        frame = decode_frame(encode_frame(fids, pids, hops, digs, 2.5, 3))
+        assert isinstance(frame, DataFrame)
+        assert frame.seq == 3 and frame.now == 2.5 and frame.count == 10
+        assert not frame.reliable and not frame.more
+        np.testing.assert_array_equal(frame.flow_ids, fids)
+        np.testing.assert_array_equal(frame.pids, pids)
+        np.testing.assert_array_equal(frame.hop_counts, hops)
+        np.testing.assert_array_equal(frame.digests, digs)
+
+    def test_no_time_round_trip(self):
+        frame = decode_frame(encode_frame([1], [2], [3], [4], None, 0))
+        assert frame.now is None
+
+    def test_zero_record_frame_round_trip(self):
+        frame = decode_frame(encode_frame([], [], [], [], 1.0, 5))
+        assert frame.count == 0 and frame.seq == 5
+
+    def test_negative_int64_round_trip(self):
+        vals = np.array([-1, -(2**62), 2**62], dtype=np.int64)
+        frame = decode_frame(encode_frame(vals, vals, vals, vals, 0.0, 0))
+        np.testing.assert_array_equal(frame.digests, vals)
+
+    def test_ack_round_trip(self):
+        frame = decode_frame(encode_ack(41))
+        assert isinstance(frame, AckFrame) and frame.seq == 41
+
+    def test_fragmentation_flags_and_seqs(self):
+        fids, pids, hops, digs = batch(10)
+        frames = encode_frames(fids, pids, hops, digs, 1.0,
+                               start_seq=5, max_records=4)
+        decoded = [decode_frame(f) for f in frames]
+        assert [f.seq for f in decoded] == [5, 6, 7]
+        assert [f.more for f in decoded] == [True, True, False]
+        assert [f.count for f in decoded] == [4, 4, 2]
+        np.testing.assert_array_equal(
+            np.concatenate([f.pids for f in decoded]), pids
+        )
+
+    def test_empty_batch_encodes_no_frames(self):
+        assert encode_frames([], [], [], [], 1.0) == []
+
+    def test_decode_frames_buffer(self):
+        fids, pids, hops, digs = batch(6)
+        buf = b"".join(encode_frames(fids, pids, hops, digs, 1.0,
+                                     max_records=2)) + encode_ack(3)
+        frames = decode_frames(buf)
+        assert len(frames) == 4
+        assert wire.frames_payload_records(frames) == 6
+        assert isinstance(frames[-1], AckFrame)
+
+    def test_oversized_single_frame_rejected(self):
+        with pytest.raises(ValueError):
+            n = wire.MAX_FRAME_RECORDS + 1
+            encode_frame(np.zeros(n, dtype=np.int64),
+                         np.zeros(n, dtype=np.int64),
+                         np.zeros(n, dtype=np.int64),
+                         np.zeros(n, dtype=np.int64), 0.0, 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=300),
+        max_records=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**31),
+        reliable=st.booleans(),
+    )
+    def test_round_trip_property(self, n, max_records, seed, reliable):
+        rng = np.random.default_rng(seed)
+        cols = rng.integers(-(2**63), 2**63, size=(4, n), dtype=np.int64)
+        frames = encode_frames(*cols, 3.25, max_records=max_records,
+                               reliable=reliable)
+        decoded = decode_frames(b"".join(frames))
+        assert len(decoded) == (n + max_records - 1) // max_records
+        if n:
+            back = [
+                np.concatenate([f.flow_ids for f in decoded]),
+                np.concatenate([f.pids for f in decoded]),
+                np.concatenate([f.hop_counts for f in decoded]),
+                np.concatenate([f.digests for f in decoded]),
+            ]
+            for sent, got in zip(cols, back):
+                np.testing.assert_array_equal(sent, got)
+            assert all(f.reliable == reliable for f in decoded)
+            assert [f.more for f in decoded][-1] is False
+
+
+# -- wire: malformed input --------------------------------------------------
+
+class TestWireMalformed:
+    def test_truncated_prefix(self):
+        with pytest.raises(TruncatedFrameError):
+            decode_frame(b"PI")
+
+    def test_truncated_columns(self):
+        frame = encode_frame([1], [2], [3], [4], 0.0, 0)
+        with pytest.raises(TruncatedFrameError):
+            decode_frame(frame[:-5])
+
+    def test_bad_magic(self):
+        with pytest.raises(BadMagicError):
+            decode_frame(b"XX" + encode_ack(0)[2:])
+
+    def test_bad_version_carries_version(self):
+        frame = bytearray(encode_ack(0))
+        frame[2] = 99
+        with pytest.raises(BadVersionError) as err:
+            decode_frame(bytes(frame))
+        assert err.value.version == 99
+
+    def test_unknown_frame_type(self):
+        bad = struct.pack("<HBBI", wire.MAGIC, wire.VERSION, 77, 0)
+        with pytest.raises(BadFrameError):
+            decode_frame(bad)
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(BadFrameError):
+            decode_frame(encode_ack(0) + b"\x00")
+
+    def test_absurd_count_rejected_without_allocation(self):
+        bad = struct.pack("<HBBIIBd", wire.MAGIC, wire.VERSION, wire.FT_DATA,
+                          0, 2**31, 0, 0.0)
+        with pytest.raises(BadFrameError):
+            decode_frame(bad)
+
+    def test_unknown_flag_bits_rejected(self):
+        bad = struct.pack("<HBBIIBd", wire.MAGIC, wire.VERSION, wire.FT_DATA,
+                          0, 0, 0x80, 0.0)
+        with pytest.raises(BadFrameError):
+            decode_frame(bad)
+
+    def test_errors_are_typed(self):
+        for exc in (TruncatedFrameError, BadMagicError, BadVersionError,
+                    BadFrameError):
+            assert issubclass(exc, WireError)
+        assert issubclass(WireError, ReproError)
+
+    def test_stream_decoder_reassembles_byte_by_byte(self):
+        fids, pids, hops, digs = batch(5)
+        data = b"".join(encode_frames(fids, pids, hops, digs, 1.0,
+                                      max_records=2)) + encode_ack(7)
+        dec = StreamDecoder()
+        frames = []
+        for i in range(len(data)):
+            frames.extend(dec.feed(data[i:i + 1]))
+        assert wire.frames_payload_records(frames) == 5
+        assert isinstance(frames[-1], AckFrame)
+        assert dec.pending_bytes == 0
+
+    def test_stream_decoder_poisons_permanently(self):
+        dec = StreamDecoder()
+        with pytest.raises(BadMagicError):
+            dec.feed(b"garbage bytes here")
+        # Even good bytes are refused after framing is lost.
+        with pytest.raises(BadMagicError):
+            dec.feed(encode_ack(0))
+
+
+# -- server: admission policy (no sockets) ----------------------------------
+
+def data_frame(seq, n=1, reliable=False, more=False):
+    fids, pids, hops, digs = batch(n, base=seq * 100)
+    return decode_frame(encode_frame(fids, pids, hops, digs, 1.0, seq,
+                                     reliable=reliable, more=more))
+
+
+class TestAdmissionPolicy:
+    """Unit tests on the admission path, listener threads not running."""
+
+    def make_server(self, **kw):
+        kw.setdefault("queue_frames", 2)
+        return CollectorServer(make_collector(), **kw)
+
+    def test_fire_and_forget_drops_on_full_queue(self):
+        srv = self.make_server(queue_frames=2)
+        addr = ("127.0.0.1", 9)
+        for seq in range(3):
+            srv._admit(data_frame(seq), ("udp", addr), addr)
+        stats = srv.service_stats()
+        assert stats.frames_received == 3
+        assert stats.dropped_queue_full == 1
+        assert srv._queue.qsize() == 2
+
+    def test_garbage_datagram_counted_as_bad_frame(self):
+        srv = self.make_server()
+        srv._on_datagram(b"not a frame at all", ("127.0.0.1", 9))
+        assert srv.service_stats().dropped_bad_frame == 1
+
+    def test_future_version_counted_separately(self):
+        srv = self.make_server()
+        frame = bytearray(encode_frame([1], [2], [3], [4], 0.0, 0))
+        frame[2] = wire.VERSION + 1
+        srv._on_datagram(bytes(frame), ("127.0.0.1", 9))
+        stats = srv.service_stats()
+        assert stats.dropped_bad_version == 1
+        assert stats.dropped_bad_frame == 0
+
+    def test_reliable_duplicate_not_requeued(self):
+        srv = self.make_server(queue_frames=8)
+        addr = ("127.0.0.1", 9)
+        srv._admit(data_frame(0, reliable=True), ("udp", addr), addr)
+        srv._admit(data_frame(0, reliable=True), ("udp", addr), addr)
+        stats = srv.service_stats()
+        assert stats.duplicate_frames == 1
+        assert srv._queue.qsize() == 1
+
+    def test_reliable_out_of_order_delivered_in_seq_order(self):
+        srv = self.make_server(queue_frames=8)
+        addr = ("127.0.0.1", 9)
+        for seq in (2, 0, 1):
+            srv._admit(data_frame(seq, reliable=True), ("udp", addr), addr)
+        seqs = [srv._queue.get_nowait()[1].seq for _ in range(3)]
+        assert seqs == [0, 1, 2]
+
+    def test_reliable_window_overflow_refused(self):
+        srv = self.make_server(queue_frames=8, reorder_limit=4)
+        addr = ("127.0.0.1", 9)
+        srv._admit(data_frame(100, reliable=True), ("udp", addr), addr)
+        assert srv.service_stats().dropped_window == 1
+        assert srv._queue.qsize() == 0
+
+    def test_reliable_queue_full_parks_unacked(self):
+        srv = self.make_server(queue_frames=1)
+        addr = ("127.0.0.1", 9)
+        srv._admit(data_frame(0, reliable=True), ("udp", addr), addr)
+        srv._admit(data_frame(1, reliable=True), ("udp", addr), addr)
+        stats = srv.service_stats()
+        # Frame 1 is parked in the reorder buffer, not lost: the
+        # sender's retransmit will re-offer it.
+        assert stats.dropped_queue_full == 1
+        assert 1 in srv._peers[("udp", addr)].buffer
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            CollectorServer(make_collector(), udp_port=None, tcp_port=None)
+        with pytest.raises(ValueError):
+            CollectorServer(make_collector(), queue_frames=0)
+
+
+# -- server + senders over loopback ----------------------------------------
+
+class TestLoopbackService:
+    def test_udp_ingest_matches_in_process(self):
+        direct = make_collector()
+        served = make_collector()
+        with CollectorServer(served, tcp_port=None) as srv:
+            tx = ReliableUDPSender("127.0.0.1", srv.udp_port, max_records=64)
+            for i in range(4):
+                cols = batch(150, base=i * 1000)
+                direct.ingest_batch(*cols, now=float(i))
+                tx.send_batch(*cols, now=float(i))
+            tx.close()
+            srv.wait_for_records(600, timeout=10)
+            srv.drain()
+            assert served.snapshot().as_dict() == direct.snapshot().as_dict()
+            for fid in range(17):
+                d, s = direct.flow(fid), served.flow(fid)
+                assert (d is None) == (s is None)
+                if d is not None:
+                    assert d.result() == s.result()
+
+    def test_tcp_ingest_matches_in_process(self):
+        direct = make_collector()
+        served = make_collector()
+        with CollectorServer(served, udp_port=None) as srv:
+            tx = TCPSender("127.0.0.1", srv.tcp_port)
+            for i in range(3):
+                cols = batch(200, base=i * 1000)
+                direct.ingest_batch(*cols, now=float(i))
+                tx.send_batch(*cols, now=float(i))
+            tx.close()
+            srv.wait_for_records(600, timeout=10)
+            srv.drain()
+            assert served.snapshot().as_dict() == direct.snapshot().as_dict()
+
+    def test_reliable_delivers_all_under_10pct_loss(self):
+        rng = np.random.default_rng(7)
+        with CollectorServer(make_collector(), tcp_port=None) as srv:
+            tx = ReliableUDPSender(
+                "127.0.0.1", srv.udp_port, max_records=16,
+                drop_fn=lambda seq, attempt: bool(rng.random() < 0.10),
+                **FAST_RTO,
+            )
+            sent = 0
+            for i in range(4):
+                sent += tx.send_batch(*batch(200, base=i * 1000),
+                                      now=float(i))
+            tx.flush()
+            srv.wait_for_records(sent, timeout=30)
+            stats = srv.service_stats()
+            # 100% delivered, exactly once, despite per-transmission loss.
+            assert stats.records_ingested == sent == 800
+            assert stats.batches_ingested == 4
+            assert tx.retransmits > 0
+
+    def test_reliable_heavy_loss_exactly_once(self):
+        rng = np.random.default_rng(3)
+        direct = make_collector()
+        served = make_collector()
+        with CollectorServer(served, tcp_port=None) as srv:
+            tx = ReliableUDPSender(
+                "127.0.0.1", srv.udp_port, max_records=8,
+                drop_fn=lambda seq, attempt: bool(rng.random() < 0.35),
+                **FAST_RTO,
+            )
+            cols = batch(300)
+            direct.ingest_batch(*cols, now=1.0)
+            tx.send_batch(*cols, now=1.0)
+            tx.flush()
+            srv.wait_for_records(300, timeout=30)
+            srv.drain()
+            # Retransmits and duplicate frames happened on the wire,
+            # yet the collector saw the batch exactly once.
+            assert tx.retransmits > 0
+            assert served.snapshot().as_dict() == direct.snapshot().as_dict()
+
+    def test_unreachable_sink_raises_delivery_error(self):
+        with CollectorServer(make_collector(), tcp_port=None) as srv:
+            tx = ReliableUDPSender(
+                "127.0.0.1", srv.udp_port, max_records=8, max_retries=3,
+                drop_fn=lambda seq, attempt: True, **FAST_RTO,
+            )
+            tx.send_batch(*batch(8), now=1.0)
+            with pytest.raises(DeliveryError):
+                tx.flush(timeout=10.0)
+            tx.sock.close()
+
+    def test_fire_and_forget_udp_smoke(self):
+        with CollectorServer(make_collector(), tcp_port=None) as srv:
+            with UDPSender("127.0.0.1", srv.udp_port) as tx:
+                tx.send_batch(*batch(50), now=1.0)
+            srv.wait_for_records(50, timeout=10)
+            assert srv.service_stats().acks_sent == 0
+
+    def test_bad_datagram_counted_not_fatal(self):
+        with CollectorServer(make_collector(), tcp_port=None) as srv:
+            probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            probe.sendto(b"\xff" * 40, ("127.0.0.1", srv.udp_port))
+            probe.close()
+            with UDPSender("127.0.0.1", srv.udp_port) as tx:
+                tx.send_batch(*batch(10), now=1.0)
+            srv.wait_for_records(10, timeout=10)
+            assert srv.service_stats().dropped_bad_frame == 1
+
+    def test_poisoned_tcp_stream_drops_connection_only(self):
+        with CollectorServer(make_collector(), udp_port=None) as srv:
+            bad = socket.create_connection(("127.0.0.1", srv.tcp_port))
+            bad.sendall(b"\xff" * 64)
+            bad.close()
+            deadline = time.monotonic() + 10
+            while (srv.service_stats().dropped_bad_frame == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert srv.service_stats().dropped_bad_frame == 1
+            # A fresh connection still works.
+            with TCPSender("127.0.0.1", srv.tcp_port) as tx:
+                tx.send_batch(*batch(20), now=1.0)
+            srv.wait_for_records(20, timeout=10)
+
+    def test_snapshot_carries_service_stats(self):
+        with CollectorServer(make_collector(), tcp_port=None) as srv:
+            with UDPSender("127.0.0.1", srv.udp_port) as tx:
+                tx.send_batch(*batch(30), now=1.0)
+            srv.wait_for_records(30, timeout=10)
+            snap = srv.snapshot()
+            assert snap.service is not None
+            assert snap.service.records_ingested == 30
+            assert snap.as_dict()["service"]["batches_ingested"] == 1
+            # A bare collector snapshot stays service-less (and thus
+            # ==-comparable with in-process runs).
+            assert srv.collector.snapshot().as_dict()["service"] is None
+
+    def test_wait_for_records_times_out_with_shortfall(self):
+        with CollectorServer(make_collector(), tcp_port=None) as srv:
+            with pytest.raises(ServiceError, match="only 0 arrived"):
+                srv.wait_for_records(10, timeout=0.1)
+
+    def test_post_close_use_raises(self):
+        srv = CollectorServer(make_collector(), tcp_port=None).start()
+        srv.close()
+        srv.close()  # idempotent
+        with pytest.raises(ServiceError):
+            srv.drain()
+        with pytest.raises(ServiceError):
+            srv.start()
+
+    def test_make_sender_dispatch(self):
+        with CollectorServer(make_collector()) as srv:
+            tx = make_sender("udp", "127.0.0.1", srv.udp_port)
+            assert isinstance(tx, ReliableUDPSender)
+            tx.sock.close()
+            tx = make_sender("udp-unreliable", "127.0.0.1", srv.udp_port)
+            assert isinstance(tx, UDPSender)
+            tx.close()
+            tx = make_sender("tcp", "127.0.0.1", srv.tcp_port)
+            assert isinstance(tx, TCPSender)
+            tx.close()
+        with pytest.raises(ValueError):
+            make_sender("carrier-pigeon", "127.0.0.1", 1)
+
+
+# -- post-close ingest parity ----------------------------------------------
+
+class TestCollectorClosedParity:
+    def test_serial_post_close_ingest_raises_typed(self):
+        coll = make_collector()
+        coll.ingest_batch(*batch(10), now=1.0)
+        coll.close()
+        with pytest.raises(CollectorClosedError):
+            coll.ingest_batch(*batch(5), now=2.0)
+        with pytest.raises(CollectorClosedError):
+            coll.ingest(1, 2, 4, 3, now=2.0)
+
+    def test_serial_reads_stay_valid_after_close(self):
+        coll = make_collector()
+        coll.ingest_batch(*batch(10), now=1.0)
+        coll.close()
+        assert coll.closed
+        assert coll.snapshot().records == 10
+
+    def test_parallel_post_close_raises_same_type(self):
+        par = ParallelCollector(
+            path_consumer_factory(UNIVERSE, digest_bits=8, num_hashes=1,
+                                  seed=0),
+            workers=2, num_shards=4, seed=0,
+        )
+        par.ingest_batch(*batch(10), now=1.0)
+        par.close()
+        with pytest.raises(CollectorClosedError):
+            par.ingest_batch(*batch(5), now=2.0)
+
+    def test_closed_error_is_runtime_error(self):
+        # Existing callers catching RuntimeError keep working.
+        assert issubclass(CollectorClosedError, RuntimeError)
+        assert issubclass(CollectorClosedError, ReproError)
+
+
+# -- query port -------------------------------------------------------------
+
+class TestQueryHandler:
+    def make_handler(self, coll=None):
+        import threading
+        return QueryHandler(coll or make_collector(), threading.Lock())
+
+    def test_ping(self):
+        assert self.make_handler().handle({"op": "ping"})["ok"] is True
+
+    def test_unknown_op_and_bad_request(self):
+        h = self.make_handler()
+        assert h.handle({"op": "frobnicate"})["ok"] is False
+        assert h.handle("not a dict")["ok"] is False
+
+    def test_snapshot_dict(self):
+        coll = make_collector()
+        coll.ingest_batch(*batch(25), now=1.0)
+        response = self.make_handler(coll).handle({"op": "snapshot"})
+        assert response["ok"] and response["snapshot"]["records"] == 25
+
+    def test_flow_known_and_unknown(self):
+        coll = make_collector()
+        coll.ingest_batch(*batch(25), now=1.0)
+        h = self.make_handler(coll)
+        known = h.handle({"op": "flow", "flow_id": 1})
+        assert known["ok"] and known["known"] is True
+        assert {"complete", "coverage", "result"} <= known.keys()
+        unknown = h.handle({"op": "flow", "flow_id": 10**9})
+        assert unknown["ok"] and unknown["known"] is False
+
+    def test_flow_id_validation(self):
+        h = self.make_handler()
+        assert h.handle({"op": "flow", "flow_id": "seven"})["ok"] is False
+        assert h.handle({"op": "flow", "flow_id": True})["ok"] is False
+
+    def test_bulk_flows(self):
+        coll = make_collector()
+        coll.ingest_batch(*batch(25), now=1.0)
+        response = self.make_handler(coll).handle(
+            {"op": "flows", "flow_ids": [0, 1, 10**9]}
+        )
+        assert response["ok"]
+        assert [f["known"] for f in response["flows"]] == [True, True, False]
+
+    def test_stats_only_on_service_endpoints(self):
+        assert self.make_handler().handle({"op": "stats"})["ok"] is False
+
+    def test_jsonable_sanitises(self):
+        out = jsonable({
+            1: float("nan"), "inf": float("inf"),
+            "arr": np.arange(3), "np": np.int64(7), "t": (1, 2),
+        })
+        assert out == {"1": None, "inf": None, "arr": [0, 1, 2],
+                       "np": 7, "t": [1, 2]}
+        json.dumps(out, allow_nan=False)
+
+
+class TestQueryServer:
+    def test_query_round_trips(self):
+        import threading
+        coll = make_collector()
+        coll.ingest_batch(*batch(40), now=1.0)
+        qs = QueryServer(coll, threading.Lock()).start()
+        try:
+            with QueryClient("127.0.0.1", qs.port) as client:
+                assert client.ping()
+                assert client.snapshot()["records"] == 40
+                assert client.flow(1)["known"] is True
+                with pytest.raises(QueryError):
+                    client.request({"op": "nope"})
+                # Malformed JSON gets an error response, and the
+                # connection survives for the next request.
+                client.sock.sendall(b"{broken\n")
+                line = client._fh.readline()
+                assert json.loads(line)["ok"] is False
+                assert client.ping()
+        finally:
+            qs.close()
+
+    def test_server_attached_query_port(self):
+        with CollectorServer(make_collector(), tcp_port=None,
+                             query_port=0) as srv:
+            with UDPSender("127.0.0.1", srv.udp_port) as tx:
+                tx.send_batch(*batch(30), now=1.0)
+            srv.wait_for_records(30, timeout=10)
+            with QueryClient("127.0.0.1", srv.query_port) as client:
+                assert client.stats()["records_ingested"] == 30
+                snap = client.snapshot()
+                assert snap["records"] == 30
+                assert snap["service"]["frames_received"] == 1
+
+
+# -- driver transport -------------------------------------------------------
+
+class TestDriverTransport:
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(ValueError):
+            ReplayDriver(transport="smoke-signals")
+
+    def test_udp_transport_bit_identical(self):
+        trace = build_trace("incast", packets=1500, seed=0)
+        base = ReplayDriver(batch_size=256, seed=0).replay(trace)
+        over = ReplayDriver(batch_size=256, seed=0,
+                            transport="udp").replay(trace)
+        for field in ("records", "flows", "batches", "path_records",
+                      "path_flows", "path_decoded", "path_correct",
+                      "path_resets", "congestion_records",
+                      "congestion_flows"):
+            assert getattr(base, field) == getattr(over, field), field
+        b_err, o_err = (base.congestion_median_rel_err,
+                        over.congestion_median_rel_err)
+        assert b_err == o_err or (b_err != b_err and o_err != o_err)
+        assert over.transport == "udp" and over.wire_frames > 0
+        assert base.transport == "in-process" and base.wire_frames == 0
+
+    def test_tcp_transport_bit_identical(self):
+        trace = build_trace("hadoop", packets=1500, seed=1)
+        base = ReplayDriver(batch_size=256, seed=0).replay(trace)
+        over = ReplayDriver(batch_size=256, seed=0,
+                            transport="tcp").replay(trace)
+        assert over.transport == "tcp"
+        for field in ("records", "batches", "path_decoded", "path_correct"):
+            assert getattr(base, field) == getattr(over, field), field
+
+
+# -- CLI --------------------------------------------------------------------
+
+class TestCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.scenario == "hadoop" and args.udp_port == 0
+        args = build_parser().parse_args(
+            ["send", "--port", "9", "--transport", "tcp"]
+        )
+        assert args.transport == "tcp" and args.fn.__name__ == "cmd_send"
+
+    def test_send_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["send"])
+
+    def test_query_rejects_unknown_op(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--port", "1",
+                                       "--op", "dance"])
+
+    def test_end_to_end_subprocess(self, capsys):
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "serve",
+             "--scenario", "incast", "--packets", "800",
+             "--duration", "60"],
+            cwd=REPO, stdout=subprocess.PIPE, text=True,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        try:
+            ready = proc.stdout.readline()
+            assert ready.startswith("SERVICE READY")
+            ports = dict(kv.split("=") for kv in ready.split()[2:])
+            # Feed it over reliable UDP with simulated loss, in-process.
+            assert main(["send", "--scenario", "incast", "--packets", "800",
+                         "--port", ports["udp"], "--loss", "0.1"]) == 0
+            sent = json.loads(capsys.readouterr().out)
+            assert sent["records"] == 800 and sent["acked_frames"] > 0
+            # An ACK is an admission promise, not a fold barrier:
+            # poll the query port until the ingest thread catches up.
+            deadline = time.monotonic() + 15
+            while True:
+                assert main(["query", "--port", ports["query"],
+                             "--op", "stats"]) == 0
+                stats = json.loads(capsys.readouterr().out)["stats"]
+                if stats["records_ingested"] == 800:
+                    break
+                assert time.monotonic() < deadline, stats
+                time.sleep(0.05)
+            assert main(["query", "--port", ports["query"],
+                         "--flow-id", "0"]) == 0
+            flow = json.loads(capsys.readouterr().out)
+            assert flow["ok"] is True
+            proc.send_signal(signal.SIGINT)
+            out, _ = proc.communicate(timeout=30)
+            final = json.loads(out)
+            assert final["records"] == 800
+            assert final["service"]["records_ingested"] == 800
+            assert proc.returncode == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
