@@ -1,0 +1,246 @@
+"""Observability overhead: instrumented collectors must be free-ish.
+
+Two claims ride in this benchmark:
+
+* **Identity.**  For every registered replay scenario, a collector
+  carrying a live :class:`repro.obs.MetricsRegistry` and a bare one
+  fed the identical encoded batches produce a bit-identical snapshot
+  (``Snapshot.as_dict()`` -- metrics ride outside the comparable
+  payload by design) and bit-identical per-flow query answers.  A
+  :class:`ReplayDriver` with ``obs=`` must likewise reproduce every
+  deterministic report field of the plain driver, and its report must
+  carry a non-empty per-stage time breakdown that accounts for the
+  replay wall clock.  Observation must never change the observed.
+
+* **Overhead.**  On the decode-heavy path workload the instrumented
+  ``ingest_batch`` path stays within ``--ceiling`` (default 5%) of
+  the uninstrumented rate.  Timing is interleaved (bare, instrumented,
+  bare, ...) and best-of-N so the gate measures instrumentation, not
+  scheduler luck.  The registry is *enabled* during the timed runs --
+  a null-registry run would gate the fast path we do not ship.
+
+Writes machine-readable ``BENCH_obs.json`` (uploaded by CI next to
+the other bench artifacts).
+
+Run:  PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+      (--quick for the CI smoke run)
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import time
+
+import numpy as np
+
+from benchlib import make_path_workload, write_bench_json
+from repro.collector import Collector, path_consumer_factory
+from repro.obs import MetricsRegistry, render_prometheus
+from repro.replay import ReplayDriver, TraceDataplane, build_trace, scenario_names
+
+#: ScenarioReport fields that must not move when a registry is attached.
+DETERMINISTIC_FIELDS = (
+    "records", "flows", "batches", "path_records", "path_flows",
+    "path_decoded", "path_correct", "path_resets",
+    "congestion_records", "congestion_flows", "dropped_records",
+    "duplicated_records", "reordered_records",
+    "path_completed_under_loss",
+)
+
+
+def check_scenario_identity(
+    name: str, packets: int, batch: int, seed: int
+) -> dict:
+    """Instrumented vs bare on one scenario trace: must be bit-identical."""
+    trace = build_trace(name, packets=packets, seed=seed)
+    dataplane = TraceDataplane(trace, digest_bits=8, num_hashes=1, seed=seed)
+    digests = dataplane.encode_rows(np.arange(len(trace), dtype=np.int64))
+    hops = trace.hop_counts
+    factory = lambda: path_consumer_factory(
+        trace.universe, digest_bits=8, num_hashes=1, seed=seed
+    )
+
+    def feed(obs) -> Collector:
+        col = Collector(factory(), num_shards=4, seed=seed, obs=obs)
+        for lo in range(0, len(trace), batch):
+            hi = min(lo + batch, len(trace))
+            col.ingest_batch(
+                trace.flow_id[lo:hi], trace.pid[lo:hi], hops[lo:hi],
+                digests[lo:hi], now=float(trace.ts[hi - 1]),
+            )
+        return col
+
+    bare = feed(None)
+    obs = MetricsRegistry()
+    wired = feed(obs)
+    b_snap = bare.snapshot().as_dict()
+    w_snap = wired.snapshot().as_dict()
+    assert b_snap == w_snap, (
+        f"{name}: instrumented snapshot diverges from bare: "
+        + str({k: (b_snap[k], w_snap[k]) for k in b_snap
+               if b_snap[k] != w_snap[k]})
+    )
+    flows = np.unique(trace.flow_id).tolist()
+    mismatch = [f for f in flows if bare.result(f) != wired.result(f)]
+    assert not mismatch, (
+        f"{name}: per-flow answers diverge under instrumentation for "
+        f"flows {mismatch[:5]}..."
+    )
+    # The registry actually saw the work (it was not a silent null).
+    fams = obs.as_dict()["families"]
+    counted = sum(
+        s["value"] for s in fams["pint_collector_records_total"]["samples"]
+    )
+    assert counted == len(trace), (
+        f"{name}: registry counted {counted} records, ingested {len(trace)}"
+    )
+    # And the export path holds: the dump renders as Prometheus text.
+    assert "pint_collector_records_total" in render_prometheus(obs)
+
+    plain_r = ReplayDriver(batch_size=batch, seed=seed).replay(trace)
+    obs_r = ReplayDriver(
+        batch_size=batch, seed=seed, obs=MetricsRegistry()
+    ).replay(trace)
+    for field in DETERMINISTIC_FIELDS:
+        assert getattr(plain_r, field) == getattr(obs_r, field), (
+            f"{name}: driver report field {field!r} diverges under "
+            "instrumentation"
+        )
+    s_err, o_err = (
+        plain_r.congestion_median_rel_err, obs_r.congestion_median_rel_err
+    )
+    assert s_err == o_err or (math.isnan(s_err) and math.isnan(o_err))
+
+    # Stage breakdown: present on every report (obs or not), covers the
+    # pipeline stages, and its parts do not exceed the whole.
+    stages = dict(obs_r.stage_seconds)
+    for stage in ("select", "encode", "ingest", "decode"):
+        assert stage in stages, f"{name}: stage {stage!r} missing from report"
+    assert all(v >= 0.0 for v in stages.values())
+    assert sum(stages.values()) <= obs_r.seconds * 1.5 + 0.05, (
+        f"{name}: stage breakdown {sum(stages.values()):.4f}s wildly "
+        f"exceeds replay wall clock {obs_r.seconds:.4f}s"
+    )
+    return {
+        "records": len(trace),
+        "flows": len(flows),
+        "stages": sorted(stages),
+    }
+
+
+def time_ingest(make_collector, cols, batch: int) -> float:
+    """Seconds for one full batched ingest of the workload."""
+    fids, pids, hops, digs = cols
+    n = len(fids)
+    col = make_collector()
+    start = time.perf_counter()
+    for lo in range(0, n, batch):
+        hi = lo + batch
+        col.ingest_batch(fids[lo:hi], pids[lo:hi], hops[lo:hi], digs[lo:hi])
+    seconds = time.perf_counter() - start
+    assert col.snapshot().records == n
+    return seconds
+
+
+def bench_overhead(args) -> dict:
+    """Interleaved best-of-N: bare vs instrumented ingest rate."""
+    cols, universe, factory_kwargs = make_path_workload(
+        args.records, args.flows, args.seed
+    )
+    factory = lambda: path_consumer_factory(universe, **factory_kwargs)
+    print(f"\nworkload: {args.records} path-query records over "
+          f"{args.flows} flows, batch={args.batch}, "
+          f"{args.num_shards} shards, best of {args.repeats}")
+    bare_s = float("inf")
+    wired_s = float("inf")
+    for _ in range(args.repeats):
+        bare_s = min(bare_s, time_ingest(
+            lambda: Collector(factory(), num_shards=args.num_shards,
+                              seed=args.seed),
+            cols, args.batch,
+        ))
+        wired_s = min(wired_s, time_ingest(
+            lambda: Collector(factory(), num_shards=args.num_shards,
+                              seed=args.seed, obs=MetricsRegistry()),
+            cols, args.batch,
+        ))
+    bare_rate = args.records / bare_s
+    wired_rate = args.records / wired_s
+    overhead = wired_s / bare_s - 1.0
+    print(f"bare          {bare_rate:>12,.0f} rec/s")
+    print(f"instrumented  {wired_rate:>12,.0f} rec/s   "
+          f"({overhead:+.2%} overhead)")
+    return {
+        "uninstrumented_rps": round(bare_rate),
+        "instrumented_rps": round(wired_rate),
+        "overhead_pct": round(overhead * 100.0, 3),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=200_000,
+                        help="records in the overhead workload")
+    parser.add_argument("--flows", type=int, default=256)
+    parser.add_argument("--num-shards", type=int, default=8,
+                        help="collector shard count")
+    parser.add_argument("--batch", type=int, default=8192,
+                        help="columnar batch size")
+    parser.add_argument("--id-packets", type=int, default=6_000,
+                        help="records per scenario in the identity check")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="interleaved timing repetitions (best-of-N)")
+    parser.add_argument("--ceiling", type=float, default=5.0,
+                        help="max tolerated ingest overhead, percent")
+    parser.add_argument("--json", default="BENCH_obs.json",
+                        help="output path for the machine-readable results")
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI smoke run")
+    args = parser.parse_args()
+    if args.quick:
+        args.records = min(args.records, 60_000)
+        args.id_packets = min(args.id_packets, 3_000)
+        args.repeats = min(args.repeats, 3)
+
+    print(f"obs overhead: identity on {len(scenario_names())} scenarios, "
+          f"ceiling {args.ceiling:.1f}%")
+    identity = {}
+    for name in scenario_names():
+        identity[name] = check_scenario_identity(
+            name, args.id_packets, args.batch, args.seed
+        )
+        print(f"  {name:<15} snapshot + per-flow answers + driver report "
+              "bit-identical; stage breakdown present")
+
+    overhead = bench_overhead(args)
+
+    payload = {
+        "benchmark": "obs_overhead",
+        "records": args.records,
+        "flows": args.flows,
+        "num_shards": args.num_shards,
+        "batch": args.batch,
+        "seed": args.seed,
+        "repeats": args.repeats,
+        "ceiling_pct": args.ceiling,
+        **overhead,
+        "identity": {"packets": args.id_packets, "scenarios": identity,
+                     "ok": True},
+    }
+    write_bench_json(args.json, payload)
+
+    assert overhead["overhead_pct"] <= args.ceiling, (
+        f"instrumented ingest is {overhead['overhead_pct']:.2f}% slower "
+        f"than bare (ceiling {args.ceiling:.1f}%): the observability "
+        "layer must stay off the hot path"
+    )
+    print(f"\nOK: instrumentation costs {overhead['overhead_pct']:.2f}% "
+          f"(ceiling {args.ceiling:.1f}%)")
+    print("OK: snapshots, per-flow answers and driver reports "
+          "bit-identical with a live registry on every scenario")
+
+
+if __name__ == "__main__":
+    main()

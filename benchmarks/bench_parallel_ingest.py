@@ -263,7 +263,15 @@ def main() -> None:
         "cores": cores,
         "serial_rps": throughput["serial_rps"],
         "workers": throughput["workers"],
+        #: The worker count the >=2x assertion targets, whether it ran
+        #: (self-gated on usable cores), and -- when it did not -- why:
+        #: a CI reader must be able to tell "passed" from "never ran".
+        "target_workers": target_workers,
         "speedup_asserted": enforce,
+        "speedup_skip_reason": (
+            None if enforce else
+            f"only {cores} usable core(s) < {target_workers} workers"
+        ),
         "equivalence": equivalence,
     }
     write_bench_json(args.json, payload)

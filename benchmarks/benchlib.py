@@ -24,7 +24,6 @@ as a sibling.
 from __future__ import annotations
 
 import json
-import math
 
 import numpy as np
 
@@ -34,27 +33,17 @@ from repro.coding import (
     multilayer_scheme,
     pack_reps_array,
 )
+from repro.jsonutil import jsonable
 from repro.net import fat_tree
 
 
 # -- finite JSON -----------------------------------------------------------
 
-def sanitize(obj):
-    """Replace non-finite floats with None, recursively.
-
-    Containers are rebuilt (dicts/lists/tuples); NumPy scalars are
-    unwrapped to native Python so the result is plain-JSON all the way
-    down.  Everything else passes through untouched.
-    """
-    if isinstance(obj, dict):
-        return {k: sanitize(v) for k, v in obj.items()}
-    if isinstance(obj, (list, tuple)):
-        return [sanitize(v) for v in obj]
-    if isinstance(obj, np.generic):
-        obj = obj.item()
-    if isinstance(obj, float) and not math.isfinite(obj):
-        return None
-    return obj
+#: Non-finite -> null, NumPy -> native, recursively.  The bench
+#: writers and the query port used to carry separate copies of this
+#: walk; both now share :func:`repro.jsonutil.jsonable` (this alias
+#: keeps the benchmarks' historical name).
+sanitize = jsonable
 
 
 def write_bench_json(path: str, payload: dict) -> None:

@@ -67,8 +67,13 @@ def main() -> None:
         print(f"   {sender.frames_sent} frames sent "
               f"({sender.retransmits} retransmits), "
               f"{stats.duplicate_frames} duplicates deduped server-side")
+        # Karn's rule only samples RTT from never-retransmitted frames:
+        # on a loaded machine every frame can hit its RTO, leaving no
+        # estimate at all -- report that honestly instead of crashing.
+        srtt = (f"{sender.srtt * 1e3:.2f} ms" if sender.srtt is not None
+                else "n/a, every frame retransmitted")
         print(f"   delivered {stats.records_ingested}/{len(trace)} records "
-              f"exactly once (srtt {sender.srtt * 1e3:.2f} ms)")
+              f"exactly once (srtt {srtt})")
 
         print("\n== querying the live service ==")
         with QueryClient("127.0.0.1", server.query_port) as client:

@@ -27,7 +27,7 @@ counts added to a seconds clock would TTL-evict everything).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from repro.collector.records import Column, normalize_batch
 from repro.collector.shard import Shard, ShardRouter
 from repro.collector.snapshot import Snapshot
 from repro.exceptions import CollectorClosedError
+from repro.obs.metrics import NULL_REGISTRY, SIZE_BUCKETS
 
 
 class IngestClock:
@@ -104,6 +105,18 @@ class Collector:
         Flow-table bounds (LRU capacity, idle expiry) applied per shard.
     router:
         Optional :class:`ShardRouter` override (custom placement).
+    obs / obs_labels:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` (shared
+        freely across components) and static labels distinguishing
+        this collector's series (e.g. ``{"sink": "path"}``).  Omitted,
+        all instrumentation collapses to shared no-ops; enabled, the
+        hot path pays per-*batch* work only -- batch-size histogram,
+        two stage spans, per-batch counter bumps -- while
+        eviction/creation totals and the live-flow gauge are read
+        straight off the flow tables at export time.  Either way the
+        ingested state is bit-identical (metrics observe, they never
+        steer), which ``bench_obs_overhead.py`` pins alongside the
+        <5% overhead ceiling.
     """
 
     def __init__(
@@ -114,6 +127,8 @@ class Collector:
         ttl: Optional[float] = None,
         seed: int = 0,
         router: Optional[ShardRouter] = None,
+        obs=None,
+        obs_labels: Optional[Dict[str, str]] = None,
     ) -> None:
         if router is not None and router.num_shards != num_shards:
             raise ValueError("router/num_shards mismatch")
@@ -129,6 +144,55 @@ class Collector:
         ]
         self.clock = IngestClock()
         self._closed = False
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self._init_obs(dict(obs_labels) if obs_labels else {})
+
+    def _init_obs(self, labels: Dict[str, str]) -> None:
+        """Bind this collector's instruments once, up front.
+
+        Hot-path sites touch pre-bound attributes only; registry
+        lookups (dict + lock) happen here, never per batch.
+        """
+        obs = self.obs
+        self._m_records = obs.counter(
+            "pint_collector_records_total",
+            "Records folded into consumers", labels,
+        )
+        self._m_batches = obs.counter(
+            "pint_collector_batches_total",
+            "ingest_batch calls applied", labels,
+        )
+        self._m_batch_size = obs.histogram(
+            "pint_collector_batch_records",
+            "Records per ingest_batch call", labels, buckets=SIZE_BUCKETS,
+        )
+        self._sp_group = obs.span(
+            "pint_collector_group_seconds",
+            "Per-batch normalize + route + lexsort grouping time", labels,
+        )
+        self._sp_consume = obs.span(
+            "pint_collector_consume_seconds",
+            "Per-batch flow-table touch + consumer dispatch time", labels,
+        )
+        # Totals that already live in the flow tables are *read* at
+        # export time rather than double-counted on the hot path.
+        shards = self.shards
+        obs.counter(
+            "pint_collector_flows_created_total",
+            "Flow-table entries ever created", labels,
+        ).set_function(lambda: sum(s.table.created for s in shards))
+        obs.counter(
+            "pint_collector_lru_evictions_total",
+            "Flows evicted by LRU capacity pressure", labels,
+        ).set_function(lambda: sum(s.table.lru_evictions for s in shards))
+        obs.counter(
+            "pint_collector_ttl_evictions_total",
+            "Flows evicted by idle TTL", labels,
+        ).set_function(lambda: sum(s.table.ttl_evictions for s in shards))
+        obs.gauge(
+            "pint_collector_live_flows",
+            "Flow-table entries currently live", labels,
+        ).set_function(lambda: sum(len(s.table) for s in shards))
 
     # -- clock -------------------------------------------------------------
 
@@ -156,6 +220,7 @@ class Collector:
         t = self._tick(now, 1)
         shard = self.shards[self.router.shard_of(flow_id)]
         shard.ingest(flow_id, pid, hop_count, digest, t)
+        self._m_records.inc()
 
     def ingest_batch(
         self,
@@ -192,54 +257,61 @@ class Collector:
           included: the walk re-checks them per record).
         """
         self._check_open()
-        fids, ps, hops, digs = normalize_batch(
-            flow_ids, pids, hop_counts, digests
-        )
-        n = int(fids.shape[0])
-        if n == 0:
-            return 0
-        t = self._tick(now, n)
-        if self.num_shards == 1:
-            shard_ids = None
-            order = np.argsort(fids, kind="stable")
-        else:
-            shard_ids = self.router.shard_of_array(fids)
-            # Stable grouping: shard-major, flow-minor; ties keep batch
-            # order so per-flow streams stay sequential.
-            order = np.lexsort((fids, shard_ids))
-        sfids = fids[order]
-        sps = ps[order]
-        shops = hops[order]
-        sdigs = digs[order]
-        # Group boundaries: wherever the flow id changes (a shard change
-        # implies a flow change, so flow boundaries cover both).  Group
-        # keys are pulled out as Python lists in one shot: per-group
-        # NumPy scalar indexing would cost more than the group body.
-        cuts = np.flatnonzero(sfids[1:] != sfids[:-1]) + 1
-        starts = np.concatenate(([0], cuts))
-        bounds = np.append(starts, n).tolist()
-        group_fids = sfids[starts].tolist()
-        if shard_ids is None:
-            group_sids = [0] * len(group_fids)
-        else:
-            group_sids = shard_ids[order[starts]].tolist()
+        with self._sp_group:
+            fids, ps, hops, digs = normalize_batch(
+                flow_ids, pids, hop_counts, digests
+            )
+            n = int(fids.shape[0])
+            if n == 0:
+                return 0
+            t = self._tick(now, n)
+            if self.num_shards == 1:
+                shard_ids = None
+                order = np.argsort(fids, kind="stable")
+            else:
+                shard_ids = self.router.shard_of_array(fids)
+                # Stable grouping: shard-major, flow-minor; ties keep
+                # batch order so per-flow streams stay sequential.
+                order = np.lexsort((fids, shard_ids))
+            sfids = fids[order]
+            sps = ps[order]
+            shops = hops[order]
+            sdigs = digs[order]
+            # Group boundaries: wherever the flow id changes (a shard
+            # change implies a flow change, so flow boundaries cover
+            # both).  Group keys are pulled out as Python lists in one
+            # shot: per-group NumPy scalar indexing would cost more
+            # than the group body.
+            cuts = np.flatnonzero(sfids[1:] != sfids[:-1]) + 1
+            starts = np.concatenate(([0], cuts))
+            bounds = np.append(starts, n).tolist()
+            group_fids = sfids[starts].tolist()
+            if shard_ids is None:
+                group_sids = [0] * len(group_fids)
+            else:
+                group_sids = shard_ids[order[starts]].tolist()
+        self._m_batch_size.observe(n)
+        self._m_records.inc(n)
+        self._m_batches.inc()
         if self.max_flows_per_shard is not None:
-            self._ingest_batch_lru(
-                fids, shard_ids, sps, shops, sdigs, t,
-                group_fids, group_sids, bounds,
-            )
+            with self._sp_consume:
+                self._ingest_batch_lru(
+                    fids, shard_ids, sps, shops, sdigs, t,
+                    group_fids, group_sids, bounds,
+                )
             return n
-        shards = self.shards
-        touched = set()
-        for idx, fid in enumerate(group_fids):
-            sid = group_sids[idx]
-            shards[sid].ingest_group(
-                fid, sps, shops, sdigs, t, bounds[idx], bounds[idx + 1]
-            )
-            touched.add(sid)
-        for sid in touched:
-            shards[sid].batches += 1
-            shards[sid].table.maybe_expire(t)
+        with self._sp_consume:
+            shards = self.shards
+            touched = set()
+            for idx, fid in enumerate(group_fids):
+                sid = group_sids[idx]
+                shards[sid].ingest_group(
+                    fid, sps, shops, sdigs, t, bounds[idx], bounds[idx + 1]
+                )
+                touched.add(sid)
+            for sid in touched:
+                shards[sid].batches += 1
+                shards[sid].table.maybe_expire(t)
         return n
 
     def _ingest_batch_lru(
@@ -361,10 +433,16 @@ class Collector:
         return shard.table.evict(flow_id)
 
     def snapshot(self) -> Snapshot:
-        """Point-in-time metrics across all shards."""
+        """Point-in-time metrics across all shards.
+
+        When an ``obs`` registry is attached its full dump rides on
+        :attr:`Snapshot.metrics` (excluded from ``as_dict`` and
+        equality -- timings may never break bit-identity checks).
+        """
         return Snapshot(
             taken_at=self.clock.now,
             shards=[shard.stats() for shard in self.shards],
+            metrics=self.obs.as_dict() if self.obs.enabled else None,
         )
 
     def _check_open(self) -> None:

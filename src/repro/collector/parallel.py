@@ -62,6 +62,7 @@ from repro.collector.records import Column, normalize_batch
 from repro.collector.shard import ShardRouter
 from repro.collector.snapshot import Snapshot
 from repro.exceptions import CollectorClosedError
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 
 #: Commands a worker understands.  Batches are fire-and-forget; every
 #: other command is synchronous and gets exactly one ``("ok", value)``
@@ -81,6 +82,10 @@ def _worker_main(
     seed: int,
     router: Optional[ShardRouter],
     owned: List[int],
+    worker_id: int = 0,
+    obs_enabled: bool = False,
+    applied=None,
+    obs_labels: Optional[dict] = None,
 ) -> None:
     """One worker: a private Collector serving commands off a pipe.
 
@@ -94,7 +99,18 @@ def _worker_main(
     at the sender immediately; it is parked and returned as the reply
     to the next synchronous command, so no error is ever silent past a
     ``drain()``.
+
+    Observability: with ``obs_enabled`` the worker runs its private
+    collector over a private :class:`MetricsRegistry` labelled
+    ``{"worker": str(worker_id)}``; the registry dump rides back on
+    every partial snapshot (live registries never cross the pipe) and
+    :meth:`Snapshot.merged` folds the per-worker families.  ``applied``
+    is a lock-free shared counter bumped after every fire-and-forget
+    message is folded -- the parent's backlog gauge reads it without a
+    barrier, which a pipe RPC could never do (the RPC reply itself
+    drains the backlog it would be measuring).
     """
+    obs = MetricsRegistry() if obs_enabled else None
     col = Collector(
         consumer_factory,
         num_shards=num_shards,
@@ -102,6 +118,8 @@ def _worker_main(
         ttl=ttl,
         seed=seed,
         router=router,
+        obs=obs,
+        obs_labels={**(obs_labels or {}), "worker": str(worker_id)},
     )
     owned_set = frozenset(owned)
     # Every fire-and-forget failure is parked (bounded: distinct root
@@ -144,6 +162,12 @@ def _worker_main(
                     pending_errors.append(traceback.format_exc())
                 else:
                     suppressed_errors += 1
+            finally:
+                # Count attempts, not successes: the parent's sent
+                # counter has no idea a batch failed, and the backlog
+                # gauge must return to zero either way.
+                if applied is not None:
+                    applied.value += 1
             continue
         if op == _STOP:
             # Parked batch failures must not die with the worker: the
@@ -167,6 +191,7 @@ def _worker_main(
                         col.shards[s].stats()
                         for s in range(num_shards) if s in owned_set
                     ],
+                    metrics=obs.as_dict() if obs is not None else None,
                 )
             elif op == _FLOW:
                 reply = col.flow(msg[1])
@@ -214,6 +239,14 @@ class ParallelCollector:
         ``multiprocessing`` start method.  The default ``fork``
         supports closure factories; ``spawn`` requires picklable
         arguments throughout.
+    obs:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  The
+        parent registers scatter/drain spans, per-worker sent-batch
+        counters and a live ``pint_parallel_worker_backlog`` gauge
+        (sent minus applied, via a shared counter each worker bumps);
+        each worker additionally runs its private collector over its
+        own registry labelled ``{"worker": str(w)}``, merged into
+        every :meth:`snapshot`.  Omitted, all of it is no-op.
     """
 
     def __init__(
@@ -226,6 +259,8 @@ class ParallelCollector:
         seed: int = 0,
         router: Optional[ShardRouter] = None,
         start_method: str = "fork",
+        obs=None,
+        obs_labels: Optional[dict] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -251,6 +286,44 @@ class ParallelCollector:
         self._conns: List = []
         self._procs: List = []
         self._closed = False
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self._obs_labels = dict(obs_labels) if obs_labels else {}
+        #: Fire-and-forget messages sent per worker (parent side) and
+        #: the matching worker-side applied counters (shared memory,
+        #: created at start()).  Their difference is the live backlog.
+        self._sent: List[int] = [0] * workers
+        self._applied: List = []
+        self._init_obs()
+
+    def _init_obs(self) -> None:
+        obs = self.obs
+        base = self._obs_labels
+        self._sp_scatter = obs.span(
+            "pint_parallel_scatter_seconds",
+            "Time routing + piping one batch to the workers.",
+            labels=base,
+        )
+        self._sp_drain = obs.span(
+            "pint_parallel_drain_seconds",
+            "Time blocked in drain barriers (slowest worker's backlog).",
+            labels=base,
+        )
+        for w in range(self.workers):
+            labels = {**base, "worker": str(w)}
+            obs.counter(
+                "pint_parallel_batches_sent_total",
+                "Fire-and-forget messages scattered to this worker.",
+                labels=labels,
+            ).set_function(lambda w=w: self._sent[w])
+            obs.gauge(
+                "pint_parallel_worker_backlog",
+                "Messages sent to this worker and not yet applied.",
+                labels=labels,
+            ).set_function(
+                lambda w=w: self._sent[w] - (
+                    self._applied[w].value if w < len(self._applied) else 0
+                )
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -268,9 +341,14 @@ class ParallelCollector:
         for w in range(self.workers):
             owned = list(range(w, self.num_shards, self.workers))
             parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            applied = self._ctx.Value("L", 0, lock=False)
+            self._applied.append(applied)
             proc = self._ctx.Process(
                 target=_worker_main,
-                args=(child_conn, *self._spec, owned),
+                args=(
+                    child_conn, *self._spec, owned,
+                    w, self.obs.enabled, applied, self._obs_labels,
+                ),
                 daemon=True,
                 name=f"collector-worker-{w}",
             )
@@ -323,7 +401,8 @@ class ParallelCollector:
         self._check_open()
         if not self._procs:
             return
-        self._broadcast((_DRAIN,))
+        with self._sp_drain:
+            self._broadcast((_DRAIN,))
 
     def close(self, timeout: float = 30.0) -> None:
         """Stop and join the workers (idempotent).
@@ -474,10 +553,12 @@ class ParallelCollector:
         """Route one record to its owner worker (scalar path)."""
         self.start()
         t = self.clock.tick(now, 1)
+        owner = self._owner(flow_id)
         self._send(
-            self._conns[self._owner(flow_id)],
+            self._conns[owner],
             (_INGEST, flow_id, pid, hop_count, digest, t),
         )
+        self._sent[owner] += 1
 
     def ingest_batch(
         self,
@@ -506,18 +587,26 @@ class ParallelCollector:
             return 0
         self.start()
         t = self.clock.tick(now, n)
-        if self.workers == 1:
-            self._send(self._conns[0], (_BATCH, fids, ps, hops, digs, t))
-            return n
-        wids = self.router.shard_of_array(fids) % self.workers
-        for w in range(self.workers):
-            mask = wids == w
-            if not mask.any():
-                continue
-            self._send(
-                self._conns[w],
-                (_BATCH, fids[mask], ps[mask], hops[mask], digs[mask], t),
-            )
+        with self._sp_scatter:
+            if self.workers == 1:
+                self._send(
+                    self._conns[0], (_BATCH, fids, ps, hops, digs, t)
+                )
+                self._sent[0] += 1
+                return n
+            wids = self.router.shard_of_array(fids) % self.workers
+            for w in range(self.workers):
+                mask = wids == w
+                if not mask.any():
+                    continue
+                self._send(
+                    self._conns[w],
+                    (
+                        _BATCH, fids[mask], ps[mask], hops[mask],
+                        digs[mask], t,
+                    ),
+                )
+                self._sent[w] += 1
         return n
 
     # -- queries -----------------------------------------------------------
@@ -629,6 +718,10 @@ class ParallelCollector:
             return Snapshot(
                 taken_at=self.clock.now,
                 shards=[shard.stats() for shard in idle.shards],
+            ).with_metrics(
+                self.obs.as_dict() if self.obs.enabled else None
             )
         parts = self._broadcast((_SNAPSHOT,))
-        return Snapshot.merged(parts, taken_at=self.clock.now)
+        return Snapshot.merged(parts, taken_at=self.clock.now).with_metrics(
+            self.obs.as_dict() if self.obs.enabled else None
+        )

@@ -9,8 +9,10 @@ are plain frozen dataclasses -- cheap to take, trivially serialisable
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Dict, Iterable, List, Optional
+
+from repro.obs.metrics import merge_metrics
 
 
 @dataclass(frozen=True)
@@ -70,6 +72,26 @@ class ServiceStats:
     #: too far ahead of a stalled stream); unacked, so retransmitted.
     dropped_window: int = 0
 
+    @classmethod
+    def merged(
+        cls, parts: Iterable[Optional["ServiceStats"]]
+    ) -> Optional["ServiceStats"]:
+        """Field-wise sum over the non-``None`` parts (all counters).
+
+        ``None`` parts contribute nothing -- a sink that never stood
+        behind a front door has no wire counters, not zero wire
+        counters -- and an all-``None`` merge stays ``None`` so merged
+        and bare snapshots remain ``==``-comparable.
+        """
+        present = [p for p in parts if p is not None]
+        if not present:
+            return None
+        totals = {
+            f.name: sum(getattr(p, f.name) for p in present)
+            for f in fields(cls)
+        }
+        return cls(**totals)
+
     @property
     def dropped_total(self) -> int:
         """All admission rejections, every reason summed."""
@@ -88,11 +110,20 @@ class Snapshot:
     taken straight off a collector carry ``None`` there, so in-process
     and behind-the-wire snapshots of the same collector state still
     compare equal on every shard counter.
+
+    ``metrics`` carries the owning registry's dump
+    (:meth:`~repro.obs.metrics.MetricsRegistry.as_dict`) when the
+    collector was built with ``obs=``; it is excluded from equality
+    *and* from :meth:`as_dict` on purpose -- metrics contain wall-time
+    histograms, and two bit-identical collector states must keep
+    comparing equal regardless of how long their runs took.  Read it
+    explicitly (or via the query port's ``metrics`` verb).
     """
 
     taken_at: float
     shards: List[ShardStats] = field(default_factory=list)
     service: Optional[ServiceStats] = None
+    metrics: Optional[Dict] = field(default=None, compare=False)
 
     @property
     def num_shards(self) -> int:
@@ -171,6 +202,14 @@ class Snapshot:
         ``taken_at`` defaults to the latest part (workers trail the
         front-door clock only by in-flight batches; pass the front
         door's own clock for an exact stamp).
+
+        Heterogeneous sidecars merge too: per-part ``service``
+        counters sum field-wise and per-part ``metrics`` registries
+        fold via :func:`~repro.obs.metrics.merge_metrics` -- parts
+        carrying ``None`` (an idle or uninstrumented worker) simply
+        contribute nothing, and when *every* part carries ``None`` the
+        merged field stays ``None``, keeping merged snapshots
+        ``==``-comparable with bare ones.
         """
         parts = list(parts)
         shards = [s for p in parts for s in p.shards]
@@ -185,7 +224,15 @@ class Snapshot:
         return cls(
             taken_at=taken_at,
             shards=sorted(shards, key=lambda s: s.shard_id),
+            service=ServiceStats.merged(p.service for p in parts),
+            metrics=merge_metrics(p.metrics for p in parts),
         )
+
+    def with_metrics(self, extra: Optional[Dict]) -> "Snapshot":
+        """This snapshot with ``extra`` metrics folded in (or as-is)."""
+        if extra is None:
+            return self
+        return replace(self, metrics=merge_metrics([self.metrics, extra]))
 
     def as_dict(self) -> Dict:
         """JSON-friendly dump, aggregates included."""

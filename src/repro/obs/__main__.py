@@ -1,0 +1,78 @@
+"""Observability CLI: ``python -m repro.obs watch`` (+ one-shot verbs).
+
+``watch`` attaches to a running collector's JSON query port and
+redraws a live frame every ``--interval`` seconds; ``dump`` fetches
+the registry once and prints it as Prometheus exposition text (handy
+where the HTTP metrics port was not enabled).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.prom import render_prometheus
+from repro.obs.watch import Watcher
+from repro.service.query import QueryClient
+
+
+def cmd_watch(args) -> int:
+    watcher = Watcher(
+        host=args.host, port=args.port, interval=args.interval,
+        history=args.history,
+        clear=False if args.no_clear else None,
+    )
+    frames = watcher.run(iterations=args.iterations)
+    return 0 if frames else 1
+
+
+def cmd_dump(args) -> int:
+    with QueryClient(args.host, args.port) as client:
+        metrics = client.request({"op": "metrics"})["metrics"]
+    if args.json:
+        json.dump(metrics, sys.stdout, indent=2, allow_nan=False)
+        sys.stdout.write("\n")
+    else:
+        sys.stdout.write(render_prometheus(metrics))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Watch or dump a live collector's metrics.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("watch", help="live terminal view of a collector")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True,
+                   help="the server's JSON query port")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between polls (default 1)")
+    p.add_argument("--history", type=int, default=60,
+                   help="ring-buffer samples kept (default 60)")
+    p.add_argument("--iterations", type=int, default=None,
+                   help="frames to draw before exiting (default: forever)")
+    p.add_argument("--no-clear", action="store_true",
+                   help="append frames instead of clearing the screen")
+    p.set_defaults(fn=cmd_watch)
+
+    p = sub.add_parser("dump", help="fetch metrics once, print exposition")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True,
+                   help="the server's JSON query port")
+    p.add_argument("--json", action="store_true",
+                   help="print the raw registry JSON instead")
+    p.set_defaults(fn=cmd_dump)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,185 @@
+"""Prometheus text exposition (format v0.0.4) + a tiny scrape server.
+
+The registry's dict form (:meth:`~repro.obs.metrics.MetricsRegistry.
+as_dict`) is the single source of truth; :func:`render_prometheus`
+turns it -- or a live registry, or a merged cross-process dump -- into
+the ``text/plain; version=0.0.4`` body every Prometheus-compatible
+scraper understands:
+
+* counters/gauges: ``name{label="v"} value``
+* histograms: cumulative ``name_bucket{le="..."}`` series plus
+  ``name_sum`` / ``name_count`` (internal storage is per-bucket; the
+  cumulative sum happens here, at render time).
+
+:class:`MetricsHTTPServer` is the matching scrape endpoint: a
+threaded stdlib HTTP server answering ``GET /metrics``, started by
+``python -m repro.service serve --metrics-port`` so ``curl
+localhost:<port>/metrics`` works against a live collector with no
+client library at all.
+"""
+
+from __future__ import annotations
+
+import http.server
+import math
+import threading
+from typing import Callable, Optional, Union
+
+__all__ = ["MetricsHTTPServer", "render_prometheus"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _fmt_value(value) -> str:
+    """Prometheus value spelling: integral floats without the ``.0``."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    v = float(value)
+    if math.isnan(v):
+        return "NaN"
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(v)
+
+
+def _fmt_labels(labels: dict, extra: Optional[dict] = None) -> str:
+    items = dict(labels)
+    if extra:
+        items.update(extra)
+    if not items:
+        return ""
+    body = ",".join(
+        f'{k}="{_escape_label(str(v))}"' for k, v in sorted(items.items())
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(source: Union[dict, object]) -> str:
+    """Render a registry (or its ``as_dict`` payload) to exposition text."""
+    payload = source if isinstance(source, dict) else source.as_dict()
+    lines = []
+    for name in sorted(payload.get("families", {})):
+        fam = payload["families"][name]
+        if fam.get("help"):
+            lines.append(f"# HELP {name} {_escape_help(fam['help'])}")
+        lines.append(f"# TYPE {name} {fam['type']}")
+        for sample in fam["samples"]:
+            labels = sample.get("labels", {})
+            if fam["type"] == "histogram":
+                cum = 0
+                for edge, count in sample["buckets"]:
+                    cum += count
+                    le = "+Inf" if edge == "+Inf" else _fmt_value(edge)
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_fmt_labels(labels, {'le': le})} {cum}"
+                    )
+                lines.append(
+                    f"{name}_sum{_fmt_labels(labels)} "
+                    f"{_fmt_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_fmt_labels(labels)} {sample['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_fmt_labels(labels)} "
+                    f"{_fmt_value(sample['value'])}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+class _Handler(http.server.BaseHTTPRequestHandler):
+    """GET /metrics -> exposition text; anything else -> 404."""
+
+    # The scrape path must never block on a slow reverse-DNS lookup.
+    def address_string(self) -> str:  # pragma: no cover - trivial
+        return self.client_address[0]
+
+    def log_message(self, *args) -> None:
+        pass  # scrapes are periodic; logging each one is noise
+
+    def do_GET(self) -> None:
+        if self.path.split("?", 1)[0] not in ("/metrics", "/"):
+            self.send_error(404, "only /metrics lives here")
+            return
+        try:
+            body = render_prometheus(self.server.metrics_source()).encode()
+        except Exception as exc:  # surface, never hang the scraper
+            self.send_error(500, f"metrics render failed: {exc}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class _Server(http.server.ThreadingHTTPServer):
+    daemon_threads = True
+    #: set by MetricsHTTPServer before serving
+    metrics_source: Callable[[], dict]
+
+
+class MetricsHTTPServer:
+    """Serve ``/metrics`` for one registry (or any dict-returning fn).
+
+    ``source`` may be a :class:`~repro.obs.metrics.MetricsRegistry`,
+    a plain payload dict, or a zero-arg callable returning either --
+    the callable form is what the collector server uses to merge its
+    own registry with worker registries at scrape time.
+    """
+
+    def __init__(
+        self, source, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        if callable(source):
+            fetch = source
+        else:
+            fetch = lambda: source  # noqa: E731 - trivial closure
+        self._httpd = _Server((host, port), _Handler)
+        self._httpd.metrics_source = (
+            lambda: (lambda p: p.as_dict() if hasattr(p, "as_dict") else p)(
+                fetch()
+            )
+        )
+        self.host = host
+        self.port = self._httpd.server_address[1]
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "MetricsHTTPServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                kwargs={"poll_interval": 0.2},
+                name="obs-metrics-http", daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

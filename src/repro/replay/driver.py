@@ -36,6 +36,7 @@ from repro.core.plan import ExecutionPlan, PlanEntry
 from repro.core.query import AggregationType, Query
 from repro.core.values import MetadataType
 from repro.hashing import GlobalHash
+from repro.obs.metrics import NULL_REGISTRY, StageTimes
 from repro.replay.dataplane import TraceDataplane, compress_utilizations
 from repro.replay.impair import (
     ImpairmentModel,
@@ -92,6 +93,13 @@ class ScenarioReport:
     wire_frames: int = 0
     #: Reliable-UDP retransmissions (0 on tcp / in-process).
     wire_retransmits: int = 0
+    #: Per-stage wall time of the replay loop, insertion-ordered
+    #: ``(stage, seconds)`` pairs: where ``seconds`` actually went
+    #: (select / encode / ingest / transport / decode, plus impair
+    #: when models ran).  Always measured -- the accumulator is two
+    #: clock reads per stage per batch -- so every report can answer
+    #: ROADMAP item 2's "which stage stalls the pipeline".
+    stage_seconds: Tuple[Tuple[str, float], ...] = ()
 
     @property
     def delivery_rate(self) -> float:
@@ -112,6 +120,7 @@ class ScenarioReport:
         """
         d = asdict(self)
         d["impairments"] = list(self.impairments)
+        d["stage_seconds"] = {k: v for k, v in self.stage_seconds}
         d["records_per_sec"] = self.records_per_sec
         d["path_coverage"] = self.path_coverage
         d["path_accuracy"] = self.path_accuracy
@@ -165,6 +174,17 @@ class ScenarioReport:
             )
         return line
 
+    def stage_summary(self) -> str:
+        """One line of where the replay's wall time went, by stage."""
+        total = sum(s for _, s in self.stage_seconds)
+        if total <= 0:
+            return "stages: n/a"
+        parts = [
+            f"{stage} {secs * 1e3:,.0f}ms ({secs / total * 100:.0f}%)"
+            for stage, secs in self.stage_seconds
+        ]
+        return "stages: " + "  ".join(parts)
+
 
 class ReplayDriver:
     """Streams scenario traces through the vectorised dataplane.
@@ -216,6 +236,16 @@ class ReplayDriver:
         make the wire run bit-identical to the in-process one --
         snapshots and per-flow answers alike -- which
         ``bench_service_ingest.py`` asserts on every scenario.
+    obs:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` threaded
+        through every component the driver builds: both sink
+        collectors (labelled ``{"sink": "path"}`` /
+        ``{"sink": "congestion"}``), the parallel scatter when
+        ``workers`` is set, and the reliable UDP sender when
+        ``transport="udp"``.  Stage wall-times additionally land in
+        ``pint_replay_stage_seconds{stage=...}`` per replay.  The
+        per-report :attr:`ScenarioReport.stage_seconds` breakdown is
+        *always* measured, registry or not.
     """
 
     def __init__(
@@ -232,6 +262,7 @@ class ReplayDriver:
         mode: str = "auto",
         impairments: Optional[Sequence[ImpairmentModel]] = None,
         transport: Optional[str] = None,
+        obs=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -248,6 +279,7 @@ class ReplayDriver:
             )
         self.transport = transport
         self.mode = mode
+        self.obs = obs if obs is not None else NULL_REGISTRY
         self.impairments: List[ImpairmentModel] = (
             list(impairments) if impairments is not None else []
         )
@@ -288,22 +320,34 @@ class ReplayDriver:
         """Ground-truth bottleneck utilisation per record, in (0, 1.5)."""
         return self._util_hash.uniform_array(trace.pid) * 1.5
 
-    def _make_sink(self, consumer_factory):
-        """One sink collector: serial, or parallel when ``workers`` set."""
+    def _make_sink(self, consumer_factory, sink_label: str):
+        """One sink collector: serial, or parallel when ``workers`` set.
+
+        ``sink_label`` keeps the two sinks' metric streams apart in
+        the shared registry (``{"sink": "path"|"congestion"}``).
+        """
+        obs = None if not self.obs.enabled else self.obs
+        labels = {"sink": sink_label}
         if self.workers is None:
             return Collector(
                 consumer_factory, num_shards=self.num_shards, seed=self.seed,
+                obs=obs, obs_labels=labels,
             )
         return ParallelCollector(
             consumer_factory, workers=self.workers,
             num_shards=self.num_shards, seed=self.seed,
+            obs=obs, obs_labels=labels,
         )
 
-    def _wire_sink(self, sink):
+    def _wire_sink(self, sink, sink_label: str):
         """Stand a sink behind a loopback server; return (server, sender)."""
+        obs = None if not self.obs.enabled else self.obs
         if self.transport == "udp":
             server = CollectorServer(sink, tcp_port=None).start()
-            sender = ReliableUDPSender("127.0.0.1", server.udp_port)
+            sender = ReliableUDPSender(
+                "127.0.0.1", server.udp_port,
+                obs=obs, obs_labels={"sink": sink_label},
+            )
         else:
             server = CollectorServer(sink, udp_port=None).start()
             sender = TCPSender("127.0.0.1", server.tcp_port)
@@ -332,7 +376,8 @@ class ReplayDriver:
                 trace.universe, digest_bits=self.digest_bits,
                 num_hashes=self.num_hashes, seed=self.seed,
                 mode=consumer_mode, value_bits=dataplane.value_bits,
-            )
+            ),
+            "path",
         )
         cong_sink: Optional[Collector] = None
         codec: Optional[UtilizationCodec] = None
@@ -345,6 +390,8 @@ class ReplayDriver:
                     bits=self.congestion_bits, seed=self.seed,
                 ),
                 num_shards=self.num_shards, seed=self.seed,
+                obs=None if not self.obs.enabled else self.obs,
+                obs_labels={"sink": "congestion"},
             )
             codec = UtilizationCodec(self.congestion_bits, seed=self.seed)
         path_server = cong_server = None
@@ -358,13 +405,22 @@ class ReplayDriver:
                 cong_sink.ingest_batch if cong_sink is not None else None
             )
             if self.transport is not None:
-                path_server, path_tx = self._wire_sink(path_sink)
+                path_server, path_tx = self._wire_sink(path_sink, "path")
                 path_ingest = path_tx.send_batch
                 if cong_sink is not None:
-                    cong_server, cong_tx = self._wire_sink(cong_sink)
+                    cong_server, cong_tx = self._wire_sink(
+                        cong_sink, "congestion"
+                    )
                     cong_ingest = cong_tx.send_batch
             hop_counts = trace.hop_counts
             utils = self.utilizations(trace) if self.has_congestion else None
+            # Stage accounting: two clock reads per section per batch,
+            # cheap enough to leave on unconditionally, so *every*
+            # report can say where its wall time went.
+            stages = StageTimes()
+            sp_select = stages.span("select")
+            sp_encode = stages.span("encode")
+            sp_ingest = stages.span("ingest")
             # The delivery schedule is planned over the whole trace up
             # front: bursty-loss state and reorder displacement must
             # span batch boundaries, exactly as a network precedes the
@@ -373,7 +429,10 @@ class ReplayDriver:
             # code path (bit-identity is golden-tested).
             delivery: Optional[np.ndarray] = None
             if models:
-                delivery = plan_delivery(models, len(trace), trace.flow_id)
+                with stages.span("impair"):
+                    delivery = plan_delivery(
+                        models, len(trace), trace.flow_id
+                    )
             total = len(trace) if delivery is None else int(delivery.shape[0])
             batches = 0
             path_records = 0
@@ -390,51 +449,66 @@ class ReplayDriver:
                     # the clock advances to the newest send stamp seen
                     # (IngestClock is monotone anyway).
                     now = float(trace.ts[rows].max())
-                entry = self.plan.select_array(trace.pid[rows])
+                with sp_select:
+                    entry = self.plan.select_array(trace.pid[rows])
                 path_rows = rows[entry == 0]
                 if path_rows.size:
-                    digests = dataplane.encode_rows(path_rows)
-                    path_ingest(
-                        trace.flow_id[path_rows], trace.pid[path_rows],
-                        hop_counts[path_rows], digests, now=now,
-                    )
+                    with sp_encode:
+                        digests = dataplane.encode_rows(path_rows)
+                    with sp_ingest:
+                        path_ingest(
+                            trace.flow_id[path_rows], trace.pid[path_rows],
+                            hop_counts[path_rows], digests, now=now,
+                        )
                     path_records += int(path_rows.size)
                 if cong_sink is not None:
                     cong_rows = rows[entry == 1]
                     if cong_rows.size:
-                        codes = compress_utilizations(
-                            codec, utils[cong_rows], trace.pid[cong_rows],
-                            hop_counts[cong_rows],
-                        )
-                        cong_ingest(
-                            trace.flow_id[cong_rows], trace.pid[cong_rows],
-                            hop_counts[cong_rows], codes, now=now,
-                        )
+                        with sp_encode:
+                            codes = compress_utilizations(
+                                codec, utils[cong_rows], trace.pid[cong_rows],
+                                hop_counts[cong_rows],
+                            )
+                        with sp_ingest:
+                            cong_ingest(
+                                trace.flow_id[cong_rows], trace.pid[cong_rows],
+                                hop_counts[cong_rows], codes, now=now,
+                            )
                         cong_records += int(cong_rows.size)
                 batches += 1
             # Wire path: flush the retransmit queues, then wait for
             # the last frame to clear socket, admission queue and
             # ingest thread -- the wire is part of the measured path,
             # so the clock keeps running until the sinks hold it all.
-            if path_tx is not None:
-                path_tx.flush()
-                path_server.wait_for_records(path_records)
-                path_server.drain()
-            if cong_tx is not None:
-                cong_tx.flush()
-                cong_server.wait_for_records(cong_records)
-                cong_server.drain()
-            # The throughput clock stops only after every scattered
-            # batch is applied -- a no-op barrier on serial sinks, the
-            # honest accounting on parallel ones.
-            path_sink.drain()
-            if cong_sink is not None:
-                cong_sink.drain()
+            with stages.span("transport"):
+                if path_tx is not None:
+                    path_tx.flush()
+                    path_server.wait_for_records(path_records)
+                    path_server.drain()
+                if cong_tx is not None:
+                    cong_tx.flush()
+                    cong_server.wait_for_records(cong_records)
+                    cong_server.drain()
+                # The throughput clock stops only after every scattered
+                # batch is applied -- a no-op barrier on serial sinks,
+                # the honest accounting on parallel ones.
+                path_sink.drain()
+                if cong_sink is not None:
+                    cong_sink.drain()
             seconds = time.perf_counter() - start
-            report = self._score(
-                trace, path_sink, cong_sink, codec, utils, batches,
-                path_records, cong_records, seconds, delivery, models,
-            )
+            with stages.span("decode"):
+                report = self._score(
+                    trace, path_sink, cong_sink, codec, utils, batches,
+                    path_records, cong_records, seconds, delivery, models,
+                )
+            report = replace(report, stage_seconds=stages.items())
+            if self.obs.enabled:
+                for stage, secs in stages.items():
+                    self.obs.histogram(
+                        "pint_replay_stage_seconds",
+                        "Whole-replay wall time per pipeline stage.",
+                        labels={"stage": stage},
+                    ).observe(secs)
             if self.transport is not None:
                 frames = path_tx.frames_sent
                 retx = getattr(path_tx, "retransmits", 0)

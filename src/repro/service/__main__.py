@@ -40,6 +40,7 @@ import time
 import numpy as np
 
 from repro.collector import Collector, path_consumer_factory
+from repro.obs.metrics import MetricsRegistry
 from repro.replay.dataplane import TraceDataplane
 from repro.replay.scenarios import build_trace, scenario_names
 from repro.service.client import make_sender
@@ -77,22 +78,29 @@ def _emit(obj) -> None:
 
 def cmd_serve(args) -> int:
     dataplane = _dataplane(args)
+    # One registry shared by sink and front door: the query port's
+    # `metrics` verb and the scrape endpoint see the whole pipeline.
+    obs = MetricsRegistry() if args.metrics_port is not None else None
     collector = Collector(
         path_consumer_factory(
             dataplane.trace.universe, digest_bits=args.digest_bits,
             num_hashes=args.num_hashes, seed=args.seed, mode="hash",
             value_bits=dataplane.value_bits,
         ),
-        num_shards=args.shards, seed=args.seed,
+        num_shards=args.shards, seed=args.seed, obs=obs,
     )
     server = CollectorServer(
         collector, host=args.host, udp_port=args.udp_port,
         tcp_port=args.tcp_port, query_port=args.query_port,
         queue_frames=args.queue_frames,
+        obs=obs, metrics_port=args.metrics_port,
     ).start()
+    metrics = (
+        "off" if args.metrics_port is None else str(server.metrics_port)
+    )
     print(
         f"SERVICE READY udp={server.udp_port} tcp={server.tcp_port} "
-        f"query={server.query_port}", flush=True,
+        f"query={server.query_port} metrics={metrics}", flush=True,
     )
     stop = threading.Event()
     for sig in (signal.SIGINT, signal.SIGTERM):
@@ -180,6 +188,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queue-frames", type=int, default=256)
     p.add_argument("--duration", type=float, default=None,
                    help="seconds to serve (default: until SIGINT/SIGTERM)")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   help="bind a Prometheus /metrics HTTP port (0 = "
+                        "ephemeral) and enable pipeline metrics; "
+                        "omitted, instrumentation stays off")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("send", help="replay a scenario trace at a server")
@@ -201,7 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, required=True,
                    help="the server's query port")
     p.add_argument("--op", default="snapshot",
-                   choices=["ping", "snapshot", "stats"])
+                   choices=["ping", "snapshot", "stats", "metrics"])
     p.add_argument("--flow-id", type=int, default=None,
                    help="query one flow instead of --op")
     p.add_argument("--timeout", type=float, default=10.0)

@@ -34,6 +34,7 @@ import time
 from typing import Callable, Dict, List, Optional
 
 from repro.exceptions import ReproError
+from repro.obs.metrics import NULL_REGISTRY
 from repro.service import wire
 
 
@@ -142,6 +143,14 @@ class ReliableUDPSender(_SenderBase):
     drop_fn:
         Optional ``(seq, attempt) -> bool`` simulated-loss hook; True
         suppresses the actual ``sendto`` for that transmission.
+    obs / obs_labels:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` (plus
+        static labels, e.g. ``{"sink": "path"}``): live
+        ``pint_sender_srtt_seconds`` / ``pint_sender_rttvar_seconds``
+        gauges updated per RTT sample, a
+        ``pint_sender_retransmits_total`` counter, and
+        function-backed inflight/acked views -- the sender-side half
+        of the wire picture the server's drop counters can't see.
     """
 
     def __init__(
@@ -157,6 +166,8 @@ class ReliableUDPSender(_SenderBase):
         max_rto: float = 2.0,
         initial_rto: float = 0.2,
         drop_fn: Optional[Callable[[int, int], bool]] = None,
+        obs=None,
+        obs_labels: Optional[dict] = None,
     ) -> None:
         if max_records > wire.MAX_UDP_RECORDS:
             raise ValueError(
@@ -181,6 +192,28 @@ class ReliableUDPSender(_SenderBase):
         self.inflight: Dict[int, _InFlight] = {}
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self.sock.setblocking(False)
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        labels = dict(obs_labels) if obs_labels else {}
+        self._g_srtt = self.obs.gauge(
+            "pint_sender_srtt_seconds",
+            "Smoothed RTT estimate (RFC 6298 EWMA).", labels=labels,
+        )
+        self._g_rttvar = self.obs.gauge(
+            "pint_sender_rttvar_seconds",
+            "RTT variance estimate (RFC 6298 EWMA).", labels=labels,
+        )
+        self._m_retx = self.obs.counter(
+            "pint_sender_retransmits_total",
+            "Frames retransmitted on RTO expiry.", labels=labels,
+        )
+        self.obs.gauge(
+            "pint_sender_inflight_frames",
+            "Unacked frames currently in the send window.", labels=labels,
+        ).set_function(lambda: len(self.inflight))
+        self.obs.counter(
+            "pint_sender_acked_frames_total",
+            "Frames acknowledged by the server.", labels=labels,
+        ).set_function(lambda: self.acked_frames)
 
     # -- RTO ---------------------------------------------------------------
 
@@ -200,6 +233,8 @@ class ReliableUDPSender(_SenderBase):
             self.rttvar = ((1.0 - self.beta) * self.rttvar
                            + self.beta * abs(self.srtt - r))
             self.srtt = (1.0 - self.alpha) * self.srtt + self.alpha * r
+        self._g_srtt.set(self.srtt)
+        self._g_rttvar.set(self.rttvar)
 
     # -- send path ---------------------------------------------------------
 
@@ -280,6 +315,7 @@ class ReliableUDPSender(_SenderBase):
                 )
             state.retries += 1
             self.retransmits += 1
+            self._m_retx.inc()
             self._transmit(seq, state)
 
     def flush(self, timeout: float = 30.0) -> None:

@@ -11,13 +11,16 @@ Requests (``op`` selects the verb)::
     {"op": "ping"}
     {"op": "snapshot"}                 -> Snapshot.as_dict() + service counters
     {"op": "stats"}                    -> front-door ServiceStats
+    {"op": "metrics"}                  -> merged obs registry dump
     {"op": "flow",   "flow_id": 17}    -> decode state + answer for one flow
     {"op": "result", "flow_id": 17}    -> just the answer
     {"op": "flows",  "flow_ids": [..]} -> bulk "flow" (one round-trip)
 
 Every response carries ``"ok": true`` or ``"ok": false`` with an
 ``"error"`` string; a malformed line gets an error response rather
-than a dropped connection.  Non-finite floats are serialised as JSON
+than a dropped connection, and a line longer than ``MAX_LINE`` is
+answered with one error and discarded as it streams past (the buffer
+never grows with it).  Non-finite floats are serialised as JSON
 ``null`` (same policy as the bench writers), and latency answers --
 dicts keyed by hop index -- arrive with string keys because JSON
 object keys are strings.
@@ -32,31 +35,32 @@ from __future__ import annotations
 
 import dataclasses
 import json
-import math
 import socket
 import threading
 from typing import Callable, List, Optional
 
 from repro.exceptions import ReproError
+from repro.jsonutil import jsonable
+
+__all__ = [
+    "MAX_LINE",
+    "QueryClient",
+    "QueryError",
+    "QueryHandler",
+    "QueryServer",
+    "jsonable",  # canonical home: repro.jsonutil; re-exported for compat
+]
+
+#: Longest request line the server will parse (bytes, newline
+#: excluded).  No legitimate query comes close (the largest is a
+#: ``flows`` list); anything longer is a bug or abuse, and buffering
+#: it unboundedly would let one connection grow the server's memory
+#: without ever sending a newline.
+MAX_LINE = 1 << 20
 
 
 class QueryError(ReproError):
     """Raised client-side when the server answers ``ok: false``."""
-
-
-def jsonable(obj):
-    """Coerce an answer into plain JSON types (non-finite floats -> None)."""
-    if obj is None or isinstance(obj, (bool, int, str)):
-        return obj
-    if isinstance(obj, float):
-        return obj if math.isfinite(obj) else None
-    if isinstance(obj, dict):
-        return {str(k): jsonable(v) for k, v in obj.items()}
-    if isinstance(obj, (list, tuple)):
-        return [jsonable(v) for v in obj]
-    if hasattr(obj, "tolist"):  # NumPy array or scalar
-        return jsonable(obj.tolist())
-    return str(obj)
 
 
 class QueryHandler:
@@ -72,14 +76,30 @@ class QueryHandler:
         lock,
         stats_fn: Optional[Callable] = None,
         snapshot_fn: Optional[Callable] = None,
+        metrics_fn: Optional[Callable] = None,
     ) -> None:
         self.collector = collector
         self.lock = lock
         self._stats_fn = stats_fn
         self._snapshot_fn = snapshot_fn
+        self._metrics_fn = metrics_fn
 
     def handle(self, request) -> dict:
-        """One request dict in, one JSON-ready response dict out."""
+        """One request dict in, one JSON-ready response dict out.
+
+        Never raises: a handler bug (or a hostile request shape no
+        verb anticipated) becomes an ``ok: false`` envelope, because
+        one bad request must cost one error line, not the connection.
+        """
+        try:
+            return self._handle(request)
+        except Exception as exc:  # the connection outlives any bug
+            return {
+                "ok": False,
+                "error": f"internal error: {type(exc).__name__}: {exc}",
+            }
+
+    def _handle(self, request) -> dict:
         if not isinstance(request, dict):
             return {"ok": False, "error": "request must be a JSON object"}
         op = request.get("op")
@@ -100,6 +120,17 @@ class QueryHandler:
                             "error": "no service stats on this endpoint"}
                 return {"ok": True, "op": op,
                         "stats": dataclasses.asdict(self._stats_fn())}
+            if op == "metrics":
+                metrics = (
+                    self._metrics_fn() if self._metrics_fn is not None
+                    else None
+                )
+                if metrics is None:
+                    return {"ok": False,
+                            "error": "no metrics on this endpoint "
+                                     "(serve with an obs registry)"}
+                return {"ok": True, "op": op,
+                        "metrics": jsonable(metrics)}
             if op == "flow":
                 return self._flow(request)
             if op == "flows":
@@ -156,9 +187,11 @@ class QueryServer:
         port: int = 0,
         stats_fn: Optional[Callable] = None,
         snapshot_fn: Optional[Callable] = None,
+        metrics_fn: Optional[Callable] = None,
     ) -> None:
         self.handler = QueryHandler(
-            collector, lock, stats_fn=stats_fn, snapshot_fn=snapshot_fn
+            collector, lock, stats_fn=stats_fn, snapshot_fn=snapshot_fn,
+            metrics_fn=metrics_fn,
         )
         self.host = host
         self.port = port
@@ -214,6 +247,11 @@ class QueryServer:
 
     def _conn_loop(self, conn: socket.socket) -> None:
         buf = b""
+        # True while streaming past an over-MAX_LINE request: its
+        # error was already sent, its remaining bytes are discarded
+        # (never buffered) until the terminating newline re-syncs the
+        # line protocol.
+        discarding = False
         try:
             while not self._stopping.is_set():
                 try:
@@ -224,18 +262,34 @@ class QueryServer:
                     break
                 if not data:
                     break
+                if discarding:
+                    cut = data.find(b"\n")
+                    if cut < 0:
+                        continue  # still inside the oversized line
+                    data = data[cut + 1:]
+                    discarding = False
                 buf += data
                 while b"\n" in buf:
                     line, buf = buf.split(b"\n", 1)
                     if not line.strip():
                         continue
-                    try:
-                        request = json.loads(line)
-                    except json.JSONDecodeError as exc:
-                        response = {"ok": False,
-                                    "error": f"bad JSON: {exc}"}
+                    if len(line) > MAX_LINE:
+                        response = {
+                            "ok": False,
+                            "error": f"request line exceeds {MAX_LINE} "
+                                     "bytes",
+                        }
                     else:
-                        response = self.handler.handle(request)
+                        try:
+                            request = json.loads(line)
+                        except ValueError as exc:
+                            # ValueError, not just JSONDecodeError:
+                            # non-UTF8 bytes raise UnicodeDecodeError
+                            # before the parser even sees JSON.
+                            response = {"ok": False,
+                                        "error": f"bad JSON: {exc}"}
+                        else:
+                            response = self.handler.handle(request)
                     payload = json.dumps(
                         response, allow_nan=False
                     ).encode() + b"\n"
@@ -243,6 +297,20 @@ class QueryServer:
                         conn.sendall(payload)
                     except OSError:
                         return
+                if len(buf) > MAX_LINE:
+                    # The open line already blew the cap without a
+                    # newline in sight: answer once, drop the bytes,
+                    # and discard the rest of the line as it arrives.
+                    try:
+                        conn.sendall(json.dumps({
+                            "ok": False,
+                            "error": f"request line exceeds {MAX_LINE} "
+                                     "bytes",
+                        }).encode() + b"\n")
+                    except OSError:
+                        return
+                    buf = b""
+                    discarding = True
         finally:
             try:
                 conn.close()
@@ -276,6 +344,9 @@ class QueryClient:
 
     def stats(self) -> dict:
         return self.request({"op": "stats"})["stats"]
+
+    def metrics(self) -> dict:
+        return self.request({"op": "metrics"})["metrics"]
 
     def flow(self, flow_id: int) -> dict:
         return self.request({"op": "flow", "flow_id": int(flow_id)})

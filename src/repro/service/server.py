@@ -52,6 +52,8 @@ import numpy as np
 
 from repro.collector.snapshot import ServiceStats, Snapshot
 from repro.exceptions import ReproError
+from repro.obs.metrics import NULL_REGISTRY, SIZE_BUCKETS, merge_metrics
+from repro.obs.prom import MetricsHTTPServer
 from repro.service import wire
 from repro.service.query import QueryServer
 
@@ -93,6 +95,19 @@ class CollectorServer:
     reorder_limit:
         How far (in frames) a reliable sender may run ahead of a hole
         before further frames are refused (``dropped_window``).
+    obs:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  Every
+        :class:`~repro.collector.snapshot.ServiceStats` counter is
+        mirrored as ``pint_service_<name>_total`` (same numbers, one
+        source of truth: ``_bump``), the admission queue's depth is a
+        function-backed ``pint_service_ingest_queue_depth`` gauge, and
+        fold times land in ``pint_service_fold_seconds``.  Share one
+        registry with the wrapped collector and the ``metrics`` query
+        verb / scrape endpoint serves the whole pipeline.
+    metrics_port:
+        ``None`` (default) serves no HTTP.  An integer binds a
+        Prometheus scrape endpoint (``GET /metrics``) on ``host``; 0
+        picks an ephemeral port (read it back after :meth:`start`).
     """
 
     def __init__(
@@ -104,6 +119,8 @@ class CollectorServer:
         query_port: Optional[int] = None,
         queue_frames: int = 256,
         reorder_limit: int = 4096,
+        obs=None,
+        metrics_port: Optional[int] = None,
     ) -> None:
         if udp_port is None and tcp_port is None:
             raise ValueError("enable at least one of udp_port/tcp_port")
@@ -141,12 +158,43 @@ class CollectorServer:
         self._conn_threads: List[threading.Thread] = []
         self._conns: List[socket.socket] = []
         self._query_server: Optional[QueryServer] = None
+        self.metrics_port = metrics_port
+        self._metrics_server: Optional[MetricsHTTPServer] = None
+        self.obs = obs if obs is not None else NULL_REGISTRY
+        self._init_obs()
+
+    def _init_obs(self) -> None:
+        obs = self.obs
+        #: One registry counter per ServiceStats field, bumped in
+        #: lock-step with the dataclass counter -- the registry is a
+        #: mirror, never a second source of truth.
+        self._m = {
+            name: obs.counter(
+                f"pint_service_{name}_total",
+                f"Front-door counter: ServiceStats.{name}.",
+            )
+            for name in self._counters
+        }
+        obs.gauge(
+            "pint_service_ingest_queue_depth",
+            "Frames sitting in the admission queue right now.",
+        ).set_function(self._queue.qsize)
+        self._m_fold_records = obs.histogram(
+            "pint_service_fold_records",
+            "Records per reassembled logical batch folded to the sink.",
+            buckets=SIZE_BUCKETS,
+        )
+        self._sp_fold = obs.span(
+            "pint_service_fold_seconds",
+            "Time folding one reassembled batch into the collector.",
+        )
 
     # -- counters ----------------------------------------------------------
 
     def _bump(self, name: str, by: int = 1) -> None:
         with self._stats_lock:
             self._counters[name] += by
+        self._m[name].inc(by)
 
     def service_stats(self) -> ServiceStats:
         """Point-in-time copy of the front-door counters."""
@@ -157,7 +205,31 @@ class CollectorServer:
         """The wrapped collector's snapshot with service counters attached."""
         with self._lock:
             snap = self.collector.snapshot()
-        return dataclasses.replace(snap, service=self.service_stats())
+        snap = dataclasses.replace(snap, service=self.service_stats())
+        if self.obs.enabled and getattr(
+            self.collector, "obs", None
+        ) is not self.obs:
+            # A private server registry (the shared-registry case
+            # already rode in on the collector's own snapshot).
+            snap = snap.with_metrics(self.obs.as_dict())
+        return snap
+
+    def metrics(self) -> Optional[dict]:
+        """Merged metrics dump: this server's registry + the sink's.
+
+        ``None`` when nothing is instrumented -- the query port's
+        ``metrics`` verb turns that into a structured error rather
+        than an empty registry, so a scraper can tell "no metrics
+        here" from "metrics enabled, nothing recorded yet".
+        """
+        parts = []
+        if self.obs.enabled:
+            parts.append(self.obs.as_dict())
+        sink_obs = getattr(self.collector, "obs", None)
+        if sink_obs is not None and sink_obs.enabled \
+                and sink_obs is not self.obs:
+            parts.append(sink_obs.as_dict())
+        return merge_metrics(parts)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -203,8 +275,15 @@ class CollectorServer:
                 host=self.host, port=self.query_port,
                 stats_fn=self.service_stats,
                 snapshot_fn=self.snapshot,
+                metrics_fn=self.metrics,
             ).start()
             self.query_port = self._query_server.port
+        if self.metrics_port is not None:
+            self._metrics_server = MetricsHTTPServer(
+                lambda: self.metrics() or {"families": {}},
+                host=self.host, port=self.metrics_port,
+            ).start()
+            self.metrics_port = self._metrics_server.port
         for t in self._threads:
             t.start()
         self._started = True
@@ -302,6 +381,8 @@ class CollectorServer:
                 t.join(timeout=timeout)
         if self._query_server is not None:
             self._query_server.close()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
         with self._lock:
             self.collector.drain()
             if close_collector:
@@ -512,7 +593,7 @@ class CollectorServer:
             hops = np.concatenate([f.hop_counts for f in run])
             digs = np.concatenate([f.digests for f in run])
         try:
-            with self._lock:
+            with self._sp_fold, self._lock:
                 n = self.collector.ingest_batch(
                     fids, pids, hops, digs, now=last.now
                 )
@@ -528,6 +609,9 @@ class CollectorServer:
         with self._stats_lock:
             self._counters["records_ingested"] += int(n)
             self._counters["batches_ingested"] += 1
+        self._m["records_ingested"].inc(int(n))
+        self._m["batches_ingested"].inc()
+        self._m_fold_records.observe(int(n))
 
 
 class _Deadline:

@@ -333,3 +333,134 @@ class TestSnapshotMerge:
         b = Snapshot(taken_at=1.0, shards=[self._stats(0)])
         with pytest.raises(ValueError):
             Snapshot.merged([a, b])
+
+
+class TestHeterogeneousSidecarMerge:
+    """`Snapshot.merged` with per-part service/metrics sidecars.
+
+    Workers differ: one stood behind a front door and carries wire
+    counters, another is bare; one was instrumented, another not.  The
+    merge must sum what exists, skip what doesn't, and collapse to
+    None only when every part abstains.
+    """
+
+    def _stats(self, shard_id):
+        return ShardStats(
+            shard_id=shard_id, flows=1, records=2, batches=1, created=1,
+            lru_evictions=0, ttl_evictions=0, completed_flows=1,
+            state_bytes=100,
+        )
+
+    def _registry_dump(self, n):
+        from repro.obs import MetricsRegistry
+        reg = MetricsRegistry()
+        reg.counter("pint_collector_records_total").inc(n)
+        reg.histogram("pint_x_seconds", buckets=(1.0, 10.0)).observe(0.5)
+        return reg.as_dict()
+
+    def test_service_sums_over_present_parts_only(self):
+        from repro.collector.snapshot import ServiceStats
+        a = Snapshot(taken_at=1.0, shards=[self._stats(0)],
+                     service=ServiceStats(frames_received=3,
+                                          records_ingested=30))
+        b = Snapshot(taken_at=2.0, shards=[self._stats(1)], service=None)
+        c = Snapshot(taken_at=3.0, shards=[self._stats(2)],
+                     service=ServiceStats(frames_received=4,
+                                          dropped_queue_full=1))
+        merged = Snapshot.merged([a, b, c])
+        assert merged.service == ServiceStats(
+            frames_received=7, records_ingested=30, dropped_queue_full=1,
+        )
+
+    def test_metrics_fold_over_present_parts_only(self):
+        a = Snapshot(taken_at=1.0, shards=[self._stats(0)],
+                     metrics=self._registry_dump(10))
+        b = Snapshot(taken_at=2.0, shards=[self._stats(1)], metrics=None)
+        c = Snapshot(taken_at=3.0, shards=[self._stats(2)],
+                     metrics=self._registry_dump(5))
+        merged = Snapshot.merged([a, b, c])
+        fams = merged.metrics["families"]
+        assert fams["pint_collector_records_total"]["samples"][0]["value"] == 15
+        assert fams["pint_x_seconds"]["samples"][0]["count"] == 2
+
+    def test_all_none_sidecars_stay_none(self):
+        merged = Snapshot.merged([
+            Snapshot(taken_at=1.0, shards=[self._stats(0)]),
+            Snapshot(taken_at=2.0, shards=[self._stats(1)]),
+        ])
+        assert merged.service is None and merged.metrics is None
+
+    def test_metrics_excluded_from_equality_and_as_dict(self):
+        bare = Snapshot(taken_at=1.0, shards=[self._stats(0)])
+        wired = Snapshot(taken_at=1.0, shards=[self._stats(0)],
+                         metrics=self._registry_dump(99))
+        assert bare == wired  # compare=False: observation isn't state
+        assert "metrics" not in wired.as_dict()
+        assert bare.as_dict() == wired.as_dict()
+
+    def test_with_metrics_folds_or_passes_through(self):
+        snap = Snapshot(taken_at=1.0, shards=[self._stats(0)],
+                        metrics=self._registry_dump(1))
+        assert snap.with_metrics(None) is snap
+        folded = snap.with_metrics(self._registry_dump(4))
+        fams = folded.metrics["families"]
+        assert fams["pint_collector_records_total"]["samples"][0]["value"] == 5
+
+
+class TestParallelObs:
+    def _feed(self, par, cols, batch=500):
+        fids, pids, hops, digs = cols
+        for lo in range(0, len(fids), batch):
+            hi = min(lo + batch, len(fids))
+            par.ingest_batch(fids[lo:hi], pids[lo:hi], hops[lo:hi],
+                             digs[lo:hi])
+        par.drain()
+
+    def test_worker_registries_merge_into_snapshot(self):
+        from repro.obs import MetricsRegistry
+        obs = MetricsRegistry()
+        cols = make_cols(3000)
+        with ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=4, obs=obs,
+        ) as par:
+            self._feed(par, cols)
+            snap = par.snapshot()
+        fams = snap.metrics["families"]
+        records = fams["pint_collector_records_total"]["samples"]
+        # Every worker contributed its own labelled stream, and the
+        # streams sum to exactly what was scattered.
+        assert {s["labels"]["worker"] for s in records} == {"0", "1"}
+        assert sum(s["value"] for s in records) == 3000
+        assert fams["pint_parallel_scatter_seconds"]["samples"][0]["count"] > 0
+
+    def test_backlog_gauge_returns_to_zero_after_drain(self):
+        from repro.obs import MetricsRegistry
+        obs = MetricsRegistry()
+        with ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=4, obs=obs,
+        ) as par:
+            self._feed(par, make_cols(2000))
+            fams = par.snapshot().metrics["families"]
+            backlog = fams["pint_parallel_worker_backlog"]["samples"]
+            assert {s["labels"]["worker"] for s in backlog} == {"0", "1"}
+            assert all(s["value"] == 0 for s in backlog)
+            sent = fams["pint_parallel_batches_sent_total"]["samples"]
+            assert sum(s["value"] for s in sent) > 0
+
+    def test_instrumented_parallel_bit_identical_to_serial(self):
+        from repro.obs import MetricsRegistry
+        cols = make_cols(4000)
+        serial = Collector(congestion_consumer_factory(), num_shards=4)
+        with ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=4,
+            obs=MetricsRegistry(),
+        ) as par:
+            feed_both(serial, par, cols, timed=True)
+            assert par.snapshot().as_dict() == serial.snapshot().as_dict()
+
+    def test_uninstrumented_snapshot_carries_no_metrics(self):
+        with ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=4,
+        ) as par:
+            self._feed(par, make_cols(1000))
+            assert par.snapshot().metrics is None

@@ -93,3 +93,11 @@ class TestExamplesRun:
         assert "exactly once" in out
         assert "complete=True" in out
         assert "despite the lossy wire" in out
+
+    def test_obs_watch(self, capsys):
+        _load("obs_watch").main()
+        out = capsys.readouterr().out
+        assert "instrumented replay" in out
+        assert "stages:" in out
+        assert "pint_replay_stage_seconds_sum" in out
+        assert "drew 3 frames" in out

@@ -741,3 +741,178 @@ class TestCLI:
         finally:
             if proc.poll() is None:
                 proc.kill()
+
+
+# -- observability: metrics verb, scrape port, sender gauges ----------------
+
+class TestObsService:
+    def test_metrics_verb_round_trip(self):
+        from repro.obs import MetricsRegistry
+        obs = MetricsRegistry()
+        coll = make_collector(obs=obs)
+        with CollectorServer(coll, tcp_port=None, query_port=0,
+                             obs=obs) as srv:
+            with UDPSender("127.0.0.1", srv.udp_port) as tx:
+                tx.send_batch(*batch(30), now=1.0)
+            srv.wait_for_records(30, timeout=10)
+            srv.drain()
+            with QueryClient("127.0.0.1", srv.query_port) as client:
+                fams = client.metrics()["families"]
+        # One shared registry: the front door's counters and the
+        # sink's per-batch instruments arrive in the same dump.
+        assert fams["pint_service_records_ingested_total"][
+            "samples"][0]["value"] == 30
+        assert sum(
+            s["value"]
+            for s in fams["pint_collector_records_total"]["samples"]
+        ) == 30
+        depth = fams["pint_service_ingest_queue_depth"]["samples"][0]
+        assert depth["value"] == 0  # drained
+        assert fams["pint_service_fold_records"]["samples"][0]["count"] == 1
+
+    def test_metrics_verb_without_obs_is_error_envelope(self):
+        with CollectorServer(make_collector(), tcp_port=None,
+                             query_port=0) as srv:
+            with QueryClient("127.0.0.1", srv.query_port) as client:
+                with pytest.raises(QueryError, match="no metrics"):
+                    client.metrics()
+
+    def test_metrics_port_serves_prometheus_text(self):
+        import urllib.request
+        from repro.obs import MetricsRegistry
+        obs = MetricsRegistry()
+        coll = make_collector(obs=obs)
+        with CollectorServer(coll, tcp_port=None, obs=obs,
+                             metrics_port=0) as srv:
+            assert srv.metrics_port
+            with UDPSender("127.0.0.1", srv.udp_port) as tx:
+                tx.send_batch(*batch(20), now=1.0)
+            srv.wait_for_records(20, timeout=10)
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{srv.metrics_port}/metrics", timeout=5
+            ) as resp:
+                assert resp.status == 200
+                body = resp.read().decode()
+        assert "# TYPE pint_service_records_ingested_total counter" in body
+        assert "pint_service_records_ingested_total 20" in body
+
+    def test_sender_rtt_and_retransmit_instruments(self):
+        from repro.obs import MetricsRegistry
+        rng = np.random.default_rng(5)
+        obs = MetricsRegistry()
+        with CollectorServer(make_collector(), tcp_port=None) as srv:
+            tx = ReliableUDPSender(
+                "127.0.0.1", srv.udp_port, max_records=16,
+                drop_fn=lambda seq, attempt: bool(rng.random() < 0.25),
+                obs=obs, **FAST_RTO,
+            )
+            tx.send_batch(*batch(300), now=1.0)
+            tx.flush()
+            srv.wait_for_records(300, timeout=30)
+            fams = obs.as_dict()["families"]
+            assert fams["pint_sender_srtt_seconds"][
+                "samples"][0]["value"] > 0.0
+            assert fams["pint_sender_retransmits_total"][
+                "samples"][0]["value"] == tx.retransmits > 0
+            assert fams["pint_sender_acked_frames_total"][
+                "samples"][0]["value"] == tx.acked_frames
+            assert fams["pint_sender_inflight_frames"][
+                "samples"][0]["value"] == 0  # all acked after flush
+            tx.close()
+
+    def test_serve_parser_accepts_metrics_port(self):
+        args = build_parser().parse_args(["serve", "--metrics-port", "0"])
+        assert args.metrics_port == 0
+        assert build_parser().parse_args(["serve"]).metrics_port is None
+        args = build_parser().parse_args(
+            ["query", "--port", "1", "--op", "metrics"]
+        )
+        assert args.op == "metrics"
+
+
+# -- query robustness: malformed and oversized requests ---------------------
+
+_JSON_VALUES = st.recursive(
+    st.none() | st.booleans() | st.integers()
+    | st.floats(allow_nan=False, allow_infinity=False) | st.text(),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=8,
+)
+
+
+class TestQueryRobustness:
+    @settings(max_examples=60, deadline=None)
+    @given(request=_JSON_VALUES)
+    def test_handler_never_raises_on_any_json_shape(self, request):
+        import threading
+        handler = QueryHandler(make_collector(), threading.Lock())
+        response = handler.handle(request)
+        assert isinstance(response, dict) and "ok" in response
+        json.dumps(jsonable(response), allow_nan=False)
+
+    def test_handler_bug_becomes_error_envelope(self):
+        import threading
+        # No collector at all: every verb that touches it explodes
+        # internally, and the envelope -- not the exception -- surfaces.
+        handler = QueryHandler(None, threading.Lock())
+        response = handler.handle({"op": "snapshot"})
+        assert response["ok"] is False
+        assert "internal error" in response["error"]
+
+    def test_junk_lines_never_drop_the_connection(self):
+        import threading
+        coll = make_collector()
+        coll.ingest_batch(*batch(10), now=1.0)
+        qs = QueryServer(coll, threading.Lock()).start()
+        junk = [
+            b"\x00\xff\xfe garbage",
+            b"{",
+            b"[1, 2, 3]",
+            b'"just a string"',
+            b"42",
+            b"null",
+            b'{"op": []}',
+            b'{"op": "flow", "flow_id": {"deep": [1]}}',
+            b'{"no_op_at_all": 1}',
+        ]
+        try:
+            with QueryClient("127.0.0.1", qs.port) as client:
+                for payload in junk:
+                    client.sock.sendall(payload + b"\n")
+                    line = client._fh.readline()
+                    assert line, f"connection dropped on {payload!r}"
+                    response = json.loads(line)
+                    assert response["ok"] is False
+                    assert "error" in response
+                # After all that abuse, the protocol still works.
+                assert client.ping()
+                assert client.snapshot()["records"] == 10
+        finally:
+            qs.close()
+
+    def test_oversized_line_answered_once_then_resyncs(self):
+        import threading
+        from repro.service.query import MAX_LINE
+        coll = make_collector()
+        coll.ingest_batch(*batch(10), now=1.0)
+        qs = QueryServer(coll, threading.Lock()).start()
+        try:
+            with QueryClient("127.0.0.1", qs.port) as client:
+                # Stream well past the cap without a newline: the
+                # server must answer once and start discarding instead
+                # of buffering without bound.
+                chunk = b"x" * (1 << 16)
+                for _ in range((MAX_LINE // len(chunk)) + 2):
+                    client.sock.sendall(chunk)
+                line = client._fh.readline()
+                response = json.loads(line)
+                assert response["ok"] is False
+                assert "exceeds" in response["error"]
+                # Finish the oversized line; the next request parses
+                # cleanly on a re-synced stream.
+                client.sock.sendall(b"tail of the monster line\n")
+                assert client.ping()
+                assert client.snapshot()["records"] == 10
+        finally:
+            qs.close()
