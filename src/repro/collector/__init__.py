@@ -39,10 +39,25 @@ from repro.collector.consumers import (
 from repro.collector.flowtable import FlowEntry, FlowTable
 from repro.collector.parallel import ParallelCollector
 from repro.collector.records import TelemetryRecord, normalize_batch
+from repro.collector.recovery import (
+    CHECKPOINT_VERSION,
+    BatchJournal,
+    capture_checkpoint,
+    read_checkpoint,
+    restore_collector,
+    write_checkpoint,
+)
 from repro.collector.shard import Shard, ShardRouter
-from repro.collector.snapshot import ServiceStats, ShardStats, Snapshot
+from repro.collector.snapshot import (
+    RecoveryStats,
+    ServiceStats,
+    ShardStats,
+    Snapshot,
+)
 
 __all__ = [
+    "BatchJournal",
+    "CHECKPOINT_VERSION",
     "CarrierCache",
     "Collector",
     "CongestionDigestConsumer",
@@ -53,12 +68,14 @@ __all__ = [
     "LatencyDigestConsumer",
     "ParallelCollector",
     "PathDigestConsumer",
+    "RecoveryStats",
     "ServiceStats",
     "Shard",
     "ShardRouter",
     "ShardStats",
     "Snapshot",
     "TelemetryRecord",
+    "capture_checkpoint",
     "congestion_consumer_factory",
     "decode_latency_columns",
     "decode_latency_slice",
@@ -66,4 +83,7 @@ __all__ = [
     "latency_consumer_factory",
     "normalize_batch",
     "path_consumer_factory",
+    "read_checkpoint",
+    "restore_collector",
+    "write_checkpoint",
 ]

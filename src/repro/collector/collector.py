@@ -445,6 +445,65 @@ class Collector:
             metrics=self.obs.as_dict() if self.obs.enabled else None,
         )
 
+    # -- checkpoint/restore ------------------------------------------------
+
+    def state_dict(self) -> Dict:
+        """Capture full collector state for a checkpoint.
+
+        Everything a bit-identical rebuild needs: the clock (value
+        *and* mode -- a restored collector must keep rejecting mixed
+        units), and per shard the ingest counters, degradation marks
+        and the flow table's :meth:`~repro.collector.flowtable.
+        FlowTable.state_dict` (consumers included; they pickle whole,
+        decoders and sketches and all).  Plain picklable dict -- the
+        framing/CRC/versioning lives in :mod:`repro.collector.
+        recovery`, not here.
+        """
+        return {
+            "num_shards": self.num_shards,
+            "clock": {"now": self.clock.now, "mode": self.clock.mode},
+            "shards": [
+                {
+                    "shard_id": s.shard_id,
+                    "records": s.records,
+                    "batches": s.batches,
+                    "degraded": s.degraded,
+                    "records_lost": s.records_lost,
+                    "table": s.table.state_dict(),
+                }
+                for s in self.shards
+            ],
+        }
+
+    def load_state(self, state: Dict) -> None:
+        """Install a :meth:`state_dict` capture, replacing live state.
+
+        Restores *into* the existing shard/table objects (never
+        replaces them): pre-bound obs instruments hold function
+        closures over ``self.shards``, and those must keep reading the
+        restored counters.  The collector must have been built with
+        the same layout the capture came from; a shard-count mismatch
+        raises :class:`~repro.exceptions.RestoreError` rather than
+        scattering state across the wrong partitions.
+        """
+        from repro.exceptions import RestoreError
+
+        if state["num_shards"] != self.num_shards:
+            raise RestoreError(
+                f"checkpoint has {state['num_shards']} shards, this "
+                f"collector has {self.num_shards}; restore requires an "
+                "identical layout"
+            )
+        self.clock.now = state["clock"]["now"]
+        self.clock.mode = state["clock"]["mode"]
+        for shard_state in state["shards"]:
+            shard = self.shards[shard_state["shard_id"]]
+            shard.records = shard_state["records"]
+            shard.batches = shard_state["batches"]
+            shard.degraded = shard_state["degraded"]
+            shard.records_lost = shard_state["records_lost"]
+            shard.table.load_state(shard_state["table"])
+
     def _check_open(self) -> None:
         """Writes into a closed collector must fail like the parallel
         front door's do -- silently accepting records after close()

@@ -20,7 +20,6 @@ admission (PAPERS.md).
 
 from __future__ import annotations
 
-import sys
 from collections import OrderedDict
 from typing import Iterator, Optional, Tuple
 
@@ -163,9 +162,55 @@ class FlowTable:
         is a sum of non-negative terms over live entries only, so it
         shrinks with eviction and can never go negative (tested
         invariant).
+
+        The table's own overhead is a *content-based* estimate (base
+        plus a per-entry slot cost), never ``sys.getsizeof`` of the
+        dict: a dict's allocated size depends on its insertion/
+        deletion history, and a checkpoint-restored table -- same
+        entries, fresh dict -- must report byte-identical snapshots
+        (the ``restore(checkpoint(c)) == c`` property).
         """
         per_entry = 96  # dict slot + FlowEntry slots, roughly
+        table_overhead = 64 + 8 * len(self._entries)
         return sum(
             e.consumer.state_bytes() + per_entry
             for e in self._entries.values()
-        ) + sys.getsizeof(self._entries)
+        ) + table_overhead
+
+    # -- checkpoint/restore ------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything needed to rebuild this table bit-for-bit.
+
+        Entries are captured in LRU order (oldest first) with their
+        generations, so a restored table evicts the same victims in
+        the same order and re-creates entries with the same sequence
+        numbers a never-crashed table would have used.
+        """
+        return {
+            "created": self.created,
+            "lru_evictions": self.lru_evictions,
+            "ttl_evictions": self.ttl_evictions,
+            "last_sweep": self._last_sweep,
+            "entries": [
+                (fid, e.consumer, e.last_seen, e.records, e.generation)
+                for fid, e in self._entries.items()
+            ],
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Install a :meth:`state_dict` capture, replacing live state.
+
+        Counters are restored verbatim (``created`` keeps generation
+        numbering continuous across the restart) and entries are
+        reinserted in captured LRU order into a fresh dict.
+        """
+        self._entries = OrderedDict()
+        for fid, consumer, last_seen, records, generation in state["entries"]:
+            entry = FlowEntry(fid, consumer, last_seen, generation)
+            entry.records = records
+            self._entries[fid] = entry
+        self.created = state["created"]
+        self.lru_evictions = state["lru_evictions"]
+        self.ttl_evictions = state["ttl_evictions"]
+        self._last_sweep = state["last_sweep"]

@@ -47,30 +47,75 @@ unavailable.
 Lifecycle: ``start()`` (or the first ingest) spawns workers;
 ``drain()`` barriers until every sent batch is applied; ``close()``
 stops and joins the workers.  The class is also a context manager.
+
+Supervision (``checkpoint_every=``): the parent stops *trusting*
+workers and starts *supervising* them.  Every worker serialises its
+full collector state into a versioned checkpoint blob on a message
+cadence (:mod:`repro.collector.recovery`); the parent journals every
+message sent since the last accepted checkpoint in a bounded
+:class:`~repro.collector.recovery.BatchJournal`.  A worker death --
+detected by sentinel poll during any sync RPC, by broken pipe on a
+batch send, or proactively at the next ingest -- is then survivable:
+fork a replacement, restore the checkpoint, replay the journal,
+resume.  A SIGKILL mid-batch takes the partially-applied batch with
+it and the restore rewinds past it, so every message lands exactly
+once *by reconstruction* and the merged snapshot stays bit-identical
+to a fault-free run.  Only when the journal window was exceeded
+(checkpointing itself kept failing) does recovery degrade: the
+affected shards are marked ``degraded`` with records-lost accounting
+and the collector keeps serving.  Deterministic fault injection rides
+on :class:`repro.faults.FaultPlan`.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 import traceback
-from typing import List, Optional
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from repro.collector.collector import Collector, IngestClock
 from repro.collector.consumers import ConsumerFactory, DigestConsumer
 from repro.collector.records import Column, normalize_batch
+from repro.collector.recovery import (
+    BatchJournal,
+    capture_checkpoint,
+    restore_collector,
+    validate_checkpoint,
+)
 from repro.collector.shard import ShardRouter
-from repro.collector.snapshot import Snapshot
-from repro.exceptions import CollectorClosedError
+from repro.collector.snapshot import RecoveryStats, Snapshot
+from repro.exceptions import (
+    CheckpointError,
+    CollectorClosedError,
+    JournalOverflowError,
+    RecoveryError,
+)
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 
 #: Commands a worker understands.  Batches are fire-and-forget; every
 #: other command is synchronous and gets exactly one ``("ok", value)``
 #: or ``("err", message)`` reply.  Pipes are FIFO, so a sync reply
 #: proves all earlier batches were applied -- that is the whole drain
-#: protocol.
+#: protocol.  ``_CHECKPOINT`` replies with the worker's framed state
+#: blob; ``_DEGRADE`` installs unreplayable-loss marks after a
+#: journal-window overrun.
 _BATCH, _INGEST, _SNAPSHOT, _FLOW, _RESULT, _LEN, _EXPIRE, _EVICT, \
-    _DRAIN, _STOP, _FLOWS = range(11)
+    _DRAIN, _STOP, _FLOWS, _CHECKPOINT, _DEGRADE = range(13)
+
+
+class _WorkerDied(RuntimeError):
+    """Internal: a worker stopped serving its pipe (died or wedged).
+
+    Distinct from the ``("err", ...)`` application replies on purpose:
+    an app error is the *worker telling us* something went wrong
+    (state intact, not recoverable by restart), while this is the
+    worker going silent -- exactly the condition checkpoint/journal
+    recovery exists for.
+    """
 
 
 def _worker_main(
@@ -86,6 +131,7 @@ def _worker_main(
     obs_enabled: bool = False,
     applied=None,
     obs_labels: Optional[dict] = None,
+    restore: Optional[bytes] = None,
 ) -> None:
     """One worker: a private Collector serving commands off a pipe.
 
@@ -109,6 +155,14 @@ def _worker_main(
     message is folded -- the parent's backlog gauge reads it without a
     barrier, which a pipe RPC could never do (the RPC reply itself
     drains the backlog it would be measuring).
+
+    ``restore`` is a framed checkpoint blob (already CRC-validated by
+    the parent): a replacement worker installs it before reading a
+    single pipe message, so the journal the parent replays next lands
+    on exactly the state the checkpoint captured.  A restore failure
+    is deliberately fatal -- serving queries off half-installed state
+    would be worse than dying again (the parent's ``max_restarts``
+    bounds the retry storm).
     """
     obs = MetricsRegistry() if obs_enabled else None
     col = Collector(
@@ -121,6 +175,8 @@ def _worker_main(
         obs=obs,
         obs_labels={**(obs_labels or {}), "worker": str(worker_id)},
     )
+    if restore is not None:
+        restore_collector(col, restore, worker=worker_id)
     owned_set = frozenset(owned)
     # Every fire-and-forget failure is parked (bounded: distinct root
     # causes matter, the ten-thousandth repeat does not) and the whole
@@ -207,6 +263,23 @@ def _worker_main(
                 reply = col.evict(msg[1])
             elif op == _DRAIN:
                 reply = None
+            elif op == _CHECKPOINT:
+                # Sync, so it queues behind every in-flight batch: the
+                # blob always covers everything the parent sent before
+                # asking -- the property that lets a checkpoint ACK
+                # clear the journal.
+                reply = capture_checkpoint(
+                    col,
+                    metrics=obs.as_dict() if obs is not None else None,
+                    worker=worker_id,
+                )
+            elif op == _DEGRADE:
+                # Journal-window overrun: the parent could not replay
+                # these records; pin the loss to the shards that owned
+                # them so snapshots report it honestly.
+                for sid, lost in msg[1].items():
+                    col.shards[sid].mark_degraded(lost)
+                reply = None
             else:
                 raise ValueError(f"unknown collector worker op {op!r}")
             conn.send(("ok", reply))
@@ -247,6 +320,35 @@ class ParallelCollector:
         each worker additionally runs its private collector over its
         own registry labelled ``{"worker": str(w)}``, merged into
         every :meth:`snapshot`.  Omitted, all of it is no-op.
+    checkpoint_every:
+        Enables supervision: each worker is checkpointed after every
+        ``checkpoint_every`` fire-and-forget messages, the parent
+        journals un-checkpointed messages, and worker deaths are
+        survived (restore + replay) instead of raised.  ``None``
+        (default) keeps the original die-loudly behaviour.
+    journal_batches:
+        Per-worker journal capacity in messages; defaults to
+        ``4 * checkpoint_every``.  With capacity >= ``checkpoint_every``
+        the journal never evicts while checkpointing is healthy (the
+        window arithmetic in DESIGN.md section 9); an undersized
+        journal trades memory for degraded recovery.
+    faults:
+        Optional :class:`repro.faults.FaultPlan`; the supervisor fires
+        its kill/wedge specs after the matching sends and applies its
+        checkpoint specs to checkpoint replies (chaos testing).
+    wedge_timeout:
+        Seconds a sync RPC may go unanswered by a *live* worker before
+        it is declared wedged and recovered (SIGSTOP survival).
+        ``None`` disables wedge detection -- death detection alone.
+    max_restarts:
+        Per-worker restart budget; exceeding it raises
+        :class:`~repro.exceptions.RecoveryError` (a worker dying in a
+        tight loop is a bug, not an outage to paper over).
+    on_data_loss:
+        ``"degrade"`` (default) marks shards degraded when a journal
+        window is exceeded and keeps going; ``"raise"`` raises
+        :class:`~repro.exceptions.JournalOverflowError` at the
+        eviction instead.
     """
 
     def __init__(
@@ -261,9 +363,33 @@ class ParallelCollector:
         start_method: str = "fork",
         obs=None,
         obs_labels: Optional[dict] = None,
+        checkpoint_every: Optional[int] = None,
+        journal_batches: Optional[int] = None,
+        faults=None,
+        wedge_timeout: Optional[float] = None,
+        max_restarts: int = 8,
+        on_data_loss: str = "degrade",
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if checkpoint_every is None and (
+            journal_batches is not None or faults is not None
+            or wedge_timeout is not None
+        ):
+            raise ValueError(
+                "journal_batches/faults/wedge_timeout require "
+                "checkpoint_every (supervision): without checkpoints "
+                "there is nothing to recover a worker to"
+            )
+        if journal_batches is not None and journal_batches < 1:
+            raise ValueError("journal_batches must be >= 1")
+        if on_data_loss not in ("degrade", "raise"):
+            raise ValueError(
+                f"on_data_loss must be 'degrade' or 'raise', "
+                f"got {on_data_loss!r}"
+            )
         if router is not None and router.num_shards != num_shards:
             raise ValueError("router/num_shards mismatch")
         if workers > num_shards:
@@ -293,7 +419,45 @@ class ParallelCollector:
         #: created at start()).  Their difference is the live backlog.
         self._sent: List[int] = [0] * workers
         self._applied: List = []
+        # -- supervision state (all inert when checkpoint_every=None) --
+        self._checkpoint_every = checkpoint_every
+        self._journal_batches = (
+            journal_batches if journal_batches is not None
+            else (4 * checkpoint_every if checkpoint_every else None)
+        )
+        self._faults = faults
+        self._wedge_timeout = wedge_timeout
+        self._max_restarts = max_restarts
+        self._on_data_loss = on_data_loss
+        self._journals: List[BatchJournal] = (
+            [BatchJournal(self._journal_batches) for _ in range(workers)]
+            if checkpoint_every is not None else []
+        )
+        #: Last *validated* checkpoint blob per worker (None until the
+        #: first ACK: recovery then restores-from-empty and replays the
+        #: full journal).
+        self._checkpoints: List[Optional[bytes]] = [None] * workers
+        self._restarts: List[int] = [0] * workers
+        self._msgs_since_ckpt: List[int] = [0] * workers
+        self._ckpt_ordinal: List[int] = [0] * workers
+        #: Cumulative supervision counters (the RecoveryStats source);
+        #: journal_dropped_* accrue at eviction time and are never
+        #: cleared -- they count *potential*-loss events, while actual
+        #: loss lives on the shards' degraded marks.
+        self._rec: Dict[str, int] = {
+            "restarts": 0,
+            "checkpoints_taken": 0,
+            "checkpoints_rejected": 0,
+            "replayed_batches": 0,
+            "replayed_records": 0,
+            "journal_dropped_batches": 0,
+            "journal_dropped_records": 0,
+        }
         self._init_obs()
+
+    @property
+    def _supervised(self) -> bool:
+        return self._checkpoint_every is not None
 
     def _init_obs(self) -> None:
         obs = self.obs
@@ -324,6 +488,11 @@ class ParallelCollector:
                     self._applied[w].value if w < len(self._applied) else 0
                 )
             )
+            obs.counter(
+                "pint_parallel_worker_restarts_total",
+                "Times this worker was replaced by the supervisor.",
+                labels=labels,
+            ).set_function(lambda w=w: self._restarts[w])
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -367,7 +536,17 @@ class ParallelCollector:
         parent collects).  Every reply is consumed even when one
         carries an error, so a failure in one worker never leaves
         another's reply stranded in its pipe to desync later RPCs.
+
+        Supervised, the round-trips run one worker at a time instead:
+        a death mid-barrier then recovers and retries just that worker
+        (workers still fold their already-sent backlogs concurrently;
+        only the tiny RPC replies serialise).
         """
+        if self._supervised:
+            return [
+                self._call_supervised(w, msg)
+                for w in range(len(self._conns))
+            ]
         for conn in self._conns:
             self._send(conn, msg)
         values = []
@@ -471,11 +650,24 @@ class ParallelCollector:
                     "ingest error were lost"
                 )
             conn.close()
-        for proc in self._procs:
-            proc.join(timeout=5.0)
+        # Escalating shutdown: cooperative join, then SIGTERM, then --
+        # for a worker that masks SIGTERM or is SIGSTOPped -- SIGKILL,
+        # which cannot be blocked.  A worker that needed the last rung
+        # is reported, never silently leaked as a zombie holding its
+        # pipe and shard state.
+        join_t = min(5.0, timeout) if timeout else 5.0
+        for i, proc in enumerate(self._procs):
+            proc.join(timeout=join_t)
             if proc.is_alive():
                 proc.terminate()
-                proc.join(timeout=5.0)
+                proc.join(timeout=join_t)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=join_t)
+                errors.append(
+                    f"worker {i} ignored SIGTERM (masked or stopped) "
+                    "and was SIGKILLed; queued batches were lost"
+                )
         self._conns = []
         self._procs = []
         self._closed = True
@@ -528,12 +720,274 @@ class ParallelCollector:
         that never ingested answer "empty" locally rather than forking
         worker processes as a side effect of a read-only probe.
         """
+        if self._supervised:
+            return self._call_supervised(worker, msg)
         conn = self._conns[worker]
         self._send(conn, msg)
         return self._recv(conn)
 
     def _owner(self, flow_id: int) -> int:
         return self.router.shard_of(flow_id) % self.workers
+
+    # -- supervision -------------------------------------------------------
+
+    def _recv_supervised(self, w: int):
+        """Receive one sync reply, watching the worker's pulse.
+
+        Unlike :meth:`_recv`, this never blocks on a corpse: it polls
+        the pipe on a short tick and checks the process sentinel in
+        between, so a worker that died mid-RPC surfaces as
+        :class:`_WorkerDied` (recoverable) instead of hanging the
+        parent.  A *live* worker that stays silent past
+        ``wedge_timeout`` is declared wedged -- SIGSTOP and
+        infinite-loop failures look identical from the pipe, and both
+        are cured by replacement.
+        """
+        conn = self._conns[w]
+        proc = self._procs[w]
+        start = time.monotonic()
+        while not conn.poll(0.05):
+            if not proc.is_alive():
+                # One last look: the reply may have raced the death.
+                if conn.poll(0):
+                    break
+                raise _WorkerDied(f"worker {w} died mid-RPC")
+            if (
+                self._wedge_timeout is not None
+                and time.monotonic() - start >= self._wedge_timeout
+            ):
+                raise _WorkerDied(
+                    f"worker {w} wedged: no RPC reply in "
+                    f"{self._wedge_timeout}s with the process alive"
+                )
+        try:
+            tag, value = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise _WorkerDied(f"worker {w} died mid-RPC") from exc
+        if tag == "err":
+            raise RuntimeError(f"collector worker failed:\n{value}")
+        return value
+
+    def _call_supervised(self, w: int, msg):
+        """Sync RPC that survives the callee dying: recover and retry.
+
+        Safe because every sync op is idempotent against restored
+        state -- queries are read-only, ``_EXPIRE``/``_EVICT`` converge
+        to the same table either way -- and the re-sent message lands
+        *after* the journal replay the recovery performed, exactly
+        where it would have landed on a healthy worker.
+        """
+        while True:
+            try:
+                try:
+                    self._conns[w].send(msg)
+                except (BrokenPipeError, OSError) as exc:
+                    raise _WorkerDied(
+                        f"worker {w} pipe broken at send"
+                    ) from exc
+                return self._recv_supervised(w)
+            except _WorkerDied as exc:
+                self._recover_worker(w, str(exc))
+
+    def _reap(self) -> None:
+        """Proactive sentinel sweep: recover any silently dead worker.
+
+        Fire-and-forget sends only notice death once the pipe breaks,
+        which OS buffering can delay past many batches; sweeping at
+        ingest time keeps the recovery point (and thus the replay
+        volume) close to the death point.
+        """
+        for w, proc in enumerate(self._procs):
+            if not proc.is_alive():
+                self._recover_worker(w, f"worker {w} found dead")
+
+    def _checkpoint_worker(self, w: int) -> None:
+        """One checkpoint round-trip; ACK clears the worker's journal.
+
+        The blob is validated (header + CRC) *before* the old one is
+        replaced, and a dropped/corrupted write -- injected or real --
+        leaves the previous checkpoint and the entire journal intact:
+        rejecting a checkpoint must never widen the loss window, only
+        fail to narrow it.  A worker found dead here is recovered and
+        the checkpoint attempt abandoned (the cadence retries on the
+        replacement soon enough).
+        """
+        journal = self._journals[w]
+        self._ckpt_ordinal[w] += 1
+        ordinal = self._ckpt_ordinal[w]
+        try:
+            try:
+                self._conns[w].send((_CHECKPOINT,))
+            except (BrokenPipeError, OSError) as exc:
+                raise _WorkerDied(
+                    f"worker {w} pipe broken at checkpoint"
+                ) from exc
+            data = self._recv_supervised(w)
+        except _WorkerDied as exc:
+            self._recover_worker(w, str(exc))
+            return
+        fate = (
+            self._faults.checkpoint_fault(w, ordinal)
+            if self._faults is not None else None
+        )
+        if fate == "drop":
+            data = None
+        elif fate == "corrupt" and data is not None:
+            data = data[: len(data) // 2]
+        if data is not None:
+            try:
+                validate_checkpoint(data, worker=w)
+            except CheckpointError:
+                data = None
+        if data is None:
+            self._rec["checkpoints_rejected"] += 1
+            return
+        self._checkpoints[w] = data
+        journal.clear()
+        journal.clear_dropped()
+        self._msgs_since_ckpt[w] = 0
+        self._rec["checkpoints_taken"] += 1
+
+    def _recover_worker(self, w: int, reason: str) -> None:
+        """Replace a dead/wedged worker: restore + replay + resume.
+
+        The replacement installs the last validated checkpoint before
+        reading its pipe, then the journal (every message since that
+        checkpoint's ACK) is replayed in FIFO order -- reconstruction,
+        not dedup, is what makes each message count exactly once.  If
+        the journal evicted entries since the checkpoint (its window
+        was exceeded), that *potential* loss now becomes actual: the
+        per-shard dropped counts are pinned onto the restored shards
+        as degraded marks.  The ledger is deliberately *not* cleared
+        here -- the checkpoint predates the marks, so a repeat death
+        before the next ACK must re-apply them after its own restore.
+        """
+        self._restarts[w] += 1
+        self._rec["restarts"] += 1
+        if self._restarts[w] > self._max_restarts:
+            raise RecoveryError(
+                f"worker {w} exceeded max_restarts={self._max_restarts} "
+                f"(last failure: {reason}); a worker dying in a tight "
+                "loop is a bug, not an outage to paper over",
+                worker=w,
+            )
+        try:
+            self._conns[w].close()
+        except OSError:
+            pass
+        proc = self._procs[w]
+        if proc.is_alive():
+            # Wedged (e.g. SIGSTOPped) workers ignore SIGTERM; SIGKILL
+            # cannot be blocked, caught or stopped.
+            proc.kill()
+        proc.join(timeout=5.0)
+        journal = self._journals[w]
+        owned = list(range(w, self.num_shards, self.workers))
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        # The replacement's applied counter starts at sent-minus-replay
+        # so the backlog gauge stays truthful: after the journal is
+        # folded it reads zero again, exactly like a worker that never
+        # died.
+        applied = self._ctx.Value(
+            "L", max(0, self._sent[w] - len(journal)), lock=False
+        )
+        self._applied[w] = applied
+        new_proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn, *self._spec, owned,
+                w, self.obs.enabled, applied, self._obs_labels,
+                self._checkpoints[w],
+            ),
+            daemon=True,
+            name=f"collector-worker-{w}",
+        )
+        new_proc.start()
+        child_conn.close()
+        self._conns[w] = parent_conn
+        self._procs[w] = new_proc
+        replay = journal.replay_messages()
+        for m in replay:
+            try:
+                parent_conn.send(m)
+            except (BrokenPipeError, OSError) as exc:
+                raise RecoveryError(
+                    f"worker {w} replacement died during journal "
+                    f"replay (original failure: {reason})",
+                    worker=w,
+                ) from exc
+        self._rec["replayed_batches"] += len(replay)
+        self._rec["replayed_records"] += journal.records
+        if journal.dropped_by_shard:
+            try:
+                parent_conn.send((_DEGRADE, dict(journal.dropped_by_shard)))
+                self._recv_supervised(w)
+            except _WorkerDied:
+                self._recover_worker(w, "replacement died at degrade mark")
+
+    def _post(
+        self, w: int, msg: tuple, records: int,
+        shard_counts: Dict[int, int],
+    ) -> None:
+        """Supervised fire-and-forget send: journal first, pipe second.
+
+        Journal-before-send is the crash-safety ordering -- a message
+        the pipe ate (broken mid-send) is already replayable.  A full
+        journal first tries to make room the honest way (a checkpoint
+        barrier: backpressure, not loss); only if checkpointing is
+        itself failing does the append evict, and that eviction either
+        raises (``on_data_loss="raise"``) or accrues potential loss
+        the next recovery will materialise.  After the send, due
+        fault-plan kills/wedges fire, then the checkpoint cadence.
+        """
+        journal = self._journals[w]
+        if journal.full:
+            self._checkpoint_worker(w)
+        evicted = journal.append(msg, records, shard_counts)
+        if evicted is not None:
+            self._rec["journal_dropped_batches"] += 1
+            self._rec["journal_dropped_records"] += evicted.records
+            if self._on_data_loss == "raise":
+                raise JournalOverflowError(
+                    f"journal for worker {w} overflowed "
+                    f"(capacity {journal.capacity} messages): "
+                    f"{evicted.records} records are no longer "
+                    "replayable; checkpointing is failing or "
+                    "checkpoint_every/journal_batches are mis-sized",
+                    worker=w,
+                )
+        self._sent[w] += 1
+        self._msgs_since_ckpt[w] += 1
+        try:
+            self._conns[w].send(msg)
+        except (BrokenPipeError, OSError):
+            # Already journaled: the replay delivers this very message.
+            self._recover_worker(w, f"worker {w} pipe broken at batch")
+            return
+        if self._faults is not None:
+            for spec in self._faults.worker_faults(w, self._sent[w]):
+                self._faults.fire_worker_fault(spec, self._procs[w].pid)
+                if spec.kind == "kill":
+                    # Make the death deterministic for the test/bench
+                    # assertions: the next supervision touchpoint must
+                    # observe it, not race it.
+                    self._procs[w].join(timeout=5.0)
+        if self._msgs_since_ckpt[w] >= self._checkpoint_every:
+            self._checkpoint_worker(w)
+
+    def recovery_stats(self, snapshot: Optional[Snapshot] = None):
+        """The supervision ledger as a frozen :class:`RecoveryStats`.
+
+        ``degraded_shards``/``records_lost`` describe *actual* loss
+        and live on the workers' shards, so they are filled from a
+        snapshot when one is provided (pass the snapshot you are
+        attaching the stats to); without one they read 0.
+        """
+        degraded = len(snapshot.degraded_shards) if snapshot else 0
+        lost = snapshot.records_lost if snapshot else 0
+        return RecoveryStats(
+            **self._rec, degraded_shards=degraded, records_lost=lost
+        )
 
     # -- ingestion ---------------------------------------------------------
 
@@ -553,6 +1007,15 @@ class ParallelCollector:
         """Route one record to its owner worker (scalar path)."""
         self.start()
         t = self.clock.tick(now, 1)
+        if self._supervised:
+            self._reap()
+            sid = self.router.shard_of(flow_id)
+            self._post(
+                sid % self.workers,
+                (_INGEST, flow_id, pid, hop_count, digest, t),
+                1, {sid: 1},
+            )
+            return
         owner = self._owner(flow_id)
         self._send(
             self._conns[owner],
@@ -588,6 +1051,30 @@ class ParallelCollector:
         self.start()
         t = self.clock.tick(now, n)
         with self._sp_scatter:
+            if self._supervised:
+                self._reap()
+                # Shard ids (not just worker ids) are computed so the
+                # journal can account records per shard -- the
+                # granularity degraded marking needs.
+                sids = self.router.shard_of_array(fids)
+                wids = sids % self.workers
+                for w in range(self.workers):
+                    mask = wids == w
+                    if not mask.any():
+                        continue
+                    uniq, counts = np.unique(
+                        sids[mask], return_counts=True
+                    )
+                    self._post(
+                        w,
+                        (
+                            _BATCH, fids[mask], ps[mask], hops[mask],
+                            digs[mask], t,
+                        ),
+                        int(mask.sum()),
+                        {int(s): int(c) for s, c in zip(uniq, counts)},
+                    )
+                return n
             if self.workers == 1:
                 self._send(
                     self._conns[0], (_BATCH, fids, ps, hops, digs, t)
@@ -642,6 +1129,14 @@ class ParallelCollector:
         for pos, fid in enumerate(ids):
             by_worker.setdefault(self._owner(fid), []).append((pos, fid))
         items = list(by_worker.items())
+        if self._supervised:
+            for w, pairs in items:
+                reply = self._call_supervised(
+                    w, (_FLOWS, [fid for _, fid in pairs])
+                )
+                for (pos, _), consumer in zip(pairs, reply):
+                    out[pos] = consumer
+            return out
         for w, pairs in items:
             self._send(
                 self._conns[w], (_FLOWS, [fid for _, fid in pairs])
@@ -722,6 +1217,9 @@ class ParallelCollector:
                 self.obs.as_dict() if self.obs.enabled else None
             )
         parts = self._broadcast((_SNAPSHOT,))
-        return Snapshot.merged(parts, taken_at=self.clock.now).with_metrics(
-            self.obs.as_dict() if self.obs.enabled else None
-        )
+        snap = Snapshot.merged(
+            parts, taken_at=self.clock.now
+        ).with_metrics(self.obs.as_dict() if self.obs.enabled else None)
+        if self._supervised:
+            snap = snap.with_recovery(self.recovery_stats(snap))
+        return snap

@@ -61,6 +61,18 @@ class Shard:
         #: is the snapshot's amortisation metric; the front door bumps
         #: this once per batch, not once per flow group).
         self.batches = 0
+        #: Set by the supervisor when recovery could not replay every
+        #: lost message for this shard (journal window exceeded): the
+        #: shard keeps serving, but its answers may undercount by
+        #: ``records_lost`` records.  Sticky until the process ends --
+        #: degradation is a fact about the data, not a transient.
+        self.degraded = False
+        self.records_lost = 0
+
+    def mark_degraded(self, records_lost: int) -> None:
+        """Record unreplayable loss against this shard."""
+        self.degraded = True
+        self.records_lost += int(records_lost)
 
     def ingest(
         self, flow_id: int, pid: int, hop_count: int, digest: int, now: float
@@ -118,4 +130,6 @@ class Shard:
             completed_flows=table.completed_flows(),
             coverage_sum=table.coverage_sum(),
             state_bytes=table.state_bytes(),
+            degraded=self.degraded,
+            records_lost=self.records_lost,
         )

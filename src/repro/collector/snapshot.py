@@ -32,6 +32,13 @@ class ShardStats:
     #: :attr:`DigestConsumer.coverage`) over the shard's live flows --
     #: the decode-under-loss aggregate impaired replays degrade.
     coverage_sum: float = 0.0
+    #: True when worker recovery exceeded the replay-journal window
+    #: for this shard: it keeps serving, but ``records_lost`` records
+    #: were neither restored nor replayed and its answers may
+    #: undercount.  Always False/0 on a fault-free run, so degraded
+    #: accounting never perturbs bit-identity assertions.
+    degraded: bool = False
+    records_lost: int = 0
 
     @property
     def completion_rate(self) -> float:
@@ -102,6 +109,51 @@ class ServiceStats:
 
 
 @dataclass(frozen=True)
+class RecoveryStats:
+    """Supervision counters (see :mod:`repro.collector.parallel`).
+
+    The fault-tolerance ledger: how often workers were restarted, how
+    much checkpoint/journal machinery ran, and what -- if anything --
+    was actually lost.  Rides on :attr:`Snapshot.recovery` with
+    ``compare=False`` (like :attr:`Snapshot.metrics`): a recovered run
+    and a fault-free run with bit-identical collector state must still
+    compare equal, restarts and all.
+    """
+
+    #: Worker processes replaced (restore + journal replay each).
+    restarts: int = 0
+    #: Checkpoints accepted / rejected (dropped write, bad CRC, ...).
+    checkpoints_taken: int = 0
+    checkpoints_rejected: int = 0
+    #: Journal messages / records re-sent to replacement workers.
+    replayed_batches: int = 0
+    replayed_records: int = 0
+    #: Journal evictions (checkpointing was failing): *potential* loss.
+    journal_dropped_batches: int = 0
+    journal_dropped_records: int = 0
+    #: Shards currently marked degraded and their summed actual loss
+    #: (filled from the merged shard stats at snapshot time).
+    degraded_shards: int = 0
+    records_lost: int = 0
+
+    @classmethod
+    def merged(
+        cls, parts: Iterable[Optional["RecoveryStats"]]
+    ) -> Optional["RecoveryStats"]:
+        """Field-wise sum over non-``None`` parts (all counters);
+        an all-``None`` merge stays ``None`` -- the
+        :meth:`ServiceStats.merged` contract."""
+        present = [p for p in parts if p is not None]
+        if not present:
+            return None
+        totals = {
+            f.name: sum(getattr(p, f.name) for p in present)
+            for f in fields(cls)
+        }
+        return cls(**totals)
+
+
+@dataclass(frozen=True)
 class Snapshot:
     """Whole-collector view: per-shard stats + aggregates.
 
@@ -124,6 +176,13 @@ class Snapshot:
     shards: List[ShardStats] = field(default_factory=list)
     service: Optional[ServiceStats] = None
     metrics: Optional[Dict] = field(default=None, compare=False)
+    #: Supervision ledger (restarts, replay volume, loss) attached by
+    #: a supervised :class:`~repro.collector.parallel.
+    #: ParallelCollector`; ``compare=False`` and excluded from
+    #: :meth:`as_dict` for the same reason as ``metrics`` -- how a
+    #: state was *reached* (cleanly or through recovery) must never
+    #: break equality of bit-identical states.
+    recovery: Optional[RecoveryStats] = field(default=None, compare=False)
 
     @property
     def num_shards(self) -> int:
@@ -182,6 +241,16 @@ class Snapshot:
         """Hottest shard's flow count (skew / balance check)."""
         return max((s.flows for s in self.shards), default=0)
 
+    @property
+    def degraded_shards(self) -> List[int]:
+        """Shard ids currently marked degraded (empty when healthy)."""
+        return [s.shard_id for s in self.shards if s.degraded]
+
+    @property
+    def records_lost(self) -> int:
+        """Records recovery could not restore or replay, all shards."""
+        return sum(s.records_lost for s in self.shards)
+
     @classmethod
     def merged(
         cls,
@@ -226,6 +295,7 @@ class Snapshot:
             shards=sorted(shards, key=lambda s: s.shard_id),
             service=ServiceStats.merged(p.service for p in parts),
             metrics=merge_metrics(p.metrics for p in parts),
+            recovery=RecoveryStats.merged(p.recovery for p in parts),
         )
 
     def with_metrics(self, extra: Optional[Dict]) -> "Snapshot":
@@ -233,6 +303,14 @@ class Snapshot:
         if extra is None:
             return self
         return replace(self, metrics=merge_metrics([self.metrics, extra]))
+
+    def with_recovery(
+        self, recovery: Optional["RecoveryStats"]
+    ) -> "Snapshot":
+        """This snapshot with the supervision ledger attached (or as-is)."""
+        if recovery is None:
+            return self
+        return replace(self, recovery=recovery)
 
     def as_dict(self) -> Dict:
         """JSON-friendly dump, aggregates included."""
@@ -250,6 +328,13 @@ class Snapshot:
             # equivalence assertions on idle collectors).
             "mean_coverage": self.mean_coverage if self.flows else None,
             "state_bytes": self.state_bytes,
+            # Healthy runs dump [] / 0 here, so degraded accounting
+            # never perturbs the bit-identity comparisons bench gates
+            # make on these dicts.  `recovery` itself is deliberately
+            # excluded, like `metrics`: it describes the journey, not
+            # the state.
+            "degraded_shards": self.degraded_shards,
+            "records_lost": self.records_lost,
             "shards": [asdict(s) for s in self.shards],
             "service": asdict(self.service) if self.service else None,
         }

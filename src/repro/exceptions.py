@@ -35,3 +35,43 @@ class CollectorClosedError(ReproError, RuntimeError):
 
 class TopologyError(ReproError):
     """Raised for invalid topologies or unroutable node pairs."""
+
+
+class RecoveryError(ReproError):
+    """Raised when worker supervision cannot restore a failed worker.
+
+    Carries the failing ``worker`` (and, where one is implicated, the
+    ``shard``) so operators can tell *which* partition's state is at
+    risk without parsing the message -- every recovery-surface error
+    in :mod:`repro.collector.recovery` and :mod:`repro.collector.
+    parallel` subclasses this.
+    """
+
+    def __init__(self, message: str, worker=None, shard=None) -> None:
+        super().__init__(message)
+        self.worker = worker
+        self.shard = shard
+
+
+class CheckpointError(RecoveryError):
+    """A checkpoint could not be decoded: truncated bytes, a bad
+    magic, or a CRC mismatch (e.g. a worker died mid-write)."""
+
+
+class CheckpointVersionError(CheckpointError):
+    """A structurally valid checkpoint from a format version this
+    build does not speak; ``version`` carries what was found."""
+
+    def __init__(self, message: str, version=None, worker=None) -> None:
+        super().__init__(message, worker=worker)
+        self.version = version
+
+
+class JournalOverflowError(RecoveryError):
+    """A bounded replay journal had to drop entries while loss was
+    configured as fatal (``on_data_loss="raise"``)."""
+
+
+class RestoreError(RecoveryError):
+    """A checkpoint decoded fine but could not be installed into a
+    live collector (layout mismatch: shard count, clock mode, ...)."""

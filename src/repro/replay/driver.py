@@ -93,6 +93,16 @@ class ScenarioReport:
     wire_frames: int = 0
     #: Reliable-UDP retransmissions (0 on tcp / in-process).
     wire_retransmits: int = 0
+    #: -- fault-recovery bookkeeping (defaults = a fault-free run) ----------
+    #: Worker processes the supervised path sink replaced mid-replay,
+    #: and the journal messages replayed into their replacements.
+    restarts: int = 0
+    replayed_batches: int = 0
+    #: Shards that exceeded their journal window during recovery (and
+    #: the records neither restored nor replayed); 0/0 whenever the
+    #: journal was sized to the checkpoint cadence.
+    degraded_shards: int = 0
+    records_lost: int = 0
     #: Per-stage wall time of the replay loop, insertion-ordered
     #: ``(stage, seconds)`` pairs: where ``seconds`` actually went
     #: (select / encode / ingest / transport / decode, plus impair
@@ -263,6 +273,9 @@ class ReplayDriver:
         impairments: Optional[Sequence[ImpairmentModel]] = None,
         transport: Optional[str] = None,
         obs=None,
+        checkpoint_every: Optional[int] = None,
+        journal_batches: Optional[int] = None,
+        faults=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -291,6 +304,17 @@ class ReplayDriver:
                 f"({num_shards}): a worker owns at least one shard"
             )
         self.workers = workers
+        if workers is None and (
+            checkpoint_every is not None or faults is not None
+        ):
+            raise ValueError(
+                "checkpoint_every/faults require workers: supervision "
+                "and worker fault injection only exist on the "
+                "ParallelCollector path sink"
+            )
+        self.checkpoint_every = checkpoint_every
+        self.journal_batches = journal_batches
+        self.faults = faults
         self.digest_bits = digest_bits
         self.num_hashes = num_hashes
         self.seed = seed
@@ -337,6 +361,9 @@ class ReplayDriver:
             consumer_factory, workers=self.workers,
             num_shards=self.num_shards, seed=self.seed,
             obs=obs, obs_labels=labels,
+            checkpoint_every=self.checkpoint_every,
+            journal_batches=self.journal_batches,
+            faults=self.faults,
         )
 
     def _wire_sink(self, sink, sink_label: str):
@@ -509,6 +536,14 @@ class ReplayDriver:
                         "Whole-replay wall time per pipeline stage.",
                         labels={"stage": stage},
                     ).observe(secs)
+            if getattr(path_sink, "_supervised", False):
+                rec = path_sink.recovery_stats(path_sink.snapshot())
+                report = replace(
+                    report, restarts=rec.restarts,
+                    replayed_batches=rec.replayed_batches,
+                    degraded_shards=rec.degraded_shards,
+                    records_lost=rec.records_lost,
+                )
             if self.transport is not None:
                 frames = path_tx.frames_sent
                 retx = getattr(path_tx, "retransmits", 0)

@@ -94,7 +94,18 @@ def cmd_serve(args) -> int:
         tcp_port=args.tcp_port, query_port=args.query_port,
         queue_frames=args.queue_frames,
         obs=obs, metrics_port=args.metrics_port,
-    ).start()
+    )
+    if args.restore:
+        if args.checkpoint is None:
+            raise SystemExit("--restore requires --checkpoint PATH")
+        try:
+            server.restore_checkpoint(args.checkpoint)
+            print(f"RESTORED checkpoint={args.checkpoint}", flush=True)
+        except FileNotFoundError:
+            # First boot of a service configured for recovery: nothing
+            # to restore yet is normal, not an error.
+            print(f"RESTORE SKIPPED (no {args.checkpoint})", flush=True)
+    server.start()
     metrics = (
         "off" if args.metrics_port is None else str(server.metrics_port)
     )
@@ -106,6 +117,12 @@ def cmd_serve(args) -> int:
     for sig in (signal.SIGINT, signal.SIGTERM):
         signal.signal(sig, lambda *_: stop.set())
     stop.wait(timeout=args.duration)
+    if args.checkpoint is not None:
+        # Checkpoint-on-shutdown (SIGTERM included): drain what was
+        # admitted, persist the collector, *then* tear down -- the
+        # next `serve --restore` resumes from exactly this state.
+        server.save_checkpoint(args.checkpoint)
+        print(f"CHECKPOINT SAVED {args.checkpoint}", flush=True)
     server.close(close_collector=True)
     _emit(server.snapshot().as_dict())
     return 0
@@ -192,6 +209,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bind a Prometheus /metrics HTTP port (0 = "
                         "ephemeral) and enable pipeline metrics; "
                         "omitted, instrumentation stays off")
+    p.add_argument("--checkpoint", default=None, metavar="PATH",
+                   help="write the collector's state here on shutdown "
+                        "(SIGINT/SIGTERM/--duration included)")
+    p.add_argument("--restore", action="store_true",
+                   help="restore from --checkpoint before serving "
+                        "(missing file = fresh start, not an error)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("send", help="replay a scenario trace at a server")

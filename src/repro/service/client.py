@@ -28,6 +28,7 @@ channel without root or tc.
 
 from __future__ import annotations
 
+import random
 import select
 import socket
 import time
@@ -114,15 +115,22 @@ class UDPSender(_SenderBase):
 
 
 class _InFlight:
-    """One unacked frame: payload + timing for RTO and RTT sampling."""
+    """One unacked frame: payload + timing for RTO and RTT sampling.
 
-    __slots__ = ("payload", "first_sent", "last_sent", "retries")
+    ``rto`` is this frame's *own* current timeout -- the base EWMA RTO
+    scaled exponentially by its retry count and jittered, so a burst
+    of frames lost together fans its retransmissions out instead of
+    re-colliding in lockstep every cycle.
+    """
 
-    def __init__(self, payload: bytes, now: float) -> None:
+    __slots__ = ("payload", "first_sent", "last_sent", "retries", "rto")
+
+    def __init__(self, payload: bytes, now: float, rto: float) -> None:
         self.payload = payload
         self.first_sent = now
         self.last_sent = now
         self.retries = 0
+        self.rto = rto
 
 
 class ReliableUDPSender(_SenderBase):
@@ -140,6 +148,20 @@ class ReliableUDPSender(_SenderBase):
     alpha / beta / min_rto / max_rto / initial_rto:
         EWMA RTT estimator constants (RFC 6298 defaults, clamped to
         loopback-friendly bounds).
+    backoff / jitter / rto_seed:
+        Retry pacing: the ``n``-th retransmission of a frame waits
+        ``rto * backoff**n`` (capped at ``max_rto``), stretched by up
+        to ``jitter`` fraction of itself from a dedicated seeded RNG.
+        Exponential spacing stops a dead sink from being hammered at a
+        constant rate; the jitter de-synchronises frames that timed
+        out together.  ``rto_seed`` makes the jitter sequence
+        reproducible in tests.
+    send_timeout:
+        Cap on the *total* time :meth:`send_batch` may block waiting
+        for window space; past it a :class:`DeliveryError` is raised
+        even if no single frame has exhausted ``max_retries`` yet (a
+        stalled-but-slowly-acking sink must not wedge the caller
+        forever).
     drop_fn:
         Optional ``(seq, attempt) -> bool`` simulated-loss hook; True
         suppresses the actual ``sendto`` for that transmission.
@@ -165,6 +187,10 @@ class ReliableUDPSender(_SenderBase):
         min_rto: float = 0.02,
         max_rto: float = 2.0,
         initial_rto: float = 0.2,
+        backoff: float = 2.0,
+        jitter: float = 0.1,
+        rto_seed: Optional[int] = None,
+        send_timeout: float = 60.0,
         drop_fn: Optional[Callable[[int, int], bool]] = None,
         obs=None,
         obs_labels: Optional[dict] = None,
@@ -184,6 +210,14 @@ class ReliableUDPSender(_SenderBase):
         self.min_rto = min_rto
         self.max_rto = max_rto
         self.initial_rto = initial_rto
+        if backoff < 1.0:
+            raise ValueError("backoff must be >= 1.0")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.backoff = backoff
+        self.jitter = jitter
+        self.send_timeout = send_timeout
+        self._rng = random.Random(rto_seed)
         self.drop_fn = drop_fn
         self.srtt: Optional[float] = None
         self.rttvar = 0.0
@@ -225,6 +259,16 @@ class ReliableUDPSender(_SenderBase):
         return min(self.max_rto,
                    max(self.min_rto, self.srtt + 4.0 * self.rttvar))
 
+    def _scaled_rto(self, retries: int) -> float:
+        """Per-transmission timeout: base RTO backed off and jittered.
+
+        The cap applies to the deterministic part only; the jitter
+        then stretches it by up to ``jitter`` fraction, so even frames
+        pinned at ``max_rto`` stay de-synchronised.
+        """
+        base = min(self.max_rto, self.rto * self.backoff ** retries)
+        return base * (1.0 + self.jitter * self._rng.random())
+
     def _sample_rtt(self, r: float) -> None:
         if self.srtt is None:
             self.srtt = r
@@ -240,15 +284,31 @@ class ReliableUDPSender(_SenderBase):
 
     def send_batch(self, flow_ids, pids, hop_counts, digests,
                    now: Optional[float] = None) -> int:
-        """Ship one batch reliably; blocks while the window is full."""
+        """Ship one batch reliably; blocks while the window is full.
+
+        The window wait is bounded by ``send_timeout`` *in total* for
+        the batch: per-frame ``max_retries`` catches a dead sink, but
+        a sink acking at a trickle can hold the window full without
+        any frame ever exhausting its retries -- the deadline catches
+        that.
+        """
         frames = self._frames(flow_ids, pids, hop_counts, digests, now,
                               reliable=True)
         records = 0
         base_seq = self.next_seq - len(frames)
+        deadline = time.monotonic() + self.send_timeout
         for i, payload in enumerate(frames):
             while len(self.inflight) >= self.window:
+                if time.monotonic() >= deadline:
+                    raise DeliveryError(
+                        f"send window still full after "
+                        f"{self.send_timeout}s "
+                        f"({len(self.inflight)} frame(s) unacked); "
+                        "sink stalled"
+                    )
                 self._pump(self.rto)
-            state = _InFlight(payload, time.monotonic())
+            state = _InFlight(payload, time.monotonic(),
+                              self._scaled_rto(0))
             self.inflight[base_seq + i] = state
             self._transmit(base_seq + i, state)
             records += (len(payload) - 21) // 32
@@ -277,7 +337,7 @@ class ReliableUDPSender(_SenderBase):
         now = time.monotonic()
         wait = max(0.0, min(
             max_wait,
-            min((st.last_sent + self.rto - now
+            min((st.last_sent + st.rto - now
                  for st in self.inflight.values()), default=max_wait),
         ))
         readable, _, _ = select.select([self.sock], [], [], wait)
@@ -304,18 +364,19 @@ class ReliableUDPSender(_SenderBase):
                     # unambiguous RTT sample.
                     self._sample_rtt(time.monotonic() - state.first_sent)
         now = time.monotonic()
-        rto = self.rto
         for seq, state in list(self.inflight.items()):
-            if now - state.last_sent < rto:
+            if now - state.last_sent < state.rto:
                 continue
             if state.retries >= self.max_retries:
                 raise DeliveryError(
                     f"frame seq={seq} unacked after {self.max_retries} "
-                    f"retransmissions (rto={rto:.3f}s); sink unreachable"
+                    f"retransmissions (rto={state.rto:.3f}s); sink "
+                    "unreachable"
                 )
             state.retries += 1
             self.retransmits += 1
             self._m_retx.inc()
+            state.rto = self._scaled_rto(state.retries)
             self._transmit(seq, state)
 
     def flush(self, timeout: float = 30.0) -> None:
@@ -345,15 +406,64 @@ class TCPSender(_SenderBase):
     single frame -- a stream has no datagram cap, so the server-side
     reassembly path is exercised only when the batch tops
     ``MAX_FRAME_RECORDS``.
+
+    Reconnect: a send that hits a dead connection (server restarted,
+    RST, broken pipe) redials with jittered exponential backoff and
+    resends the *whole* batch on the fresh connection.  The delivery
+    contract at this boundary is **at-least-once**: bytes the kernel
+    buffered before the failure may or may not have reached the old
+    server, and TCP frames carry no seq for the server to dedup on --
+    a batch straddling a reconnect can be folded twice.  That is the
+    deliberate trade (DESIGN.md section 9): the fire-and-forget TCP
+    path keeps its zero-overhead framing, and callers needing
+    exactly-once use the reliable UDP transport, whose seq/ACK dedup
+    survives server restarts that preserve collector state.
     """
 
     def __init__(self, host: str, port: int,
                  max_records: Optional[int] = None,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0,
+                 reconnect_attempts: int = 5,
+                 reconnect_base: float = 0.05,
+                 reconnect_max: float = 2.0,
+                 jitter: float = 0.1,
+                 reconnect_seed: Optional[int] = None) -> None:
         super().__init__(host, port,
                          max_records or wire.MAX_FRAME_RECORDS)
-        self.sock = socket.create_connection((host, port), timeout=timeout)
-        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.timeout = timeout
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_base = reconnect_base
+        self.reconnect_max = reconnect_max
+        self.jitter = jitter
+        self.reconnects = 0
+        self._rng = random.Random(reconnect_seed)
+        self.sock = self._dial()
+
+    def _dial(self) -> socket.socket:
+        sock = socket.create_connection(self.addr, timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _reconnect(self, cause: Exception) -> None:
+        """Redial with jittered exponential backoff, or give up loudly."""
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        for attempt in range(self.reconnect_attempts):
+            delay = min(self.reconnect_max,
+                        self.reconnect_base * (2.0 ** attempt))
+            time.sleep(delay * (1.0 + self.jitter * self._rng.random()))
+            try:
+                self.sock = self._dial()
+            except OSError:
+                continue
+            self.reconnects += 1
+            return
+        raise DeliveryError(
+            f"could not reconnect to {self.addr[0]}:{self.addr[1]} "
+            f"after {self.reconnect_attempts} attempts"
+        ) from cause
 
     def send_batch(self, flow_ids, pids, hop_counts, digests,
                    now: Optional[float] = None) -> int:
@@ -361,9 +471,16 @@ class TCPSender(_SenderBase):
                               reliable=False)
         records = 0
         if frames:
-            self.sock.sendall(b"".join(frames))
-            for payload in frames:
-                records += (len(payload) - 21) // 32
+            payload = b"".join(frames)
+            try:
+                self.sock.sendall(payload)
+            except OSError as exc:
+                self._reconnect(exc)
+                # At-least-once: the batch is resent whole; any prefix
+                # the dead connection delivered may be folded again.
+                self.sock.sendall(payload)
+            for frame in frames:
+                records += (len(frame) - 21) // 32
             self.frames_sent += len(frames)
             self.records_sent += records
             self.batches_sent += 1

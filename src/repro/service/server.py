@@ -108,6 +108,13 @@ class CollectorServer:
         ``None`` (default) serves no HTTP.  An integer binds a
         Prometheus scrape endpoint (``GET /metrics``) on ``host``; 0
         picks an ephemeral port (read it back after :meth:`start`).
+    faults:
+        Optional :class:`repro.faults.FaultPlan`; the server consults
+        its *frame* faults on every received UDP datagram (corrupt/
+        truncate/drop before decode -- chaos at the wire boundary,
+        where the version/CRC checks must catch it) and its
+        ``stall_queue`` faults before folding admitted frames (a slow
+        ingest thread, exercising queue backpressure).
     """
 
     def __init__(
@@ -121,6 +128,7 @@ class CollectorServer:
         reorder_limit: int = 4096,
         obs=None,
         metrics_port: Optional[int] = None,
+        faults=None,
     ) -> None:
         if udp_port is None and tcp_port is None:
             raise ValueError("enable at least one of udp_port/tcp_port")
@@ -135,6 +143,7 @@ class CollectorServer:
         self.query_port = query_port
         self.queue_frames = queue_frames
         self.reorder_limit = reorder_limit
+        self.faults = faults
 
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_frames)
         self._peers: Dict[Tuple, _Peer] = {}
@@ -389,6 +398,58 @@ class CollectorServer:
                 self.collector.close()
         self._raise_ingest_errors()
 
+    # -- checkpoint/restore ------------------------------------------------
+
+    def save_checkpoint(self, path: str) -> None:
+        """Drain, then write the wrapped collector's state to ``path``.
+
+        The service-side half of crash recovery (``repro.service
+        serve --checkpoint``): on a live server the admission queue is
+        drained first, so the blob covers every frame the server ever
+        ACKed or admitted; the write then happens under the ingest
+        lock and goes through the atomic tmp+rename writer, so a
+        crash mid-save leaves the previous file intact.
+        Requires a collector with ``state_dict`` (the serial
+        :class:`~repro.collector.Collector`); a supervised
+        :class:`~repro.collector.ParallelCollector` checkpoints its
+        workers internally instead.
+        """
+        from repro.collector.recovery import (
+            capture_checkpoint, write_checkpoint,
+        )
+        if not hasattr(self.collector, "state_dict"):
+            raise ServiceError(
+                f"{type(self.collector).__name__} has no state_dict(): "
+                "server-side checkpoints need a serial Collector (a "
+                "supervised ParallelCollector checkpoints internally)"
+            )
+        if self._started and not self._closed:
+            self.drain()
+        with self._lock:
+            self.collector.drain()
+            data = capture_checkpoint(self.collector)
+        write_checkpoint(path, data)
+
+    def restore_checkpoint(self, path: str) -> None:
+        """Install a checkpoint file into the wrapped collector.
+
+        Call before :meth:`start` (or at least before senders connect):
+        frames folded between restore and the first post-restore
+        checkpoint are covered by sender-side retransmission, not by
+        this file.  Typed checkpoint errors (bad CRC, version skew)
+        propagate -- serving queries off a half-trusted blob is worse
+        than refusing to start.
+        """
+        from repro.collector.recovery import read_checkpoint
+        if not hasattr(self.collector, "load_state"):
+            raise ServiceError(
+                f"{type(self.collector).__name__} has no load_state(): "
+                "server-side restore needs a serial Collector"
+            )
+        state = read_checkpoint(path)
+        with self._lock:
+            self.collector.load_state(state["collector"])
+
     def _check_open(self) -> None:
         if self._closed:
             raise ServiceError("server is closed")
@@ -417,6 +478,11 @@ class CollectorServer:
 
     def _on_datagram(self, data: bytes, addr) -> None:
         """Decode and admit one UDP datagram (may carry several frames)."""
+        if self.faults is not None:
+            mutated = self.faults.mutate_frame(data)
+            if mutated is None:
+                return  # injected drop: the datagram never existed
+            data = mutated
         try:
             frames = wire.decode_frames(data)
         except wire.BadVersionError:
@@ -574,6 +640,12 @@ class CollectorServer:
                 self._queue.task_done()
                 break
             source, frame = item
+            if self.faults is not None:
+                # Injected ingest-thread stall: the queue keeps
+                # admitting (or backpressuring) while the fold lags.
+                delay = self.faults.stall_seconds()
+                if delay > 0.0:
+                    time.sleep(delay)
             run = self._pending.setdefault(source, [])
             run.append(frame)
             if not frame.more:  # the batch's terminating fragment

@@ -1,0 +1,419 @@
+"""Seeded fault injection + service-side resilience (repro.faults).
+
+The chaos half of the PR-8 contract: the FaultPlan DSL is
+deterministic and logs what it fired; the server's frame faults are
+counted-and-dropped, never folded; reliable UDP stays exactly-once
+*through* injected frame corruption (retransmits cover the chaos);
+retry pacing is seeded jittered exponential backoff with a total-send
+deadline; the TCP sender redials a restarted server; and the serve CLI
+checkpoints on SIGTERM and resumes with ``--restore``.
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.collector import (
+    Collector,
+    ParallelCollector,
+    path_consumer_factory,
+)
+from repro.faults import (
+    FaultPlan,
+    FaultSpec,
+    corrupt_checkpoint,
+    corrupt_frame,
+    drop_checkpoint,
+    drop_frame,
+    kill_worker,
+    stall_queue,
+    truncate_frame,
+    wedge_worker,
+)
+from repro.service import (
+    CollectorServer,
+    DeliveryError,
+    ReliableUDPSender,
+    ServiceError,
+    TCPSender,
+    UDPSender,
+)
+from repro.service.__main__ import main
+
+UNIVERSE = list(range(1, 33))
+REPO = Path(__file__).resolve().parent.parent
+FAST_RTO = dict(min_rto=0.005, initial_rto=0.02, max_rto=0.1)
+
+
+def make_collector(**kw):
+    kw.setdefault("num_shards", 4)
+    kw.setdefault("seed", 0)
+    return Collector(
+        path_consumer_factory(UNIVERSE, digest_bits=8, num_hashes=1, seed=0),
+        **kw,
+    )
+
+
+def batch(n, base=0):
+    fids = np.arange(base, base + n, dtype=np.int64) % 17
+    pids = np.arange(base, base + n, dtype=np.int64)
+    hops = np.full(n, 4, dtype=np.int64)
+    digs = (pids * 31 + 7) % 251
+    return fids, pids, hops, digs
+
+
+# -- the DSL ----------------------------------------------------------------
+
+class TestFaultSpecs:
+    def test_constructors_map_to_kinds(self):
+        assert kill_worker(1, 3).kind == "kill"
+        assert wedge_worker(0, 2).kind == "wedge"
+        assert drop_checkpoint(0).at is None
+        assert corrupt_checkpoint(1, at=2).at == 2
+        assert corrupt_frame(5).kind == "corrupt_frame"
+        assert truncate_frame(5).kind == "truncate_frame"
+        assert drop_frame(5).kind == "drop_frame"
+        assert stall_queue(1, 0.5).seconds == 0.5
+
+    def test_pinned_ordinal_fires_exactly_once(self):
+        spec = FaultSpec("kill", worker=0, at=3)
+        assert not spec._matches(2)
+        assert spec._matches(3)
+        assert not spec._matches(3)  # spent
+        assert not spec._matches(4)
+
+    def test_recurring_fires_every_time(self):
+        spec = FaultSpec("drop_checkpoint", worker=0, at=None)
+        assert all(spec._matches(i) for i in range(1, 5))
+
+    def test_worker_faults_filter_by_worker_and_log(self):
+        plan = FaultPlan([kill_worker(1, 3), kill_worker(0, 3)])
+        assert plan.worker_faults(2, 3) == []
+        due = plan.worker_faults(1, 3)
+        assert len(due) == 1 and due[0].worker == 1
+        assert plan.fired == [("kill", "worker=1", 3)]
+
+    def test_checkpoint_fault_fates(self):
+        plan = FaultPlan([drop_checkpoint(0, at=1),
+                          corrupt_checkpoint(0, at=2)])
+        assert plan.checkpoint_fault(0, 1) == "drop"
+        assert plan.checkpoint_fault(0, 2) == "corrupt"
+        assert plan.checkpoint_fault(0, 3) is None
+        assert plan.checkpoint_fault(1, 1) is None
+
+    def test_reset_rearms_and_clears_log(self):
+        plan = FaultPlan([kill_worker(0, 1)])
+        plan.worker_faults(0, 1)
+        assert plan.fired
+        plan.reset()
+        assert plan.fired == []
+        assert plan.worker_faults(0, 1)  # fires again after reset
+
+    def test_chaos_is_seed_deterministic(self):
+        a = FaultPlan.chaos(workers=4, max_batch=100, seed=9, kills=2)
+        b = FaultPlan.chaos(workers=4, max_batch=100, seed=9, kills=2)
+        assert [(s.worker, s.at) for s in a.specs] == \
+               [(s.worker, s.at) for s in b.specs]
+        assert len(a.specs) == 2
+        assert all(1 <= s.at <= 100 for s in a.specs)
+        with pytest.raises(ValueError):
+            FaultPlan.chaos(workers=2, max_batch=10, kills=3)
+
+    def test_mutate_frame_kinds(self):
+        frame = b"PI" + bytes(30)
+        drop = FaultPlan([drop_frame(1)])
+        assert drop.mutate_frame(frame) is None
+        trunc = FaultPlan([truncate_frame(1)])
+        assert trunc.mutate_frame(frame) == frame[: len(frame) // 2]
+        corrupt = FaultPlan([corrupt_frame(1)])
+        mutated = corrupt.mutate_frame(frame)
+        assert mutated[0] != frame[0] and mutated[1:] == frame[1:]
+        # Ordinals advance even on clean frames.
+        clean = FaultPlan([corrupt_frame(2)])
+        assert clean.mutate_frame(frame) == frame
+        assert clean.mutate_frame(frame) != frame
+
+
+# -- server-side frame faults ----------------------------------------------
+
+class TestServerFrameFaults:
+    def _frame(self, n=4):
+        from repro.service import encode_frame
+        fids, pids, hops, digs = batch(n)
+        return encode_frame(fids, pids, hops, digs, 1.0, 0)
+
+    def test_corrupted_frame_counted_not_folded(self):
+        plan = FaultPlan([corrupt_frame(1)])
+        srv = CollectorServer(make_collector(), faults=plan)
+        srv._on_datagram(self._frame(), ("127.0.0.1", 9))
+        assert srv.service_stats().dropped_bad_frame == 1
+        assert plan.fired == [("corrupt_frame", "frame", 1)]
+
+    def test_truncated_frame_counted_not_folded(self):
+        plan = FaultPlan([truncate_frame(1)])
+        srv = CollectorServer(make_collector(), faults=plan)
+        srv._on_datagram(self._frame(), ("127.0.0.1", 9))
+        assert srv.service_stats().dropped_bad_frame == 1
+
+    def test_dropped_frame_never_arrives(self):
+        plan = FaultPlan([drop_frame(1)])
+        srv = CollectorServer(make_collector(), faults=plan)
+        srv._on_datagram(self._frame(), ("127.0.0.1", 9))
+        assert srv.service_stats().frames_received == 0
+        assert srv._queue.qsize() == 0
+        assert plan.fired == [("drop_frame", "frame", 1)]
+
+    def test_reliable_exactly_once_through_frame_chaos(self):
+        # Frames 2 and 3 are corrupted/dropped on arrival; the
+        # sender's RTO covers both and the sink still folds every
+        # record exactly once -- bit-identical to in-process ingest.
+        plan = FaultPlan([corrupt_frame(2), drop_frame(3)])
+        direct = make_collector()
+        served = make_collector()
+        with CollectorServer(served, tcp_port=None, faults=plan) as srv:
+            tx = ReliableUDPSender("127.0.0.1", srv.udp_port,
+                                   max_records=16, **FAST_RTO)
+            cols = batch(200)
+            direct.ingest_batch(*cols, now=1.0)
+            tx.send_batch(*cols, now=1.0)
+            tx.flush()
+            tx.sock.close()
+            srv.wait_for_records(200, timeout=30)
+            srv.drain()
+            assert tx.retransmits >= 2
+            kinds = {k for k, _, _ in plan.fired}
+            assert kinds == {"corrupt_frame", "drop_frame"}
+            assert served.snapshot().as_dict() == direct.snapshot().as_dict()
+
+    def test_stall_queue_delays_but_never_drops(self):
+        plan = FaultPlan([stall_queue(1, 0.2)])
+        with CollectorServer(make_collector(), tcp_port=None,
+                             faults=plan) as srv:
+            with UDPSender("127.0.0.1", srv.udp_port) as tx:
+                tx.send_batch(*batch(50), now=1.0)
+            srv.wait_for_records(50, timeout=10)
+            assert ("stall_queue", "queue", 1) in plan.fired
+            assert srv.service_stats().records_ingested == 50
+
+
+# -- retry pacing -----------------------------------------------------------
+
+class TestScaledRto:
+    def make_tx(self, **kw):
+        kw.setdefault("rto_seed", 42)
+        tx = ReliableUDPSender("127.0.0.1", 1, **kw)
+        tx.sock.close()
+        return tx
+
+    def test_zero_jitter_is_pure_exponential(self):
+        tx = self.make_tx(jitter=0.0, backoff=2.0, initial_rto=0.1,
+                          max_rto=10.0)
+        assert tx._scaled_rto(0) == pytest.approx(0.1)
+        assert tx._scaled_rto(1) == pytest.approx(0.2)
+        assert tx._scaled_rto(3) == pytest.approx(0.8)
+
+    def test_backoff_caps_at_max_rto(self):
+        tx = self.make_tx(jitter=0.0, backoff=2.0, initial_rto=0.1,
+                          max_rto=0.5)
+        assert tx._scaled_rto(10) == pytest.approx(0.5)
+
+    def test_jitter_bounded_and_seed_deterministic(self):
+        a = self.make_tx(jitter=0.25, initial_rto=0.1)
+        b = self.make_tx(jitter=0.25, initial_rto=0.1)
+        seq_a = [a._scaled_rto(0) for _ in range(8)]
+        seq_b = [b._scaled_rto(0) for _ in range(8)]
+        assert seq_a == seq_b  # same seed, same jitter stream
+        assert all(0.1 <= v <= 0.1 * 1.25 for v in seq_a)
+        assert len(set(seq_a)) > 1  # actually jittered
+
+    def test_pacing_params_validated(self):
+        with pytest.raises(ValueError):
+            self.make_tx(backoff=0.5)
+        with pytest.raises(ValueError):
+            self.make_tx(jitter=1.0)
+        with pytest.raises(ValueError):
+            self.make_tx(jitter=-0.1)
+
+    def test_send_deadline_caps_window_wait(self):
+        # window=1 and a black-hole drop_fn: the second frame can
+        # never enter the window; the *total* deadline fires long
+        # before per-frame max_retries would.
+        tx = ReliableUDPSender(
+            "127.0.0.1", 1, max_records=8, window=1, max_retries=10_000,
+            send_timeout=0.3, drop_fn=lambda seq, attempt: True,
+            **FAST_RTO,
+        )
+        start = time.monotonic()
+        with pytest.raises(DeliveryError, match="window still full"):
+            tx.send_batch(*batch(32), now=1.0)
+        assert time.monotonic() - start < 5.0
+        tx.sock.close()
+
+
+# -- TCP reconnect ----------------------------------------------------------
+
+class TestTCPReconnect:
+    def test_reconnects_across_server_restart(self):
+        srv1 = CollectorServer(make_collector(), udp_port=None).start()
+        port = srv1.tcp_port
+        tx = TCPSender("127.0.0.1", port, reconnect_base=0.01,
+                       reconnect_seed=0)
+        try:
+            tx.send_batch(*batch(100), now=1.0)
+            srv1.wait_for_records(100, timeout=10)
+            srv1.close(close_collector=True)
+            # Same port, fresh server: the sender must notice the dead
+            # connection and redial (at-least-once: the batch that
+            # straddles the restart is resent whole).
+            with CollectorServer(make_collector(), udp_port=None,
+                                 tcp_port=port) as srv2:
+                deadline = time.monotonic() + 15
+                while tx.reconnects == 0:
+                    assert time.monotonic() < deadline
+                    tx.send_batch(*batch(50, base=1000), now=2.0)
+                    time.sleep(0.05)
+                srv2.wait_for_records(50, timeout=10)
+                assert tx.reconnects >= 1
+                assert srv2.service_stats().records_ingested >= 50
+        finally:
+            tx.sock.close()
+
+    def test_reconnect_exhaustion_raises_delivery_error(self):
+        srv = CollectorServer(make_collector(), udp_port=None).start()
+        port = srv.tcp_port
+        tx = TCPSender("127.0.0.1", port, reconnect_attempts=2,
+                       reconnect_base=0.01, reconnect_seed=0)
+        srv.close(close_collector=True)
+        with pytest.raises(DeliveryError, match="could not reconnect"):
+            for _ in range(100):
+                tx.send_batch(*batch(50), now=1.0)
+                time.sleep(0.02)
+        tx.sock.close()
+
+
+# -- server checkpoint/restore ----------------------------------------------
+
+class TestServerCheckpoint:
+    def test_save_then_restore_reproduces_state(self, tmp_path):
+        path = str(tmp_path / "srv.ckpt")
+        original = make_collector()
+        with CollectorServer(original, tcp_port=None) as srv:
+            with UDPSender("127.0.0.1", srv.udp_port) as tx:
+                tx.send_batch(*batch(120), now=1.0)
+            srv.wait_for_records(120, timeout=10)
+            srv.save_checkpoint(path)
+        restored = make_collector()
+        srv2 = CollectorServer(restored, tcp_port=None)
+        srv2.restore_checkpoint(path)
+        assert restored.snapshot().as_dict() == original.snapshot().as_dict()
+        for fid in range(17):
+            assert restored.result(fid) == original.result(fid)
+
+    def test_parallel_collector_refused_with_typed_error(self, tmp_path):
+        # A ParallelCollector's state lives in its workers; the
+        # server-side file checkpoint only speaks serial collectors.
+        par = ParallelCollector(
+            path_consumer_factory(UNIVERSE, digest_bits=8, num_hashes=1,
+                                  seed=0),
+            workers=2, num_shards=4,
+        )
+        srv = CollectorServer(par, tcp_port=None)
+        with pytest.raises(ServiceError, match="checkpoint"):
+            srv.save_checkpoint(str(tmp_path / "x.ckpt"))
+        with pytest.raises(ServiceError, match="restore"):
+            srv.restore_checkpoint(str(tmp_path / "x.ckpt"))
+        par.close()
+
+    def test_restore_missing_file_raises_file_not_found(self, tmp_path):
+        srv = CollectorServer(make_collector(), tcp_port=None)
+        with pytest.raises(FileNotFoundError):
+            srv.restore_checkpoint(str(tmp_path / "absent.ckpt"))
+
+
+# -- serve CLI: checkpoint on SIGTERM, --restore on boot --------------------
+
+class TestServeCheckpointCLI:
+    def _serve(self, tmp_path, *extra):
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "serve",
+             "--scenario", "incast", "--packets", "600",
+             "--duration", "60",
+             "--checkpoint", str(tmp_path / "cli.ckpt"), *extra],
+            cwd=REPO, stdout=subprocess.PIPE, text=True,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_sigterm_checkpoint_then_restore_resumes(self, tmp_path,
+                                                     capsys):
+        proc = self._serve(tmp_path)
+        try:
+            ready = proc.stdout.readline()
+            assert ready.startswith("SERVICE READY")
+            ports = dict(kv.split("=") for kv in ready.split()[2:])
+            assert main(["send", "--scenario", "incast", "--packets",
+                         "600", "--port", ports["udp"]]) == 0
+            capsys.readouterr()
+            deadline = time.monotonic() + 15
+            while True:
+                assert main(["query", "--port", ports["query"],
+                             "--op", "stats"]) == 0
+                stats = json.loads(capsys.readouterr().out)["stats"]
+                if stats["records_ingested"] == 600:
+                    break
+                assert time.monotonic() < deadline, stats
+                time.sleep(0.05)
+            proc.send_signal(signal.SIGTERM)
+            out, _ = proc.communicate(timeout=30)
+            assert proc.returncode == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        lines = out.strip().splitlines()
+        assert any(ln.startswith("CHECKPOINT SAVED") for ln in lines)
+        first = json.loads(lines[-1])
+        assert first["records"] == 600
+        assert (tmp_path / "cli.ckpt").exists()
+
+        # Boot a fresh process from the checkpoint: the restored
+        # snapshot carries the pre-restart records without one frame
+        # being resent.
+        proc = self._serve(tmp_path, "--restore")
+        try:
+            restored = proc.stdout.readline()
+            assert restored.startswith("RESTORED checkpoint=")
+            ready = proc.stdout.readline()
+            assert ready.startswith("SERVICE READY")
+            ports = dict(kv.split("=") for kv in ready.split()[2:])
+            assert main(["query", "--port", ports["query"],
+                         "--op", "snapshot"]) == 0
+            snap = json.loads(capsys.readouterr().out)["snapshot"]
+            assert snap["records"] == 600
+            proc.send_signal(signal.SIGINT)
+            out, _ = proc.communicate(timeout=30)
+            assert proc.returncode == 0
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
+    def test_restore_without_checkpoint_path_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["serve", "--scenario", "incast", "--packets", "100",
+                  "--restore", "--duration", "0.1"])
+
+    def test_restore_missing_file_is_fresh_start(self, tmp_path, capsys):
+        # First boot of a recovery-configured service: nothing to
+        # restore is normal, and the shutdown still writes the file.
+        path = tmp_path / "fresh.ckpt"
+        assert main(["serve", "--scenario", "incast", "--packets", "100",
+                     "--checkpoint", str(path), "--restore",
+                     "--duration", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "RESTORE SKIPPED" in out
+        assert "CHECKPOINT SAVED" in out
+        assert path.exists()

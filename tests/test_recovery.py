@@ -1,0 +1,476 @@
+"""Fault-tolerant collection: checkpoint/restore, journal, supervision.
+
+Covers the PR-8 contract end to end:
+
+* the checkpoint wire format round-trips and rejects, with typed
+  errors, exactly the artifacts a crash-during-write produces
+  (truncation, bad magic, version skew, CRC mismatch);
+* ``restore(checkpoint(c)) == c`` at snapshot *and* per-flow-answer
+  granularity, for every consumer kind, including LRU/TTL eviction
+  order surviving the round trip (continued-ingest equality);
+* the supervised :class:`ParallelCollector` survives SIGKILL, SIGSTOP
+  and crash-timing edge cases (mid-batch, during a checkpoint write,
+  before the first checkpoint) with merged snapshots bit-identical to
+  a fault-free run;
+* an undersized journal degrades gracefully -- shards marked, records
+  lost accounted, no exception -- or raises when configured to;
+* ``close()`` escalates SIGTERM -> SIGKILL on a stopped worker and
+  reports it instead of leaking a zombie.
+"""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.collector import (
+    CHECKPOINT_VERSION,
+    Collector,
+    ParallelCollector,
+    RecoveryStats,
+    Snapshot,
+    capture_checkpoint,
+    congestion_consumer_factory,
+    latency_consumer_factory,
+    path_consumer_factory,
+    read_checkpoint,
+    restore_collector,
+    write_checkpoint,
+)
+from repro.collector.recovery import (
+    BatchJournal,
+    decode_checkpoint,
+    encode_checkpoint,
+    validate_checkpoint,
+)
+from repro.exceptions import (
+    CheckpointError,
+    CheckpointVersionError,
+    JournalOverflowError,
+    RecoveryError,
+    RestoreError,
+)
+from repro.faults import (
+    FaultPlan,
+    corrupt_checkpoint,
+    drop_checkpoint,
+    kill_worker,
+    wedge_worker,
+)
+
+UNIVERSE = list(range(1, 33))
+
+
+def make_cols(n=3000, flows=50, seed=5):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(1, flows, n),
+        np.arange(1, n + 1),
+        rng.integers(2, 7, n),
+        rng.integers(0, 256, n),
+    )
+
+
+def feed(col, cols, batch=500, lo=0, hi=None):
+    fids, pids, hops, digs = cols
+    hi = len(fids) if hi is None else hi
+    now = float(lo // batch)
+    for b_lo in range(lo, hi, batch):
+        b_hi = min(b_lo + batch, hi)
+        now += 1.0
+        col.ingest_batch(fids[b_lo:b_hi], pids[b_lo:b_hi],
+                         hops[b_lo:b_hi], digs[b_lo:b_hi], now=now)
+    return now
+
+
+FACTORIES = {
+    "congestion": lambda: congestion_consumer_factory(seed=3),
+    "latency": lambda: latency_consumer_factory(seed=3),
+    "path": lambda: path_consumer_factory(
+        UNIVERSE, digest_bits=8, num_hashes=1, seed=3
+    ),
+}
+
+
+# -- checkpoint format ------------------------------------------------------
+
+class TestCheckpointFormat:
+    def test_encode_decode_round_trip(self):
+        state = {"a": 1, "nested": {"b": [1, 2, 3]}}
+        assert decode_checkpoint(encode_checkpoint(state)) == state
+
+    def test_short_header_rejected(self):
+        with pytest.raises(CheckpointError, match="truncated"):
+            validate_checkpoint(b"PC")
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(encode_checkpoint({}))
+        blob[0] ^= 0xFF
+        with pytest.raises(CheckpointError, match="magic"):
+            validate_checkpoint(bytes(blob))
+
+    def test_version_skew_rejected_with_version(self):
+        blob = bytearray(encode_checkpoint({}))
+        blob[4:6] = (CHECKPOINT_VERSION + 1).to_bytes(2, "little")
+        with pytest.raises(CheckpointVersionError) as exc:
+            validate_checkpoint(bytes(blob), worker=3)
+        assert exc.value.version == CHECKPOINT_VERSION + 1
+        assert exc.value.worker == 3
+
+    def test_truncated_payload_rejected(self):
+        blob = encode_checkpoint({"k": list(range(100))})
+        with pytest.raises(CheckpointError, match="truncated"):
+            validate_checkpoint(blob[: len(blob) // 2])
+
+    def test_flipped_payload_byte_fails_crc(self):
+        blob = bytearray(encode_checkpoint({"k": 1}))
+        blob[-1] ^= 0x01
+        with pytest.raises(CheckpointError, match="CRC"):
+            validate_checkpoint(bytes(blob))
+
+    def test_version_error_is_checkpoint_error(self):
+        # One except-clause catches the whole reject surface.
+        assert issubclass(CheckpointVersionError, CheckpointError)
+        assert issubclass(CheckpointError, RecoveryError)
+
+    def test_file_write_is_atomic_and_readable(self, tmp_path):
+        path = str(tmp_path / "c.ckpt")
+        write_checkpoint(path, encode_checkpoint({"x": 7}))
+        assert read_checkpoint(path) == {"x": 7}
+        assert not os.path.exists(path + ".tmp")
+        # Overwrite replaces wholesale.
+        write_checkpoint(path, encode_checkpoint({"x": 8}))
+        assert read_checkpoint(path) == {"x": 8}
+
+    def test_torn_file_rejected(self, tmp_path):
+        path = str(tmp_path / "torn.ckpt")
+        blob = encode_checkpoint({"k": list(range(200))})
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) - 10])
+        with pytest.raises(CheckpointError):
+            read_checkpoint(path)
+
+
+# -- restore(checkpoint(c)) == c -------------------------------------------
+
+class TestCheckpointRoundTrip:
+    @pytest.mark.parametrize("kind", sorted(FACTORIES))
+    def test_round_trip_identity(self, kind):
+        cols = make_cols()
+        col = Collector(FACTORIES[kind](), num_shards=4, seed=1)
+        feed(col, cols)
+        blob = capture_checkpoint(col, worker=0)
+        fresh = Collector(FACTORIES[kind](), num_shards=4, seed=1)
+        restore_collector(fresh, blob)
+        assert fresh.snapshot().as_dict() == col.snapshot().as_dict()
+        for fid in np.unique(cols[0]).tolist():
+            assert fresh.result(fid) == col.result(fid)
+
+    @pytest.mark.parametrize("kind", sorted(FACTORIES))
+    def test_continued_ingest_equality(self, kind):
+        # The stronger property: not just equal *now*, but equal under
+        # every future ingest -- LRU order, TTL bookkeeping and
+        # generation counters must all have survived the round trip.
+        cols = make_cols(n=4000)
+        col = Collector(FACTORIES[kind](), num_shards=4, seed=1,
+                        max_flows_per_shard=6, ttl=3.0)
+        feed(col, cols, hi=2000)
+        blob = capture_checkpoint(col, worker=0)
+        fresh = Collector(FACTORIES[kind](), num_shards=4, seed=1,
+                          max_flows_per_shard=6, ttl=3.0)
+        restore_collector(fresh, blob)
+        feed(col, cols, lo=2000)
+        feed(fresh, cols, lo=2000)
+        assert fresh.snapshot().as_dict() == col.snapshot().as_dict()
+        for fid in np.unique(cols[0]).tolist():
+            assert fresh.result(fid) == col.result(fid)
+
+    def test_restore_rejects_shard_count_mismatch(self):
+        col = Collector(congestion_consumer_factory(), num_shards=4)
+        blob = capture_checkpoint(col)
+        other = Collector(congestion_consumer_factory(), num_shards=8)
+        with pytest.raises(RestoreError):
+            restore_collector(other, blob)
+
+    def test_metrics_sidecar_rides_along(self):
+        col = Collector(congestion_consumer_factory(), num_shards=2)
+        blob = capture_checkpoint(col, metrics={"m": 1}, worker=5)
+        state = decode_checkpoint(blob)
+        assert state["metrics"] == {"m": 1}
+        assert state["worker"] == 5
+
+
+# -- journal ----------------------------------------------------------------
+
+class TestBatchJournal:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            BatchJournal(0)
+
+    def test_append_within_capacity_never_evicts(self):
+        j = BatchJournal(3)
+        for i in range(3):
+            assert j.append(("m", i), 10, {i: 10}) is None
+        assert j.full and len(j) == 3 and j.records == 30
+
+    def test_eviction_accrues_per_shard_loss(self):
+        j = BatchJournal(2)
+        j.append(("a",), 5, {0: 3, 1: 2})
+        j.append(("b",), 4, {1: 4})
+        evicted = j.append(("c",), 6, {2: 6})
+        assert evicted is not None and evicted.msg == ("a",)
+        assert j.dropped_batches == 1
+        assert j.dropped_records == 5
+        assert j.dropped_by_shard == {0: 3, 1: 2}
+
+    def test_clear_and_clear_dropped_are_separate(self):
+        j = BatchJournal(1)
+        j.append(("a",), 1, {0: 1})
+        j.append(("b",), 1, {0: 1})  # evicts a
+        j.clear()
+        assert len(j) == 0
+        assert j.dropped_by_shard == {0: 1}  # ledger survives clear()
+        j.clear_dropped()
+        assert j.dropped_by_shard == {}
+
+    def test_replay_is_fifo(self):
+        j = BatchJournal(4)
+        for i in range(4):
+            j.append(("m", i), 1, {0: 1})
+        assert j.replay_messages() == [("m", i) for i in range(4)]
+
+
+# -- supervised recovery ----------------------------------------------------
+
+def run_pair(cols, batch=300, faults=None, **sup_kw):
+    """Feed identical batches to a serial and a supervised parallel
+    collector; return both plus the parallel snapshot."""
+    factory = FACTORIES["path"]
+    serial = Collector(factory(), num_shards=8, seed=1)
+    feed(serial, cols, batch=batch)
+    with ParallelCollector(
+        factory(), workers=2, num_shards=8, seed=1,
+        checkpoint_every=sup_kw.pop("checkpoint_every", 4),
+        faults=faults, **sup_kw,
+    ) as par:
+        feed(par, cols, batch=batch)
+        par.drain()
+        snap = par.snapshot()
+        results = {
+            int(f): par.result(int(f)) for f in np.unique(cols[0])
+        }
+    return serial, snap, results
+
+
+class TestSupervisedRecovery:
+    def test_kill_mid_replay_bit_identical(self):
+        cols = make_cols()
+        plan = FaultPlan([kill_worker(1, at_batch=3)])
+        serial, snap, results = run_pair(cols, faults=plan)
+        assert plan.fired == [("kill", "worker=1", 3)]
+        assert snap.recovery.restarts == 1
+        assert snap.recovery.replayed_batches > 0
+        assert snap.recovery.records_lost == 0
+        assert snap.as_dict() == serial.snapshot().as_dict()
+        for fid, res in results.items():
+            assert res == serial.result(fid)
+
+    def test_wedged_worker_recovered_by_timeout(self):
+        cols = make_cols(n=2000)
+        plan = FaultPlan([wedge_worker(0, at_batch=2)])
+        serial, snap, results = run_pair(
+            cols, faults=plan, wedge_timeout=1.0,
+        )
+        assert ("wedge", "worker=0", 2) in plan.fired
+        assert snap.recovery.restarts >= 1
+        assert snap.as_dict() == serial.snapshot().as_dict()
+
+    def test_dies_before_first_checkpoint(self):
+        # checkpoint_every larger than the whole run: the kill lands
+        # with no checkpoint ever taken; recovery restores-from-empty
+        # and replays the *entire* journal.
+        cols = make_cols(n=1500)
+        plan = FaultPlan([kill_worker(0, at_batch=1)])
+        serial, snap, results = run_pair(
+            cols, batch=300, faults=plan, checkpoint_every=1000,
+            journal_batches=1000,
+        )
+        assert snap.recovery.restarts == 1
+        assert snap.recovery.checkpoints_taken == 0
+        assert snap.as_dict() == serial.snapshot().as_dict()
+        for fid, res in results.items():
+            assert res == serial.result(fid)
+
+    def test_dies_during_checkpoint_write(self):
+        # The checkpoint write is corrupted (torn blob) and the worker
+        # is killed before the next one lands: the parent must fall
+        # back to the *previous* valid checkpoint + a longer journal,
+        # and still reconverge bit-identically.
+        cols = make_cols()
+        plan = FaultPlan([
+            corrupt_checkpoint(1, at=2),
+            kill_worker(1, at_batch=11),
+        ])
+        serial, snap, results = run_pair(
+            cols, batch=200, faults=plan, checkpoint_every=4,
+            journal_batches=64,
+        )
+        assert ("corrupt_checkpoint", "worker=1", 2) in plan.fired
+        assert snap.recovery.checkpoints_rejected >= 1
+        assert snap.recovery.restarts == 1
+        assert snap.recovery.records_lost == 0
+        assert snap.as_dict() == serial.snapshot().as_dict()
+        for fid, res in results.items():
+            assert res == serial.result(fid)
+
+    def test_scalar_ingest_supervised_recovery(self):
+        factory = FACTORIES["congestion"]
+        serial = Collector(factory(), num_shards=4, seed=1)
+        plan = FaultPlan([kill_worker(0, at_batch=5)])
+        with ParallelCollector(
+            factory(), workers=2, num_shards=4, seed=1,
+            checkpoint_every=3, faults=plan,
+        ) as par:
+            for i in range(40):
+                serial.ingest(i % 7, i, 4, i % 256, now=float(i))
+                par.ingest(i % 7, i, 4, i % 256, now=float(i))
+            par.drain()
+            assert plan.fired
+            assert par.snapshot().as_dict() == serial.snapshot().as_dict()
+
+    def test_undersized_journal_degrades_gracefully(self):
+        # Checkpointing permanently failing + a tiny journal + a kill:
+        # completes without an exception, marks exactly the starved
+        # worker's shards degraded, and accounts the lost records.
+        cols = make_cols()
+        plan = FaultPlan([drop_checkpoint(0), kill_worker(0, at_batch=8)])
+        serial, snap, results = run_pair(
+            cols, faults=plan, checkpoint_every=2, journal_batches=2,
+        )
+        degraded = snap.degraded_shards
+        assert degraded and all(s % 2 == 0 for s in degraded)
+        assert snap.records_lost > 0
+        assert snap.recovery.checkpoints_rejected > 0
+        assert snap.recovery.journal_dropped_records >= snap.records_lost
+        d = snap.as_dict()
+        assert d["degraded_shards"] == degraded
+        assert d["records_lost"] == snap.records_lost
+        # Worker 1 was healthy: its flows still answer identically.
+        healthy = [
+            fid for fid in results
+            if serial.router.shard_of(fid) % 2 == 1
+        ]
+        assert healthy
+        for fid in healthy:
+            assert results[fid] == serial.result(fid)
+
+    def test_on_data_loss_raise(self):
+        cols = make_cols()
+        plan = FaultPlan([drop_checkpoint(0)])
+        with pytest.raises(JournalOverflowError) as exc:
+            run_pair(cols, faults=plan, checkpoint_every=2,
+                     journal_batches=2, on_data_loss="raise")
+        assert exc.value.worker == 0
+
+    def test_max_restarts_bounds_the_retry_storm(self):
+        cols = make_cols()
+        plan = FaultPlan([
+            kill_worker(0, at_batch=2), kill_worker(0, at_batch=4),
+        ])
+        par = ParallelCollector(
+            FACTORIES["path"](), workers=2, num_shards=8, seed=1,
+            checkpoint_every=4, faults=plan, max_restarts=1,
+        )
+        try:
+            with pytest.raises(RecoveryError, match="max_restarts"):
+                feed(par, cols, batch=200)
+                par.drain()
+        finally:
+            # The second kill's victim is dead un-recovered, so close()
+            # reports it too; that report must not mask the typed error
+            # above (hence the explicit lifecycle, not a with-block).
+            with pytest.raises(RuntimeError):
+                par.close(timeout=2.0)
+
+    def test_supervision_param_validation(self):
+        factory = congestion_consumer_factory()
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            ParallelCollector(factory, workers=2, num_shards=4,
+                              journal_batches=8)
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            ParallelCollector(factory, workers=2, num_shards=4,
+                              faults=FaultPlan())
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            ParallelCollector(factory, workers=2, num_shards=4,
+                              wedge_timeout=1.0)
+        with pytest.raises(ValueError):
+            ParallelCollector(factory, workers=2, num_shards=4,
+                              checkpoint_every=0)
+        with pytest.raises(ValueError, match="on_data_loss"):
+            ParallelCollector(factory, workers=2, num_shards=4,
+                              checkpoint_every=2, on_data_loss="panic")
+
+    def test_recovery_stats_ride_compare_false(self):
+        # A recovered run and a fault-free run with bit-identical
+        # collector state must compare equal as Snapshot objects:
+        # the ledger is a sidecar, not part of identity.
+        cols = make_cols(n=1200)
+        plan = FaultPlan([kill_worker(1, at_batch=2)])
+        _, faulted, _ = run_pair(cols, faults=plan)
+        _, clean, _ = run_pair(cols, faults=None)
+        assert faulted.recovery is not None
+        assert faulted.recovery.restarts == 1
+        assert clean.recovery.restarts == 0
+        assert clean.recovery.checkpoints_taken > 0
+        assert faulted == clean
+        assert "recovery" not in faulted.as_dict()
+
+    def test_recovery_stats_merged_fold(self):
+        a = RecoveryStats(restarts=1, replayed_batches=3)
+        b = RecoveryStats(restarts=2, records_lost=7)
+        merged = RecoveryStats.merged([a, None, b])
+        assert merged == RecoveryStats(
+            restarts=3, replayed_batches=3, records_lost=7
+        )
+        assert RecoveryStats.merged([None, None]) is None
+
+    def test_unsupervised_snapshot_carries_no_recovery(self):
+        with ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=4,
+        ) as par:
+            par.ingest_batch([1, 2, 3], [1, 2, 3], [3, 3, 3], [5, 6, 7])
+            par.drain()
+            assert par.snapshot().recovery is None
+
+
+# -- close() escalation -----------------------------------------------------
+
+class TestCloseEscalation:
+    def test_stopped_worker_is_sigkilled_and_reported(self):
+        # SIGSTOP makes a worker immune to SIGTERM (the signal stays
+        # pending while the process is stopped): only the SIGKILL rung
+        # of the escalation can reap it.  close() must do so and say
+        # so, not hang or leak a zombie.
+        par = ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=4,
+        ).start()
+        par.ingest_batch([1, 2, 3, 4], [1, 2, 3, 4], [3, 3, 3, 3],
+                         [9, 9, 9, 9])
+        par.drain()
+        victim = par._procs[0]
+        os.kill(victim.pid, signal.SIGSTOP)
+        start = time.monotonic()
+        with pytest.raises(RuntimeError, match="SIGKILL"):
+            par.close(timeout=1.0)
+        assert time.monotonic() - start < 10.0
+        assert not victim.is_alive()
+        assert not par.started
+
+    def test_healthy_close_needs_no_escalation(self):
+        par = ParallelCollector(
+            congestion_consumer_factory(), workers=2, num_shards=4,
+        ).start()
+        par.ingest_batch([1, 2], [1, 2], [3, 3], [5, 6])
+        par.close()  # no exception: every worker stopped cooperatively
