@@ -116,7 +116,9 @@ def bench_throughput(args) -> dict:
     results = {}
     for workers in args.workers:
         par_s = time_parallel(
-            lambda: ParallelCollector(
+            # workers bound as a default: the lambda runs inside this
+            # iteration, but late-binding closures are the B023 trap.
+            lambda workers=workers: ParallelCollector(
                 factory(), workers=workers, num_shards=args.num_shards,
                 seed=args.seed,
             ),

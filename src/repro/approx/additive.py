@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import math
 
+#: Default value ceiling: an unsigned 32-bit counter.
+_MAX_U32 = float(2**32 - 1)
+
 
 class AdditiveCompressor:
     """Compress values onto a uniform grid with additive error ``delta``.
@@ -24,7 +27,7 @@ class AdditiveCompressor:
         Largest value that must be representable.
     """
 
-    def __init__(self, delta: float, bits=None, max_value: float = float(2**32 - 1)):
+    def __init__(self, delta: float, bits=None, max_value: float = _MAX_U32):
         if delta <= 0:
             raise ValueError("delta must be positive")
         self.delta = delta

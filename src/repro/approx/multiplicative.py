@@ -21,6 +21,9 @@ import numpy as np
 
 from repro.hashing import GlobalHash
 
+#: Default value ceiling: an unsigned 32-bit counter.
+_MAX_U32 = float(2**32 - 1)
+
 
 class MultiplicativeCompressor:
     """Compress positive values onto an integer exponent grid.
@@ -42,7 +45,7 @@ class MultiplicativeCompressor:
         self,
         epsilon: float,
         bits: Optional[int] = None,
-        max_value: float = float(2**32 - 1),
+        max_value: float = _MAX_U32,
     ) -> None:
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
@@ -157,7 +160,7 @@ class MultiplicativeCompressor:
         return abs(self.decode(self.encode(value)) - value) / value
 
 
-def epsilon_for_bits(bits: int, max_value: float = float(2**32 - 1)) -> float:
+def epsilon_for_bits(bits: int, max_value: float = _MAX_U32) -> float:
     """Smallest epsilon so that ``max_value`` encodes within ``bits`` bits.
 
     Inverts the ``(1+eps)^2`` grid accounting for nearest-integer

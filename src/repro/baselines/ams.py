@@ -19,6 +19,7 @@ from typing import Dict, Sequence, Tuple
 import numpy as np
 
 from repro.coding.simulate import TrialStats
+from repro.exceptions import DecodeTimeoutError
 from repro.hashing import GlobalHash, reservoir_carrier
 
 
@@ -90,7 +91,7 @@ class AMSTraceback:
                     unresolved.discard(hop)
                     if not unresolved:
                         return pid
-        raise RuntimeError("traceback did not complete")
+        raise DecodeTimeoutError("traceback did not complete")
 
     def candidates_matching(self, family_values: Dict[int, int]) -> np.ndarray:
         """Universe routers consistent with every received mark."""

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Set, Tuple
 
 from repro.coding.simulate import TrialStats
+from repro.exceptions import DecodeTimeoutError
 from repro.hashing import GlobalHash, reservoir_carrier
 
 
@@ -58,7 +59,7 @@ class PPMTraceback:
             seen.add(self.mark_of(pid + seed_offset * max_packets, path_len))
             if len(seen) == needed:
                 return pid
-        raise RuntimeError("traceback did not complete")
+        raise DecodeTimeoutError("traceback did not complete")
 
     def trial_stats(
         self, path_len: int, trials: int = 30, seed_offset: int = 0

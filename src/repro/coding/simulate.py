@@ -21,6 +21,7 @@ from repro.coding.decoder import make_decoder
 from repro.coding.encoder import PathEncoder
 from repro.coding.message import DistributedMessage
 from repro.coding.schemes import CodingScheme
+from repro.exceptions import DecodeTimeoutError
 
 
 def packets_to_decode(
@@ -45,7 +46,7 @@ def packets_to_decode(
         decoder.observe(packet_id, encoder.encode(packet_id))
         if decoder.is_complete:
             return packet_id
-    raise RuntimeError(f"not decoded after {max_packets} packets")
+    raise DecodeTimeoutError(f"not decoded after {max_packets} packets")
 
 
 def decode_progress(

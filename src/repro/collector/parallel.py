@@ -93,6 +93,7 @@ from repro.exceptions import (
     CollectorClosedError,
     JournalOverflowError,
     RecoveryError,
+    WorkerFailedError,
 )
 from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 
@@ -237,7 +238,7 @@ def _worker_main(
         try:
             err = pop_errors()
             if err is not None:
-                raise RuntimeError(
+                raise WorkerFailedError(
                     f"deferred ingest failure(s) in worker:\n{err}"
                 )
             if op == _SNAPSHOT:
@@ -557,7 +558,7 @@ class ParallelCollector:
             except RuntimeError as exc:
                 errors.append(str(exc))
         if errors:
-            raise RuntimeError("\n".join(errors))
+            raise WorkerFailedError("\n".join(errors))
         return values
 
     def _check_open(self) -> None:
@@ -672,7 +673,7 @@ class ParallelCollector:
         self._procs = []
         self._closed = True
         if errors:
-            raise RuntimeError(
+            raise WorkerFailedError(
                 "collector worker failed during ingestion:\n"
                 + "\n".join(errors)
             )
@@ -696,7 +697,7 @@ class ParallelCollector:
         try:
             conn.send(msg)
         except (BrokenPipeError, OSError) as exc:
-            raise RuntimeError(
+            raise WorkerFailedError(
                 "collector worker died (broken pipe); its shard state "
                 "is lost -- check the worker traceback on stderr"
             ) from exc
@@ -705,12 +706,12 @@ class ParallelCollector:
         try:
             tag, value = conn.recv()
         except (EOFError, OSError) as exc:
-            raise RuntimeError(
+            raise WorkerFailedError(
                 "collector worker died before replying; its shard "
                 "state is lost -- check the worker traceback on stderr"
             ) from exc
         if tag == "err":
-            raise RuntimeError(f"collector worker failed:\n{value}")
+            raise WorkerFailedError(f"collector worker failed:\n{value}")
         return value
 
     def _call(self, worker: int, msg):
@@ -745,7 +746,7 @@ class ParallelCollector:
         """
         conn = self._conns[w]
         proc = self._procs[w]
-        start = time.monotonic()
+        start = time.monotonic()  # repro-lint: disable=R002 reason=wedge detection times a live child process, not simulated replay time
         while not conn.poll(0.05):
             if not proc.is_alive():
                 # One last look: the reply may have raced the death.
@@ -754,7 +755,7 @@ class ParallelCollector:
                 raise _WorkerDied(f"worker {w} died mid-RPC")
             if (
                 self._wedge_timeout is not None
-                and time.monotonic() - start >= self._wedge_timeout
+                and time.monotonic() - start >= self._wedge_timeout  # repro-lint: disable=R002 reason=wedge detection times a live child process, not simulated replay time
             ):
                 raise _WorkerDied(
                     f"worker {w} wedged: no RPC reply in "
@@ -765,7 +766,7 @@ class ParallelCollector:
         except (EOFError, OSError) as exc:
             raise _WorkerDied(f"worker {w} died mid-RPC") from exc
         if tag == "err":
-            raise RuntimeError(f"collector worker failed:\n{value}")
+            raise WorkerFailedError(f"collector worker failed:\n{value}")
         return value
 
     def _call_supervised(self, w: int, msg):
@@ -1151,7 +1152,7 @@ class ParallelCollector:
             for (pos, _), consumer in zip(pairs, reply):
                 out[pos] = consumer
         if errors:
-            raise RuntimeError("\n".join(errors))
+            raise WorkerFailedError("\n".join(errors))
         return out
 
     def result(self, flow_id: int):

@@ -1,5 +1,7 @@
 """Exception hierarchy for the PINT reproduction library."""
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -15,6 +17,17 @@ class BudgetError(ConfigurationError):
 
 class DecodingError(ReproError):
     """Raised when an inference module cannot decode the collected digests."""
+
+
+class DecodeTimeoutError(DecodingError, RuntimeError):
+    """Decoding did not converge within its packet/iteration budget.
+
+    Raised by the traceback baselines (PPM, AMS) and the coding
+    simulator when the inference loop exhausts ``max_packets`` without
+    a complete answer.  Subclasses ``RuntimeError`` so callers that
+    predate the typed error keep working; new code should catch
+    :class:`DecodingError`.
+    """
 
 
 class SimulationError(ReproError):
@@ -47,10 +60,26 @@ class RecoveryError(ReproError):
     parallel` subclasses this.
     """
 
-    def __init__(self, message: str, worker=None, shard=None) -> None:
+    def __init__(
+        self,
+        message: str,
+        worker: Optional[int] = None,
+        shard: Optional[int] = None,
+    ) -> None:
         super().__init__(message)
         self.worker = worker
         self.shard = shard
+
+
+class WorkerFailedError(RecoveryError, RuntimeError):
+    """A collector worker process (or the service ingest thread) died
+    or reported an unrecoverable error.
+
+    Subclasses ``RuntimeError`` because the parallel collector raised
+    plain ``RuntimeError`` for worker death before the typed hierarchy
+    existed and callers catch it that way; new code should catch
+    :class:`RecoveryError`.
+    """
 
 
 class CheckpointError(RecoveryError):
@@ -62,7 +91,12 @@ class CheckpointVersionError(CheckpointError):
     """A structurally valid checkpoint from a format version this
     build does not speak; ``version`` carries what was found."""
 
-    def __init__(self, message: str, version=None, worker=None) -> None:
+    def __init__(
+        self,
+        message: str,
+        version: Optional[int] = None,
+        worker: Optional[int] = None,
+    ) -> None:
         super().__init__(message, worker=worker)
         self.version = version
 

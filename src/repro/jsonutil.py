@@ -18,11 +18,12 @@ scalars, containers, NumPy arrays/scalars and stringifiable leaves.
 from __future__ import annotations
 
 import math
+from typing import Any
 
 __all__ = ["jsonable"]
 
 
-def jsonable(obj):
+def jsonable(obj: Any) -> Any:
     """Coerce a value into plain JSON types, recursively.
 
     * non-finite floats become ``None`` (JSON ``null``);

@@ -1,0 +1,112 @@
+"""CLI for :mod:`repro.lint`.
+
+Usage::
+
+    python -m repro.lint src benchmarks examples        # human output
+    python -m repro.lint src --json > findings.json     # CI artifact
+    python -m repro.lint --list-rules                   # rule catalogue
+    python -m repro.lint --mypy-ratchet [--require-mypy]
+
+Exit codes: 0 clean, 1 findings (or ratchet failure), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .config import find_pyproject, load_config
+from .finding import JSON_SCHEMA_VERSION
+from .framework import DOMAINS, all_rules, run_paths
+from .ratchet import run_ratchet
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-level invariant checker for this repository",
+    )
+    p.add_argument("paths", nargs="*", help="files or directories to lint")
+    p.add_argument("--json", action="store_true",
+                   help="emit the JSON findings report on stdout")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.add_argument("--select", metavar="IDS",
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--force-domain", choices=DOMAINS,
+                   help="override path-based domain classification "
+                        "(used by the corpus tests)")
+    p.add_argument("--config", metavar="PYPROJECT", type=Path,
+                   help="explicit pyproject.toml (default: walk up from cwd)")
+    p.add_argument("--mypy-ratchet", action="store_true",
+                   help="run the typed-module ratchet instead of the rules")
+    p.add_argument("--require-mypy", action="store_true",
+                   help="with --mypy-ratchet: fail (not skip) if mypy "
+                        "is not installed")
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    config = load_config(explicit=args.config)
+    # The repo root anchors rel-paths and the ratchet; fall back to
+    # cwd when no pyproject exists (bare fixture trees in tests).
+    pyproject = args.config or find_pyproject(Path.cwd())
+    root = pyproject.parent if pyproject else Path.cwd()
+
+    if args.list_rules:
+        for cls in all_rules():
+            domains = ",".join(cls.domains)
+            print(f"{cls.id} {cls.name} [{domains}] -- {cls.description}")
+        print(f"(config: {config.source})")
+        return 0
+
+    if args.mypy_ratchet:
+        return run_ratchet(config, root, require_mypy=args.require_mypy)
+
+    if not args.paths:
+        print("error: no paths given (try: python -m repro.lint src)",
+              file=sys.stderr)
+        return 2
+    select = args.select.split(",") if args.select else None
+    try:
+        findings, checked = run_paths(
+            [Path(p) for p in args.paths], config, root=root,
+            select=select, force_domain=args.force_domain,
+        )
+    except FileNotFoundError as exc:
+        print(f"error: no such path: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        report = {
+            "version": JSON_SCHEMA_VERSION,
+            "checked_files": checked,
+            "findings": [f.to_dict() for f in findings],
+            "counts": _counts(findings),
+        }
+        json.dump(report, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        for f in findings:
+            print(f.render())
+        noun = "file" if checked == 1 else "files"
+        if findings:
+            print(f"{len(findings)} finding(s) in {checked} {noun}")
+        else:
+            print(f"clean: {checked} {noun}, 0 findings")
+    return 1 if findings else 0
+
+
+def _counts(findings: List) -> dict:
+    out: dict = {}
+    for f in findings:
+        out[f.rule] = out.get(f.rule, 0) + 1
+    return dict(sorted(out.items()))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Finding model for :mod:`repro.lint` -- one record per violation.
+
+A finding is deliberately flat and JSON-first: the CI job uploads the
+``--json`` output as an artifact, so the schema here *is* the artifact
+schema and is pinned by ``tests/test_lint.py::test_json_schema``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+#: Schema version stamped into the JSON report envelope.  Bump only on
+#: a breaking change to the finding fields below.
+JSON_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``rule`` is the stable ``RNNN`` identifier (``R000`` is reserved
+    for the framework itself: malformed or unused suppressions).
+    ``path`` is repo-relative and POSIX-slashed so the JSON artifact
+    diffs cleanly across runner platforms.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """Human one-liner, ``path:line:col: RNNN message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

@@ -1,0 +1,123 @@
+"""Determinism rules: seeded RNG (R001) and injectable clocks (R002).
+
+The whole repo's correctness story is bit-identical replay: the same
+scenario seed must produce the same snapshots on every run, machine
+and worker layout (ROADMAP north star; golden-tested by the parallel
+and impairment benches).  Both rules here close the two classic leaks
+in that story -- hidden OS entropy and hidden wall clocks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .finding import Finding
+from .framework import FileContext, Rule, dotted_name, path_matches, register
+
+#: Roots that name the global/module RNG.  ``np``/``numpy`` aliases are
+#: matched textually: the repo imports ``numpy as np`` universally, and
+#: a false negative under an exotic alias is acceptable for a linter.
+_RNG_ROOTS = ("random", "np.random", "numpy.random")
+
+#: Constructors that are fine *iff* given an explicit seed.
+_RNG_CTORS = ("default_rng", "Random", "RandomState", "SystemRandom", "Generator")
+
+#: ``random``-module attributes that are not RNG draws at all.
+_RNG_BENIGN = _RNG_CTORS + ("getstate", "setstate")
+
+
+@register
+class NoUnseededRng(Rule):
+    """R001: every RNG must be constructed with an explicit seed.
+
+    Historical bug class: an ``np.random.default_rng()`` (no seed) in
+    a trace generator makes two "identical" replays diverge, which the
+    bit-identity golden tests then report as a pipeline bug.  Flags
+    (a) seedable constructors called without a seed and (b) *any* draw
+    from the module-level global RNG (``random.random()``,
+    ``np.random.shuffle(...)``), whose state is cross-cutting mutable
+    global state no seed argument can scope.
+    """
+
+    id = "R001"
+    name = "no-unseeded-rng"
+    domains = ("lib", "bench", "examples")
+    description = ("RNGs must be seeded: no default_rng()/Random() without a "
+                   "seed, no module-level random.* draws")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            root, _, attr = name.rpartition(".")
+            if root not in _RNG_ROOTS:
+                # `SystemRandom` et al. imported bare are out of scope:
+                # the repo never does `from random import ...`.
+                continue
+            if attr in _RNG_CTORS:
+                seeded = bool(node.args) or any(
+                    kw.arg == "seed" for kw in node.keywords
+                )
+                if not seeded:
+                    yield ctx.finding(
+                        self.id, node,
+                        f"{name}() without an explicit seed breaks replay "
+                        "determinism; pass a seed derived from the scenario",
+                    )
+            elif attr not in _RNG_BENIGN:
+                yield ctx.finding(
+                    self.id, node,
+                    f"{name}() draws from the process-global RNG; construct "
+                    "a seeded Generator/Random instance instead",
+                )
+
+
+#: Call chains that read a wall clock.  ``time.perf_counter`` is *not*
+#: here: elapsed-time measurement is legitimate and ubiquitous in the
+#: driver; what breaks replay is stamping *data* with the host clock.
+_WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "datetime.now", "datetime.utcnow",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today", "date.today",
+})
+
+
+@register
+class NoWallClock(Rule):
+    """R002: library code reads time through an injectable seam.
+
+    Replay time comes from trace timestamps via ``IngestClock``; the
+    obs layer takes ``clock=`` parameters precisely so tests can
+    assert exact durations.  A direct ``time.time()`` in library code
+    bypasses both.  Only *calls* are flagged: ``clock=time.monotonic``
+    as a default parameter is the injectable seam itself and passes.
+    The allowlist covers real network I/O (client/server socket
+    deadlines), where the wall clock is the correct clock.
+    """
+
+    id = "R002"
+    name = "no-wall-clock"
+    domains = ("lib",)
+    description = ("no time.time()/time.monotonic()/datetime.now() calls in "
+                   "library code outside the injectable-clock seams")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if path_matches(ctx.rel_path, ctx.config.wallclock_allow):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in _WALLCLOCK_CALLS:
+                yield ctx.finding(
+                    self.id, node,
+                    f"{name}() reads the wall clock in library code; use the "
+                    "injected clock (IngestClock / clock= parameter) or add "
+                    "the file to wallclock-allow with a reason",
+                )

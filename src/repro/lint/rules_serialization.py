@@ -1,0 +1,136 @@
+"""Serialization rules: validated unpickling (R003), bounded frombuffer (R007).
+
+Both rules guard the byte boundary -- the places where external bytes
+become Python objects or numpy views.  The checkpoint codec and the
+wire decoder each learned these lessons at runtime (magic/CRC headers
+in ``collector/recovery.py``, ``TruncatedFrameError`` in
+``service/wire.py``); the rules keep every *future* byte boundary
+honest by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from .finding import Finding
+from .framework import (
+    FileContext,
+    Rule,
+    dotted_name,
+    iter_functions,
+    path_matches,
+    register,
+)
+
+_PICKLE_CALLS = frozenset({
+    "pickle.loads", "pickle.load", "pickle.Unpickler",
+    "cPickle.loads", "cPickle.load",
+})
+_NP_LOAD = frozenset({"np.load", "numpy.load"})
+
+
+@register
+class ValidatedUnpickle(Rule):
+    """R003: unpickling only inside the header-validated codec.
+
+    ``pickle.loads`` executes arbitrary code from the payload; the
+    repo's one sanctioned use is ``collector/recovery.py``, which
+    checks magic, version, length and CRC32 *before* the bytes reach
+    the unpickler.  Anywhere else -- including benches and examples,
+    which people copy-paste from -- is a finding.
+    """
+
+    id = "R003"
+    name = "validated-unpickle"
+    domains = ("lib", "bench", "examples")
+    description = ("pickle.loads/np.load(allow_pickle=True) only in the "
+                   "validated checkpoint codec (unpickle-allow)")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if path_matches(ctx.rel_path, ctx.config.unpickle_allow):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name in _PICKLE_CALLS:
+                yield ctx.finding(
+                    self.id, node,
+                    f"{name}() outside the validated checkpoint codec; route "
+                    "through repro.collector.recovery (validate, then decode)",
+                )
+            elif name in _NP_LOAD:
+                for kw in node.keywords:
+                    if (kw.arg == "allow_pickle"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value):
+                        yield ctx.finding(
+                            self.id, node,
+                            f"{name}(allow_pickle=True) executes pickle from "
+                            "the file; load arrays without pickle or use the "
+                            "validated codec",
+                        )
+
+
+_FROMBUFFER = frozenset({"np.frombuffer", "numpy.frombuffer"})
+#: Attribute reads that count as a length check in a guard expression.
+_SIZE_ATTRS = frozenset({"size", "nbytes", "itemsize"})
+
+
+def _is_length_probe(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call):
+        fn = node.func
+        return isinstance(fn, ast.Name) and fn.id == "len"
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SIZE_ATTRS
+    return False
+
+
+def _guard_lines(fn: ast.AST) -> List[int]:
+    """Line numbers of tests (if/assert/while) that probe a length."""
+    out: List[int] = []
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.If, ast.While)):
+            test = node.test
+        elif isinstance(node, ast.Assert):
+            test = node.test
+        else:
+            continue
+        if any(_is_length_probe(sub) for sub in ast.walk(test)):
+            out.append(node.lineno)
+    return out
+
+
+@register
+class FrombufferBounds(Rule):
+    """R007: ``np.frombuffer`` is preceded by an explicit length check.
+
+    The wire-desync bug class: ``frombuffer`` on a short or overlong
+    slice either raises deep inside numpy (losing the protocol
+    context) or silently reads the next frame's bytes.  The decoder's
+    discipline -- compute the expected length, compare against the
+    buffer, *then* view -- is checked structurally: some ``if`` /
+    ``assert`` / ``while`` in the same function, on an earlier line,
+    must probe a length (``len(...)``, ``.size``, ``.nbytes``).
+    """
+
+    id = "R007"
+    name = "frombuffer-bounds"
+    domains = ("lib",)
+    description = ("np.frombuffer must follow an explicit length check in "
+                   "the same function")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn in iter_functions(ctx.tree):
+            guards = _guard_lines(fn)
+            for node in ast.walk(fn):
+                if (isinstance(node, ast.Call)
+                        and dotted_name(node.func) in _FROMBUFFER
+                        and not any(g <= node.lineno for g in guards)):
+                    yield ctx.finding(
+                        self.id, node,
+                        "np.frombuffer without a preceding length check in "
+                        "this function; validate the slice length first "
+                        "(wire-desync bug class)",
+                    )

@@ -1,0 +1,127 @@
+"""Structural rules: sidecar dataclass fields (R004), typed raises (R005).
+
+These two rules keep the report/snapshot object model honest: sidecar
+observability data must never leak into equality or the serialized
+answer (R004), and failures must arrive as the documented
+``repro.exceptions`` hierarchy instead of anonymous ``RuntimeError``
+(R005), so callers can catch by meaning.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from .finding import Finding
+from .framework import FileContext, Rule, decorator_names, dotted_name, register
+
+_DATACLASS_DECORATORS = frozenset({"dataclass", "dataclasses.dataclass"})
+_DICT_METHODS = frozenset({"as_dict", "to_dict"})
+
+
+def _field_compare_false(value: Optional[ast.expr]) -> bool:
+    """True if the AnnAssign value is ``field(..., compare=False)``."""
+    if not isinstance(value, ast.Call):
+        return False
+    if dotted_name(value.func) not in ("field", "dataclasses.field"):
+        return False
+    for kw in value.keywords:
+        if (kw.arg == "compare" and isinstance(kw.value, ast.Constant)
+                and kw.value.value is False):
+            return True
+    return False
+
+
+@register
+class SidecarCompare(Rule):
+    """R004: sidecar fields are ``compare=False`` and out of as_dict.
+
+    Sidecars (``metrics``, ``service``, ``recovery``) describe *how a
+    run went*, not *what the answer is*.  The bit-identity golden
+    tests compare snapshots with ``==`` and diff their ``as_dict``
+    JSON; a sidecar that participates in either makes two semantically
+    identical runs compare unequal the moment one had metrics enabled.
+    """
+
+    id = "R004"
+    name = "sidecar-compare"
+    domains = ("lib",)
+    description = ("sidecar dataclass fields (metrics/service/recovery) must "
+                   "be compare=False and excluded from as_dict")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        sidecars = set(ctx.config.sidecar_fields)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not set(decorator_names(node)) & _DATACLASS_DECORATORS:
+                continue
+            declared = []
+            for stmt in node.body:
+                if (isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Name)
+                        and stmt.target.id in sidecars):
+                    declared.append(stmt.target.id)
+                    if not _field_compare_false(stmt.value):
+                        yield ctx.finding(
+                            self.id, stmt,
+                            f"sidecar field {stmt.target.id!r} must be "
+                            "declared field(..., compare=False): sidecars "
+                            "never participate in snapshot equality",
+                        )
+            if not declared:
+                continue
+            for stmt in node.body:
+                if (isinstance(stmt, ast.FunctionDef)
+                        and stmt.name in _DICT_METHODS):
+                    for sub in ast.walk(stmt):
+                        if (isinstance(sub, ast.Attribute)
+                                and isinstance(sub.value, ast.Name)
+                                and sub.value.id == "self"
+                                and sub.attr in declared):
+                            yield ctx.finding(
+                                self.id, sub,
+                                f"sidecar field {sub.attr!r} referenced in "
+                                f"{stmt.name}(); sidecars are excluded from "
+                                "the serialized answer",
+                            )
+
+
+#: Raising (or subclassing-free re-raising of) these names is R005.
+_BARE_EXCEPTIONS = frozenset({"Exception", "RuntimeError", "BaseException"})
+
+
+@register
+class TypedRaise(Rule):
+    """R005: library raises use the ``repro.exceptions`` hierarchy.
+
+    A bare ``raise RuntimeError(...)`` forces callers into
+    string-matching on messages; the repo's hierarchy exists so the
+    supervisor can tell a dead worker from a version-skewed checkpoint
+    without parsing text.  Dual-inheritance types (e.g. a
+    ``ReproError`` that is *also* a ``RuntimeError``) keep legacy
+    ``except RuntimeError`` callers working -- the rule only flags the
+    anonymous base classes themselves.
+    """
+
+    id = "R005"
+    name = "typed-raise"
+    domains = ("lib",)
+    description = ("raise repro.exceptions types (or stdlib subclasses), "
+                   "never bare Exception/RuntimeError/BaseException")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            name = dotted_name(target)
+            if name in _BARE_EXCEPTIONS:
+                yield ctx.finding(
+                    self.id, node,
+                    f"raise {name} in library code; use the repro.exceptions "
+                    "hierarchy (subclass RuntimeError there if legacy "
+                    "callers catch it)",
+                )

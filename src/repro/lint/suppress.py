@@ -1,0 +1,122 @@
+"""Inline suppressions: ``# repro-lint: disable=RNNN reason=...``.
+
+Policy (DESIGN.md SS10): every suppression *must* carry a written
+reason.  A reason-less suppression does not suppress anything -- it
+becomes an ``R000`` finding itself, so the lazy path is louder than
+the honest one.  Unused suppressions are also ``R000`` findings: a
+stale suppression is a rule silently switched off for a line that no
+longer needs it, which is how allowlists rot.
+
+The comment applies to findings reported *on the same line*.  Multiple
+rule ids separate with commas after ``disable=``; the reason is free
+text to end of line.  (The grammar is not spelled out literally here:
+the scanner is a plain regex over lines, and it would match its own
+documentation.)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .finding import Finding
+
+#: ``disable=`` must be directly after the marker; ``reason=`` is
+#: optional in the grammar precisely so we can *report* its absence.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>R\d{3}(?:\s*,\s*R\d{3})*)"
+    r"(?:\s+reason=(?P<reason>\S.*))?"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment on one source line."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: str
+    #: Rule ids actually consumed by a finding on this line.
+    used: Set[str] = field(default_factory=set)
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.reason.strip())
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Scan raw source for suppression comments, line by line.
+
+    A plain regex over lines (not the tokenizer) is enough here: the
+    marker is illegal inside a string on any line we lint because no
+    rule fires on string contents, and false positives only make a
+    suppression *exist* -- an unused one is flagged anyway.
+    """
+    out: List[Suppression] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(text)
+        if m is None:
+            continue
+        rules = tuple(r.strip() for r in m.group("rules").split(","))
+        out.append(Suppression(lineno, rules, m.group("reason") or ""))
+    return out
+
+
+class SuppressionIndex:
+    """Per-file suppression table with usage accounting."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: Dict[int, Suppression] = {
+            s.line: s for s in parse_suppressions(source)
+        }
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        """True if ``finding`` is covered by a *valid* suppression.
+
+        Marks the suppression used either way so a reason-less
+        suppression is not also reported as unused on top of R000.
+        """
+        sup = self._by_line.get(finding.line)
+        if sup is None or finding.rule not in sup.rules:
+            return False
+        sup.used.add(finding.rule)
+        return sup.valid
+
+    def framework_findings(
+        self,
+        path: str,
+        known_rules: Iterable[str],
+        active_rules: Iterable[str],
+    ) -> List[Finding]:
+        """R000 findings: missing reason, unknown rule id, unused.
+
+        ``known_rules`` is the full registry (an id outside it is a
+        typo); ``active_rules`` is the subset that actually *ran* on
+        this file -- unused-ness is only judged for those, so linting
+        a subtree in a domain where a rule is off (or with
+        ``--select``) does not misreport its suppressions as stale.
+        """
+        known = set(known_rules)
+        active = set(active_rules)
+        out: List[Finding] = []
+        for sup in self._by_line.values():
+            if not sup.valid:
+                out.append(Finding(
+                    "R000", path, sup.line, 0,
+                    "suppression missing required reason= "
+                    f"(disable={','.join(sup.rules)})",
+                ))
+            for rule in sup.rules:
+                if rule not in known:
+                    out.append(Finding(
+                        "R000", path, sup.line, 0,
+                        f"suppression names unknown rule {rule}",
+                    ))
+                elif sup.valid and rule in active and rule not in sup.used:
+                    out.append(Finding(
+                        "R000", path, sup.line, 0,
+                        f"unused suppression for {rule} "
+                        "(no matching finding on this line)",
+                    ))
+        return out

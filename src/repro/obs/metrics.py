@@ -41,7 +41,7 @@ import bisect
 import math
 import threading
 import time
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 __all__ = [
     "Counter",
@@ -266,7 +266,7 @@ class _NullInstrument:
     def observe(self, value: float) -> None:
         pass
 
-    def set_function(self, fn) -> "_NullInstrument":
+    def set_function(self, fn: Callable[[], float]) -> "_NullInstrument":
         return self
 
     value = 0.0
@@ -288,7 +288,7 @@ class Span:
 
     __slots__ = ("_hist", "_clock", "_t0")
 
-    def __init__(self, hist, clock: Callable[[], float]) -> None:
+    def __init__(self, hist: Histogram, clock: Callable[[], float]) -> None:
         self._hist = hist
         self._clock = clock
         self._t0 = 0.0
@@ -297,7 +297,7 @@ class Span:
         self._t0 = self._clock()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self._hist.observe(self._clock() - self._t0)
 
 
@@ -309,7 +309,7 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         pass
 
 
@@ -336,7 +336,14 @@ class MetricsRegistry:
         self._kinds: Dict[str, str] = {}
         self._help: Dict[str, str] = {}
 
-    def _get_or_create(self, cls, name, help, labels, **kw):
+    def _get_or_create(
+        self,
+        cls: Any,
+        name: str,
+        help: str,
+        labels: Optional[Dict[str, str]],
+        **kw: Any,
+    ) -> Any:
         key = (name, _label_key(labels))
         with self._lock:
             existing = self._instruments.get(key)
@@ -421,16 +428,30 @@ class NullRegistry:
     enabled = False
     clock = time.perf_counter
 
-    def counter(self, name, help="", labels=None):
+    def counter(
+        self, name: str, help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+    ) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def gauge(self, name, help="", labels=None):
+    def gauge(
+        self, name: str, help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+    ) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def histogram(self, name, help="", labels=None, buckets=None):
+    def histogram(
+        self, name: str, help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def span(self, name, help="", labels=None, buckets=None):
+    def span(
+        self, name: str, help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> _NullSpan:
         return _NULL_SPAN
 
     def as_dict(self) -> dict:
@@ -487,7 +508,7 @@ class _StageSpan:
         self._t0 = self._times._clock()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self._times.add(self._stage, self._times._clock() - self._t0)
 
 

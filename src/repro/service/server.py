@@ -51,7 +51,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.collector.snapshot import ServiceStats, Snapshot
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, WorkerFailedError
 from repro.obs.metrics import NULL_REGISTRY, SIZE_BUCKETS, merge_metrics
 from repro.obs.prom import MetricsHTTPServer
 from repro.service import wire
@@ -466,7 +466,7 @@ class CollectorServer:
                          "ingest failure(s) suppressed")
             self._ingest_errors = []
             self._suppressed_errors = 0
-        raise RuntimeError(f"service ingest failed:\n{text}")
+        raise WorkerFailedError(f"service ingest failed:\n{text}")
 
     def __enter__(self) -> "CollectorServer":
         return self.start()

@@ -225,7 +225,7 @@ def encode_ack(seq: int) -> bytes:
 
 # -- decoding --------------------------------------------------------------
 
-def _check_common(buf, offset: int) -> int:
+def _check_common(buf: bytes, offset: int) -> int:
     """Validate magic + version at ``offset``; return the frame type."""
     if len(buf) - offset < _COMMON.size:
         raise TruncatedFrameError(
@@ -242,7 +242,7 @@ def _check_common(buf, offset: int) -> int:
     return ftype
 
 
-def _frame_length(buf, offset: int) -> Optional[int]:
+def _frame_length(buf: bytes, offset: int) -> Optional[int]:
     """Total byte length of the frame at ``offset``, or None if the
     header itself is still incomplete (stream decoding needs to tell
     "wait for more bytes" apart from "reject").  Raises on anything
@@ -268,7 +268,7 @@ def _frame_length(buf, offset: int) -> Optional[int]:
     raise BadFrameError(f"unknown frame type {ftype}")
 
 
-def _decode_at(buf, offset: int) -> Tuple[Frame, int]:
+def _decode_at(buf: bytes, offset: int) -> Tuple[Frame, int]:
     """Decode the frame at ``offset``; return it and the next offset."""
     length = _frame_length(buf, offset)
     if length is None or len(buf) - offset < length:

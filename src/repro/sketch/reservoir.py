@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Deque, Generic, List, Optional, Tuple, TypeVar
+from typing import Any, Deque, Generic, List, Optional, Tuple, TypeVar
 
 T = TypeVar("T")
 
@@ -98,7 +98,7 @@ class CountingWindow:
         self.window = window
         self._items: Deque = deque()
 
-    def update(self, item) -> None:
+    def update(self, item: Any) -> None:
         """Observe one item, expiring anything beyond the window."""
         self._items.append(item)
         if len(self._items) > self.window:

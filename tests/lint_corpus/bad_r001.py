@@ -1,0 +1,12 @@
+"""R001 known-bad: unseeded RNGs of every flavour."""
+import random
+
+import numpy as np
+
+
+def make_noise(n):
+    rng = np.random.default_rng()       # bad: no seed
+    jitter = random.random()            # bad: global RNG draw
+    r = random.Random()                 # bad: seedable ctor, no seed
+    np.random.shuffle(list(range(n)))   # bad: global numpy RNG
+    return rng, jitter, r

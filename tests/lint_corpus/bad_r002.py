@@ -1,0 +1,10 @@
+"""R002 known-bad: wall-clock reads in library code."""
+import time
+from datetime import datetime
+
+
+def stamp(record):
+    record["ts"] = time.time()          # bad
+    record["mono"] = time.monotonic()   # bad
+    record["when"] = datetime.now()     # bad
+    return record

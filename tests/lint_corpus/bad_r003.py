@@ -1,0 +1,12 @@
+"""R003 known-bad: unpickling outside the validated codec."""
+import pickle
+
+import numpy as np
+
+
+def thaw(blob, path):
+    obj = pickle.loads(blob)                     # bad
+    arr = np.load(path, allow_pickle=True)       # bad
+    with open(path, "rb") as fh:
+        other = pickle.load(fh)                  # bad
+    return obj, arr, other

@@ -1,0 +1,16 @@
+"""R004 known-bad: sidecar field compared and serialized."""
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Report:
+    answer: int
+    metrics: Optional[dict] = None            # bad: not compare=False
+    recovery: Optional[dict] = field(default=None)  # bad: no compare kwarg
+
+    def as_dict(self):
+        return {
+            "answer": self.answer,
+            "metrics": self.metrics,          # bad: sidecar in as_dict
+        }

@@ -1,0 +1,9 @@
+"""R005 known-bad: anonymous exception types."""
+
+
+def fail(kind):
+    if kind == "plain":
+        raise RuntimeError("worker died")     # bad
+    if kind == "generic":
+        raise Exception("something")          # bad
+    raise BaseException("worse")              # bad

@@ -1,0 +1,19 @@
+"""R006 known-bad: unlocked write in a lock-owning class."""
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+
+    def put(self, key, value):
+        self._items = dict(self._items)        # bad: no lock held
+        with self._lock:
+            self._items[key] = value
+
+    def reset(self):
+        def later():
+            self._items = {}                   # bad: runs outside with
+        with self._lock:
+            return later

@@ -1,0 +1,6 @@
+"""R007 known-bad: frombuffer with no length check."""
+import numpy as np
+
+
+def decode(buf, n):
+    return np.frombuffer(buf, dtype="<u8", count=n)   # bad: unchecked

@@ -1,0 +1,14 @@
+"""R008 known-bad: thread creation in a fork-based module.
+
+Only fires when checked with a config whose fork-modules names this
+file (tests/test_lint.py does exactly that).
+"""
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+
+def start_helpers(work):
+    t = threading.Thread(target=work)           # bad under fork
+    pool = ThreadPoolExecutor(max_workers=2)    # bad under fork
+    t.start()
+    return t, pool

@@ -1,0 +1,12 @@
+"""R001 known-good: every RNG carries an explicit seed."""
+import random
+
+import numpy as np
+
+
+def make_noise(n, seed):
+    rng = np.random.default_rng(seed)
+    r = random.Random(seed + 1)
+    kw = np.random.default_rng(seed=seed)
+    state = random.getstate()           # benign: not a draw
+    return rng, r, kw, state

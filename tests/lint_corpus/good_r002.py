@@ -1,0 +1,7 @@
+"""R002 known-good: the clock is an injectable seam."""
+import time
+
+
+def stamp(record, clock=time.monotonic):  # default ref, not a call
+    record["ts"] = clock()
+    return record

@@ -1,0 +1,11 @@
+"""R003 known-good: pickle-free load; dumps is fine."""
+import pickle
+
+import numpy as np
+
+
+def freeze(obj, path):
+    blob = pickle.dumps(obj)                     # producing is fine
+    arr = np.load(path)                          # no allow_pickle
+    strict = np.load(path, allow_pickle=False)
+    return blob, arr, strict

@@ -1,0 +1,13 @@
+"""R004 known-good: sidecars are compare=False and unserialized."""
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Report:
+    answer: int
+    metrics: Optional[dict] = field(default=None, compare=False)
+    recovery: Optional[dict] = field(default=None, compare=False)
+
+    def as_dict(self):
+        return {"answer": self.answer}

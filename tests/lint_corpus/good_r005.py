@@ -1,0 +1,11 @@
+"""R005 known-good: typed raises; bare re-raise is fine."""
+from repro.exceptions import RecoveryError, WorkerFailedError
+
+
+def fail(kind):
+    if kind == "worker":
+        raise WorkerFailedError("worker died")
+    try:
+        raise RecoveryError("shard lost", shard=3)
+    except RecoveryError:
+        raise                                  # bare re-raise: fine

@@ -1,0 +1,16 @@
+"""R006 known-good: every write happens under the lock."""
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}                       # __init__: single-threaded
+
+    def put(self, key, value):
+        with self._lock:
+            self._items = dict(self._items)
+            self._items[key] = value
+
+    def close(self):
+        self._items = {}                       # allowlisted method

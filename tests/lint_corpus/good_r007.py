@@ -1,0 +1,13 @@
+"""R007 known-good: explicit length check precedes the view."""
+import numpy as np
+
+
+def decode(buf, n):
+    if len(buf) < 8 * n:
+        raise ValueError("short frame")
+    return np.frombuffer(buf, dtype="<u8", count=n)
+
+
+def decode_asserting(arr, n):
+    assert arr.nbytes >= 8 * n
+    return np.frombuffer(arr, dtype="<u8", count=n)

@@ -1,0 +1,7 @@
+"""R008 known-good: fork module does its work processlessly."""
+import multiprocessing as mp
+
+
+def start_workers(work, n):
+    ctx = mp.get_context("fork")
+    return [ctx.Process(target=work) for _ in range(n)]

@@ -1,0 +1,5 @@
+"""A reason-less suppression: R005 stays AND R000 is added."""
+
+
+def fail():
+    raise RuntimeError("legacy")  # repro-lint: disable=R005

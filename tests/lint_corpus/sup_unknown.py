@@ -1,0 +1,5 @@
+"""A suppression naming a rule that does not exist: R000."""
+
+
+def fine():
+    return 1  # repro-lint: disable=R999 reason=no such rule

@@ -1,0 +1,5 @@
+"""A stale suppression on a clean line: R000 unused."""
+
+
+def fine():
+    return 1  # repro-lint: disable=R005 reason=nothing here raises anymore

@@ -1,0 +1,5 @@
+"""A finding suppressed with a written reason: no output."""
+
+
+def fail():
+    raise RuntimeError("legacy")  # repro-lint: disable=R005 reason=fixture demonstrating a valid suppression
