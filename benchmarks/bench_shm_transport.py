@@ -1,0 +1,216 @@
+"""Shared-memory ring transport: slot micro-rate, fallback identity,
+overlapped replay.
+
+Three legs, one artifact (``BENCH_shm.json``):
+
+* **Ring micro.**  Raw :class:`repro.collector.shm.ShmRing` slot
+  throughput, producer and consumer in one process: push a batch,
+  peek/advance it, repeat.  No pickling, no syscalls -- this is the
+  ceiling the parallel scatter converges to and the floor the
+  regression gate watches.
+* **Fallback identity.**  A ring sized *below* every batch forces the
+  whole stream through the pipe fallback (_SIDE + tombstone
+  ordering); the merged snapshot must stay bit-identical to serial.
+  Runs on any machine -- it is a correctness leg, not a timing leg.
+* **Overlapped replay.**  :class:`repro.replay.ReplayDriver` with
+  ``overlap=True``: encode of batch k+1 concurrent with ingest of
+  batch k.  With >= 2 usable cores the wall clock must land within
+  4x the busiest stage's busy time (the staged pipeline's "no stage
+  waits for the whole loop" bar); on fewer cores the leg still runs
+  and records ``speedup_skip_reason`` so the CI gate can tell
+  "passed" from "never ran".
+
+Run:  PYTHONPATH=src python benchmarks/bench_shm_transport.py
+      (--quick for the CI smoke run)
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+import numpy as np
+
+from benchlib import write_bench_json
+from repro.collector import (
+    Collector,
+    ParallelCollector,
+    congestion_consumer_factory,
+)
+from repro.collector.shm import ShmRing
+from repro.replay import ReplayDriver, build_trace
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def bench_ring_micro(args) -> dict:
+    """Single-process push -> peek -> advance rate over one ring."""
+    ring = ShmRing.create(slots=args.ring_slots,
+                          slot_records=args.ring_records)
+    try:
+        rng = np.random.default_rng(args.seed)
+        n = args.ring_records
+        fids = rng.integers(1, 64, n).astype(np.int64)
+        pids = np.arange(1, n + 1, dtype=np.int64)
+        hops = rng.integers(2, 7, n).astype(np.int64)
+        digs = rng.integers(0, 256, n).astype(np.int64)
+        best = float("inf")
+        for _ in range(args.repeats):
+            start = time.perf_counter()
+            for i in range(args.ring_batches):
+                ring.try_push(fids, pids, hops, digs, t=float(i))
+                slot = ring.peek()
+                assert slot is not None
+                ring.advance()
+                # Views must not outlive the loop: close() cannot
+                # unmap while any slot view is still referenced.
+                slot = None
+            best = min(best, time.perf_counter() - start)
+        records = args.ring_batches * n
+        rate = records / best
+        print(f"ring micro: {args.ring_batches} x {n}-record slots   "
+              f"{rate:>14,.0f} rec/s")
+        return {
+            "slots": args.ring_slots,
+            "slot_records": n,
+            "batches": args.ring_batches,
+            "rps": round(rate),
+        }
+    finally:
+        ring.close()
+        ring.unlink()
+
+
+def bench_fallback_identity(args) -> dict:
+    """Tiny ring -> every batch takes the pipe fallback; must match serial."""
+    rng = np.random.default_rng(args.seed)
+    n = args.fallback_records
+    cols = (
+        rng.integers(1, 50, n),
+        np.arange(1, n + 1),
+        rng.integers(2, 7, n),
+        rng.integers(0, 256, n),
+    )
+    factory = lambda: congestion_consumer_factory(seed=args.seed)
+    serial = Collector(factory(), num_shards=8, seed=args.seed)
+    batch = 500
+    with ParallelCollector(
+        factory(), workers=2, num_shards=8, seed=args.seed,
+        transport="shm", ring_records=16,  # < batch: all fallback
+    ) as par:
+        now = 0.0
+        for lo in range(0, n, batch):
+            hi = min(lo + batch, n)
+            now += 1.0
+            for col in (serial, par):
+                col.ingest_batch(cols[0][lo:hi], cols[1][lo:hi],
+                                 cols[2][lo:hi], cols[3][lo:hi], now=now)
+        par.drain()
+        identical = par.snapshot().as_dict() == serial.snapshot().as_dict()
+    assert identical, (
+        "pipe-fallback stream diverged from serial (the _SIDE/tombstone "
+        "ordering protocol is broken)"
+    )
+    print(f"fallback identity: {n} records, ring_records=16 < batch={batch} "
+          "-- bit-identical to serial")
+    return {"records": n, "batch": batch, "ring_records": 16, "ok": True}
+
+
+def bench_overlapped_replay(args, cores: int) -> dict:
+    """Overlap=True replay: wall clock within 4x the busiest stage."""
+    trace = build_trace("incast", packets=args.packets, seed=args.seed)
+    driver = ReplayDriver(batch_size=args.batch, seed=args.seed,
+                          overlap=True)
+    report = driver.replay(trace)
+    stages = dict(report.stage_seconds)
+    busiest_stage, busiest = max(stages.items(), key=lambda kv: kv[1])
+    ratio = report.seconds / busiest if busiest > 0 else float("inf")
+    enforce = cores >= 2
+    rate = report.records_per_sec
+    print(f"overlapped replay: {report.records} records  "
+          f"{rate:>12,.0f} rec/s  wall {report.seconds:.3f}s  "
+          f"busiest stage {busiest_stage} {busiest:.3f}s  "
+          f"ratio {ratio:.2f}x"
+          + ("" if enforce else "  (assertion skipped: too few cores)"))
+    if enforce:
+        assert ratio <= 4.0, (
+            f"overlapped replay wall clock {report.seconds:.3f}s is "
+            f"{ratio:.2f}x the busiest stage ({busiest_stage}, "
+            f"{busiest:.3f}s); the staged pipeline should keep the wall "
+            "clock within 4x of its slowest stage"
+        )
+    return {
+        "packets": args.packets,
+        "batch": args.batch,
+        "rps": round(rate),
+        "seconds": report.seconds,
+        "busiest_stage": busiest_stage,
+        "busiest_stage_seconds": busiest,
+        "wall_over_busiest": None if busiest <= 0 else round(ratio, 2),
+        "stage_seconds": stages,
+        "speedup_asserted": enforce,
+        "speedup_skip_reason": (
+            None if enforce else
+            f"only {cores} usable core(s) < 2 (overlap needs a second "
+            "core to mean anything)"
+        ),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ring-slots", type=int, default=8)
+    parser.add_argument("--ring-records", type=int, default=16384,
+                        help="records per ring slot in the micro leg")
+    parser.add_argument("--ring-batches", type=int, default=200,
+                        help="slots pushed+consumed per micro repeat")
+    parser.add_argument("--fallback-records", type=int, default=20_000,
+                        help="records in the fallback-identity leg")
+    parser.add_argument("--packets", type=int, default=60_000,
+                        help="trace packets in the overlapped-replay leg")
+    parser.add_argument("--batch", type=int, default=2048,
+                        help="replay batch size")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions (best-of-N)")
+    parser.add_argument("--json", default="BENCH_shm.json",
+                        help="output path for the machine-readable results")
+    parser.add_argument("--quick", action="store_true",
+                        help="small CI smoke run")
+    args = parser.parse_args()
+    if args.quick:
+        args.ring_batches = min(args.ring_batches, 60)
+        args.fallback_records = min(args.fallback_records, 8_000)
+        args.packets = min(args.packets, 20_000)
+        args.repeats = min(args.repeats, 2)
+
+    cores = usable_cores()
+    print(f"shm transport bench: {cores} usable cores\n")
+
+    ring = bench_ring_micro(args)
+    fallback = bench_fallback_identity(args)
+    overlap = bench_overlapped_replay(args, cores)
+
+    payload = {
+        "benchmark": "shm_transport",
+        "seed": args.seed,
+        "cores": cores,
+        "ring": ring,
+        "fallback": fallback,
+        "overlap": overlap,
+    }
+    write_bench_json(args.json, payload)
+    print("\nOK: ring micro measured, fallback bit-identical, overlapped "
+          "replay "
+          + ("within 4x of its busiest stage"
+             if overlap["speedup_asserted"] else "measured (bar skipped)"))
+
+
+if __name__ == "__main__":
+    main()

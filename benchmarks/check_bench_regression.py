@@ -34,12 +34,56 @@ import sys
 from benchlib import compare_bench
 
 
+def find_speedup_legs(payload, prefix=""):
+    """Yield ``(dotted_path, asserted, skip_reason)`` for every
+    speedup-bearing sub-dict, however deeply nested.
+
+    The benches self-gate their speedup assertions on usable cores and
+    record the outcome as a uniform ``speedup_asserted`` /
+    ``speedup_skip_reason`` pair; this walk finds them all so the gate
+    can refuse a "green" run whose speedup bars never actually armed
+    (e.g. a misconfigured runner with 1 visible core).
+    """
+    if not isinstance(payload, dict):
+        return
+    if "speedup_asserted" in payload:
+        yield (prefix or ".", bool(payload["speedup_asserted"]),
+               payload.get("speedup_skip_reason"))
+    for key, value in payload.items():
+        sub = f"{prefix}.{key}" if prefix else key
+        yield from find_speedup_legs(value, sub)
+
+
+def check_speedup_legs(payloads: dict):
+    """Failure strings for skipped/absent speedup legs (for --require-speedup)."""
+    failures, found = [], 0
+    for fname, payload in sorted(payloads.items()):
+        for path, asserted, reason in find_speedup_legs(payload):
+            found += 1
+            status = "asserted" if asserted else f"SKIPPED ({reason})"
+            print(f"  speedup leg {fname}:{path}  {status}")
+            if not asserted:
+                failures.append(
+                    f"{fname}: speedup leg {path} skipped: {reason}"
+                )
+    if found == 0:
+        failures.append(
+            "no speedup legs found in any artifact -- the benches no "
+            "longer emit speedup_asserted, or none were run"
+        )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default="BENCH_baseline.json",
                         help="committed floors file")
     parser.add_argument("--artifacts-dir", default=".",
                         help="directory the BENCH_*.json artifacts are in")
+    parser.add_argument("--require-speedup", action="store_true",
+                        help="fail when any speedup assertion was skipped "
+                        "(CI runners have the cores; a skip there means "
+                        "the leg silently stopped measuring)")
     args = parser.parse_args()
 
     with open(args.baseline) as fh:
@@ -64,12 +108,17 @@ def main() -> int:
               f"value {value:>12,.0f}  floor {floor:>12,.0f}  "
               f"gate {gate:>12,.0f}")
 
+    if args.require_speedup:
+        print()
+        failures += check_speedup_legs(payloads)
+
     if failures:
         print(f"\n{len(failures)} regression(s):")
         for line in failures:
             print(f"  - {line}")
         return 1
-    print("\nOK: no gated metric regressed below its floor")
+    print("\nOK: no gated metric regressed below its floor"
+          + (" and every speedup leg armed" if args.require_speedup else ""))
     return 0
 
 

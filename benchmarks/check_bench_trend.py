@@ -1,0 +1,136 @@
+"""CI perf-trend tracker: compare against the previous run, keep history.
+
+The regression gate (``check_bench_regression.py``) answers "did we
+fall below the committed floor?"; this tool answers the question the
+floor cannot: "which way are we drifting, run over run?".  It loads
+the same ``BENCH_*.json`` artifacts and committed floors, then
+
+* prints a PR-comment-style table per gated metric -- current value,
+  floor, and the *previous* run's value with the delta -- so a perf
+  change is visible in the job log long before it erodes down to the
+  floor, and
+* appends one JSON line to ``BENCH_history.jsonl`` (sha, ref,
+  timestamp, all gated metrics), which CI persists across runs via
+  ``actions/cache`` and uploads as an artifact: the trend file is the
+  raw material for "when did ingest get 20% slower?" archaeology.
+
+The trend itself never fails the job (runner-to-runner variance would
+make it flaky); only the floor gate fails builds.  Exit is non-zero
+solely for operational errors (missing baseline, malformed history).
+
+Run:  PYTHONPATH=src python benchmarks/check_bench_trend.py
+      (after the --quick smokes; typically followed by committing or
+      caching BENCH_history.jsonl)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from benchlib import compare_bench
+
+
+def load_history(path: str) -> list:
+    """Parse the history file, skipping lines that do not parse.
+
+    A half-written line (cache restored mid-append, disk full) must
+    not wedge every future run; bad lines are reported and dropped.
+    """
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                print(f"note: {path}:{lineno} is not valid JSON, skipping")
+                continue
+            if isinstance(entry, dict) and "metrics" in entry:
+                entries.append(entry)
+    return entries
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="BENCH_baseline.json",
+                        help="committed floors file")
+    parser.add_argument("--artifacts-dir", default=".",
+                        help="directory the BENCH_*.json artifacts are in")
+    parser.add_argument("--history", default="BENCH_history.jsonl",
+                        help="append-only trend file (cached across CI runs)")
+    parser.add_argument("--no-append", action="store_true",
+                        help="report only; leave the history file untouched")
+    args = parser.parse_args()
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+
+    payloads = {}
+    for fname in baseline.get("floors", {}):
+        path = os.path.join(args.artifacts_dir, fname)
+        if os.path.exists(path):
+            with open(path) as fh:
+                payloads[fname] = json.load(fh)
+
+    _, checked = compare_bench(payloads, baseline)
+    if not checked:
+        print("no gated metrics found -- run the --quick smokes first")
+        return 1
+
+    history = load_history(args.history)
+    previous = history[-1] if history else None
+    prev_metrics = previous["metrics"] if previous else {}
+    prev_sha = previous.get("sha", "?")[:12] if previous else None
+
+    if previous is None:
+        print("perf trend: no previous run on record "
+              f"(empty or missing {args.history})\n")
+    else:
+        print(f"perf trend: comparing against previous run {prev_sha} "
+              f"({len(history)} run(s) on record)\n")
+
+    width = max(len(f"{f}:{p}") for f, p, *_ in checked)
+    header = (f"  {'metric':<{width}}  {'current':>14}  {'floor':>12}  "
+              f"{'previous':>14}  {'delta':>8}")
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    metrics = {}
+    for fname, dotted, value, floor, _gate in checked:
+        key = f"{fname}:{dotted}"
+        metrics[key] = value
+        prev = prev_metrics.get(key)
+        if prev:
+            delta = (value - prev) / prev
+            prev_s, delta_s = f"{prev:>14,.0f}", f"{delta:>+7.1%}"
+        else:
+            prev_s, delta_s = f"{'-':>14}", f"{'-':>8}"
+        print(f"  {key:<{width}}  {value:>14,.0f}  {floor:>12,.0f}  "
+              f"{prev_s}  {delta_s}")
+
+    if args.no_append:
+        print("\n--no-append: history file left untouched")
+        return 0
+
+    entry = {
+        "sha": os.environ.get("GITHUB_SHA", "local"),
+        "ref": os.environ.get("GITHUB_REF_NAME", ""),
+        "ts": int(time.time()),
+        "metrics": metrics,
+    }
+    with open(args.history, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"\nappended run {entry['sha'][:12]} to {args.history} "
+          f"({len(history) + 1} run(s) on record)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,8 +17,10 @@ Data flow::
       ingest_batch(columns)                 parent process
             │ ShardRouter.shard_of_array → worker = shard % N
             ▼
-      scatter: one boolean mask per worker, pickled-ndarray
-      sub-columns over a duplex pipe (fire-and-forget, FIFO)
+      scatter: one boolean mask per worker; sub-columns written
+      into the worker's shared-memory ring slot (zero-copy on the
+      far side), or -- oversized / scalar -- pickled over the pipe
+      behind a ring tombstone that pins their place in the stream
             ▼
       worker w: Collector.ingest_batch(sub-columns, now=t)
       (full shard layout, only owned shards ever fed)
@@ -36,9 +38,15 @@ per-flow query answers are therefore bit-identical to a single-process
 collector fed the same batches -- asserted across all replay scenarios
 by ``benchmarks/bench_parallel_ingest.py``.
 
-Transport is pickled ndarrays over OS pipes: simple, copying, and fast
-enough that worker-side decode dominates (the bench measures >=2x
-single-process ingest at 4 workers on 4 cores).  Workers are spawned
+Transport (``transport=``): the default ``"shm"`` carries batches in
+per-worker :class:`~repro.collector.shm.ShmRing` shared-memory rings
+-- one vectorised column copy parent-side, zero-copy ``np.ndarray``
+views worker-side -- with the duplex pipe kept for sync RPCs and as
+the slow path for batches larger than a ring slot (each pipe data
+message is pinned into the stream by a ring tombstone, so the ring
+stays the single ordering spine and drain/FIFO semantics survive the
+split transport).  ``transport="pipe"`` keeps the original
+pickled-ndarray pipe data plane byte-for-byte.  Workers are spawned
 with the ``fork`` start method by default so consumer factories may be
 closures (the idiom throughout :mod:`repro.collector.consumers`); pass
 ``start_method="spawn"`` with a picklable factory where fork is
@@ -87,6 +95,7 @@ from repro.collector.recovery import (
     validate_checkpoint,
 )
 from repro.collector.shard import ShardRouter
+from repro.collector.shm import KIND_TOMBSTONE, PeerGoneError, ShmRing
 from repro.collector.snapshot import RecoveryStats, Snapshot
 from repro.exceptions import (
     CheckpointError,
@@ -106,6 +115,13 @@ from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
 #: journal-window overrun.
 _BATCH, _INGEST, _SNAPSHOT, _FLOW, _RESULT, _LEN, _EXPIRE, _EVICT, \
     _DRAIN, _STOP, _FLOWS, _CHECKPOINT, _DEGRADE = range(13)
+#: Shm-transport side channel: a fire-and-forget data message that
+#: cannot ride the ring (oversized batch, scalar ingest, journal
+#: replay of either) travels the pipe as ``(_SIDE, index, inner)``
+#: while a tombstone slot carrying ``index`` is pushed into the ring.
+#: The worker applies the inner message only when it consumes the
+#: tombstone, so the ring stays the single total order over all data.
+_SIDE = 13
 
 
 class _WorkerDied(RuntimeError):
@@ -133,6 +149,7 @@ def _worker_main(
     applied=None,
     obs_labels: Optional[dict] = None,
     restore: Optional[bytes] = None,
+    ring_spec: Optional[tuple] = None,
 ) -> None:
     """One worker: a private Collector serving commands off a pipe.
 
@@ -164,6 +181,18 @@ def _worker_main(
     is deliberately fatal -- serving queries off half-installed state
     would be worse than dying again (the parent's ``max_restarts``
     bounds the retry storm).
+
+    ``ring_spec`` attaches the worker to its shared-memory data ring
+    (None keeps the pipe-only data plane).  With a ring, the worker
+    folds ring slots eagerly and polls the pipe only when the ring is
+    empty; a sync command first drains the entire ring backlog, which
+    restores the "a sync reply proves all earlier data was applied"
+    drain property across both transports (the parent sent the RPC
+    *after* those pushes, and its pipe write fences the shared-memory
+    stores).  A ``_SIDE`` pipe message is never applied on receipt --
+    it is parked until its tombstone slot comes up in the ring, which
+    is what keeps oversized-batch fallbacks ordered exactly where the
+    parent scattered them.
     """
     obs = MetricsRegistry() if obs_enabled else None
     col = Collector(
@@ -200,32 +229,101 @@ def _worker_main(
         suppressed_errors = 0
         return text
 
-    while True:
+    def fold(fn, *args, now: float) -> None:
+        """Apply one fire-and-forget message, parking any failure."""
+        nonlocal suppressed_errors
         try:
-            msg = conn.recv()
-        except (EOFError, OSError):
-            break
-        op = msg[0]
-        if op == _BATCH or op == _INGEST:
+            fn(*args, now=now)
+        except Exception:
+            if len(pending_errors) < 8:
+                pending_errors.append(traceback.format_exc())
+            else:
+                suppressed_errors += 1
+        finally:
+            # Count attempts, not successes: the parent's sent
+            # counter has no idea a batch failed, and the backlog
+            # gauge must return to zero either way.
+            if applied is not None:
+                applied.value += 1
+
+    def apply_data(m) -> None:
+        """One pipe-borne data message (a _BATCH or _INGEST tuple)."""
+        if m[0] == _BATCH:
+            fold(col.ingest_batch, m[1], m[2], m[3], m[4], now=m[5])
+        else:
+            fold(col.ingest, m[1], m[2], m[3], m[4], now=m[5])
+
+    ring = ShmRing.attach(*ring_spec) if ring_spec is not None else None
+    #: ``_SIDE`` messages received ahead of their tombstones, by side
+    #: index.  Ordering lives in the ring; the pipe only carries the
+    #: payloads a slot cannot.
+    pending_side: Dict[int, tuple] = {}
+
+    def consume_slot(slot) -> bool:
+        """Fold one ready ring slot; False when the parent is gone."""
+        if slot.kind == KIND_TOMBSTONE:
+            m = pending_side.pop(slot.side, None)
+            if m is None:
+                try:
+                    # FIFO puts this tombstone's _SIDE message next on
+                    # the pipe: every earlier side message was consumed
+                    # by an earlier tombstone, and every sync RPC the
+                    # parent sent after it is still queued behind it.
+                    raw = conn.recv()
+                except (EOFError, OSError):
+                    return False
+                m = raw[2]
+            apply_data(m)
+        else:
+            fids, ps, hops, digs = slot.columns
+            fold(col.ingest_batch, fids, ps, hops, digs, now=slot.t)
+        ring.advance()
+        return True
+
+    def drain_ring() -> bool:
+        """Fold the whole ring backlog (before any sync command)."""
+        while True:
+            slot = ring.peek()
+            if slot is None:
+                return True
+            if not consume_slot(slot):
+                return False
+
+    while True:
+        if ring is not None:
+            slot = ring.peek()
+            if slot is not None:
+                if not consume_slot(slot):
+                    break
+                continue
             try:
-                if op == _BATCH:
-                    _, fids, ps, hops, digs, t = msg
-                    col.ingest_batch(fids, ps, hops, digs, now=t)
-                else:
-                    _, f, p, h, d, t = msg
-                    col.ingest(f, p, h, d, now=t)
-            except Exception:
-                if len(pending_errors) < 8:
-                    pending_errors.append(traceback.format_exc())
-                else:
-                    suppressed_errors += 1
-            finally:
-                # Count attempts, not successes: the parent's sent
-                # counter has no idea a batch failed, and the backlog
-                # gauge must return to zero either way.
-                if applied is not None:
-                    applied.value += 1
+                if not conn.poll(0.001):
+                    continue
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+        else:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+        op = msg[0]
+        if op == _SIDE:
+            # Park it: the ring decides when it applies.  (The parent
+            # pushes the tombstone right after this send, but an
+            # earlier ring batch may still be invisible to this
+            # process; applying now could reorder the stream.)
+            pending_side[msg[1]] = msg[2]
             continue
+        if op == _BATCH or op == _INGEST:
+            apply_data(msg)
+            continue
+        # Sync command: every data message the parent sent before it
+        # is already published to the ring (the pipe write fences the
+        # shared-memory stores), so folding the ring backlog first
+        # restores the drain protocol across both transports.
+        if ring is not None and not drain_ring():
+            break
         if op == _STOP:
             # Parked batch failures must not die with the worker: the
             # stop reply is the last chance to surface them.
@@ -286,6 +384,8 @@ def _worker_main(
             conn.send(("ok", reply))
         except Exception:
             conn.send(("err", traceback.format_exc()))
+    if ring is not None:
+        ring.close()
     conn.close()
 
 
@@ -313,6 +413,18 @@ class ParallelCollector:
         ``multiprocessing`` start method.  The default ``fork``
         supports closure factories; ``spawn`` requires picklable
         arguments throughout.
+    transport:
+        ``"shm"`` (default) scatters batches through per-worker
+        shared-memory rings (:mod:`repro.collector.shm`) with the
+        pipe as the slow path for oversized batches and scalars;
+        ``"pipe"`` keeps the original pickled-ndarray pipe data
+        plane.  Results are bit-identical either way.
+    ring_slots / ring_records:
+        Shm-ring geometry: slots per ring (>= 2; generalised double
+        buffering) and records per slot.  A batch over
+        ``ring_records`` records falls back to the pipe -- size it to
+        the scatter's per-worker sub-batch (``batch / workers``-ish)
+        to keep the fast path hot.  Ignored for ``transport="pipe"``.
     obs:
         Optional :class:`~repro.obs.metrics.MetricsRegistry`.  The
         parent registers scatter/drain spans, per-worker sent-batch
@@ -362,6 +474,9 @@ class ParallelCollector:
         seed: int = 0,
         router: Optional[ShardRouter] = None,
         start_method: str = "fork",
+        transport: str = "shm",
+        ring_slots: int = 8,
+        ring_records: int = 16384,
         obs=None,
         obs_labels: Optional[dict] = None,
         checkpoint_every: Optional[int] = None,
@@ -399,6 +514,14 @@ class ParallelCollector:
                 f"({num_shards}): a worker with no shard never sees a "
                 "record"
             )
+        if transport not in ("shm", "pipe"):
+            raise ValueError(
+                f"transport must be 'shm' or 'pipe', got {transport!r}"
+            )
+        if ring_slots < 2:
+            raise ValueError("ring_slots must be >= 2 (double buffering)")
+        if ring_records < 1:
+            raise ValueError("ring_records must be >= 1")
         self.workers = workers
         self.num_shards = num_shards
         self.router = router if router is not None else ShardRouter(
@@ -409,6 +532,15 @@ class ParallelCollector:
             router,
         )
         self._ctx = mp.get_context(start_method)
+        self._start_method = start_method
+        self.transport = transport
+        self._ring_slots = ring_slots
+        self._ring_records = ring_records
+        #: One ShmRing per worker (shm transport; empty for pipe).
+        self._rings: List[ShmRing] = []
+        #: Side-channel messages sent per worker since its ring was
+        #: created (the tombstone numbering; reset with a fresh ring).
+        self._side_sent: List[int] = [0] * workers
         self.clock = IngestClock()
         self._conns: List = []
         self._procs: List = []
@@ -494,6 +626,17 @@ class ParallelCollector:
                 "Times this worker was replaced by the supervisor.",
                 labels=labels,
             ).set_function(lambda w=w: self._restarts[w])
+            obs.gauge(
+                "pint_parallel_ring_occupancy",
+                "Slots published to this worker's shm ring and not "
+                "yet consumed (0 for the pipe transport).",
+                labels=labels,
+            ).set_function(
+                lambda w=w: (
+                    self._rings[w].occupancy()
+                    if w < len(self._rings) else 0
+                )
+            )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -513,11 +656,17 @@ class ParallelCollector:
             parent_conn, child_conn = self._ctx.Pipe(duplex=True)
             applied = self._ctx.Value("L", 0, lock=False)
             self._applied.append(applied)
+            ring_spec = None
+            if self.transport == "shm":
+                ring = ShmRing.create(self._ring_slots, self._ring_records)
+                self._rings.append(ring)
+                ring_spec = ring.spec(self._start_method)
             proc = self._ctx.Process(
                 target=_worker_main,
                 args=(
                     child_conn, *self._spec, owned,
                     w, self.obs.enabled, applied, self._obs_labels,
+                    None, ring_spec,
                 ),
                 daemon=True,
                 name=f"collector-worker-{w}",
@@ -671,6 +820,14 @@ class ParallelCollector:
                 )
         self._conns = []
         self._procs = []
+        # Workers are joined (or killed): unmap and unlink every ring
+        # segment.  Unlink is the parent's job -- it owns the names --
+        # and running it after the joins means no live worker can be
+        # left mapped to a name-less segment.
+        for ring in self._rings:
+            ring.close()
+            ring.unlink()
+        self._rings = []
         self._closed = True
         if errors:
             raise WorkerFailedError(
@@ -713,6 +870,73 @@ class ParallelCollector:
         if tag == "err":
             raise WorkerFailedError(f"collector worker failed:\n{value}")
         return value
+
+    def _transport_ff(self, w: int, msg: tuple) -> None:
+        """Route one fire-and-forget data message to worker ``w``.
+
+        ``msg`` is always the legacy pipe-shaped tuple (``_BATCH`` or
+        ``_INGEST``) -- the journal stores exactly these, so replay
+        and live traffic share one path.  On the shm transport a
+        fitting batch is written into the ring; everything else (an
+        oversized batch, a scalar) goes over the pipe as a numbered
+        ``_SIDE`` message *followed by* its ring tombstone -- pipe
+        first, so a consumer blocking on the tombstone always finds
+        the message in flight, never a hole.  Raises
+        :class:`_WorkerDied` when the worker cannot take the message
+        (dead, or -- under ``wedge_timeout`` -- making no progress on
+        a full ring); callers decide whether that is recoverable.
+        """
+        ring = self._rings[w] if w < len(self._rings) else None
+        conn = self._conns[w]
+        if ring is None:
+            try:
+                conn.send(msg)
+            except (BrokenPipeError, OSError) as exc:
+                raise _WorkerDied(
+                    f"worker {w} pipe broken at batch"
+                ) from exc
+            return
+        alive = self._procs[w].is_alive
+        if msg[0] == _BATCH and ring.fits(int(msg[1].shape[0])):
+            fids, ps, hops, digs, t = msg[1], msg[2], msg[3], msg[4], msg[5]
+
+            def attempt() -> bool:
+                return ring.try_push(fids, ps, hops, digs, t)
+
+            try:
+                ring.push_wait(attempt, alive, timeout=self._wedge_timeout)
+            except PeerGoneError as exc:
+                raise _WorkerDied(f"worker {w}: {exc}") from exc
+            return
+        idx = self._side_sent[w] + 1
+        try:
+            conn.send((_SIDE, idx, msg))
+        except (BrokenPipeError, OSError) as exc:
+            raise _WorkerDied(
+                f"worker {w} pipe broken at side message"
+            ) from exc
+        self._side_sent[w] = idx
+
+        def attempt_tombstone() -> bool:
+            return ring.try_push_tombstone(idx)
+
+        try:
+            ring.push_wait(
+                attempt_tombstone, alive, timeout=self._wedge_timeout
+            )
+        except PeerGoneError as exc:
+            raise _WorkerDied(f"worker {w}: {exc}") from exc
+
+    def _send_ff(self, w: int, msg: tuple) -> None:
+        """Unsupervised fire-and-forget send: die loudly on a corpse."""
+        try:
+            self._transport_ff(w, msg)
+        except _WorkerDied as exc:
+            raise WorkerFailedError(
+                "collector worker died (broken pipe); its shard state "
+                "is lost -- check the worker traceback on stderr"
+            ) from exc
+        self._sent[w] += 1
 
     def _call(self, worker: int, msg):
         """One synchronous RPC round-trip to ``worker``.
@@ -885,6 +1109,21 @@ class ParallelCollector:
         journal = self._journals[w]
         owned = list(range(w, self.num_shards, self.workers))
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        ring_spec = None
+        if w < len(self._rings):
+            # The dead worker's ring may hold batches it never folded
+            # (the journal replays them) and its consumed index is
+            # frozen mid-stream: replace the segment outright.  The
+            # old one is unlinked here -- a SIGKILLed worker cannot
+            # unmap anything, but the name must not outlive recovery.
+            old = self._rings[w]
+            old.close()
+            old.unlink()
+            ring = ShmRing.create(self._ring_slots, self._ring_records)
+            self._rings[w] = ring
+            ring_spec = ring.spec(self._start_method)
+            # Fresh ring, fresh pipe: side numbering restarts with it.
+            self._side_sent[w] = 0
         # The replacement's applied counter starts at sent-minus-replay
         # so the backlog gauge stays truthful: after the journal is
         # folded it reads zero again, exactly like a worker that never
@@ -898,7 +1137,7 @@ class ParallelCollector:
             args=(
                 child_conn, *self._spec, owned,
                 w, self.obs.enabled, applied, self._obs_labels,
-                self._checkpoints[w],
+                self._checkpoints[w], ring_spec,
             ),
             daemon=True,
             name=f"collector-worker-{w}",
@@ -910,8 +1149,12 @@ class ParallelCollector:
         replay = journal.replay_messages()
         for m in replay:
             try:
-                parent_conn.send(m)
-            except (BrokenPipeError, OSError) as exc:
+                # Through the normal transport: a journaled batch that
+                # fits a slot replays via the fresh ring, an oversized
+                # one via _SIDE + tombstone -- the replacement cannot
+                # tell replay from live traffic.
+                self._transport_ff(w, m)
+            except _WorkerDied as exc:
                 raise RecoveryError(
                     f"worker {w} replacement died during journal "
                     f"replay (original failure: {reason})",
@@ -960,10 +1203,10 @@ class ParallelCollector:
         self._sent[w] += 1
         self._msgs_since_ckpt[w] += 1
         try:
-            self._conns[w].send(msg)
-        except (BrokenPipeError, OSError):
+            self._transport_ff(w, msg)
+        except _WorkerDied as exc:
             # Already journaled: the replay delivers this very message.
-            self._recover_worker(w, f"worker {w} pipe broken at batch")
+            self._recover_worker(w, str(exc))
             return
         if self._faults is not None:
             for spec in self._faults.worker_faults(w, self._sent[w]):
@@ -1018,11 +1261,7 @@ class ParallelCollector:
             )
             return
         owner = self._owner(flow_id)
-        self._send(
-            self._conns[owner],
-            (_INGEST, flow_id, pid, hop_count, digest, t),
-        )
-        self._sent[owner] += 1
+        self._send_ff(owner, (_INGEST, flow_id, pid, hop_count, digest, t))
 
     def ingest_batch(
         self,
@@ -1077,24 +1316,20 @@ class ParallelCollector:
                     )
                 return n
             if self.workers == 1:
-                self._send(
-                    self._conns[0], (_BATCH, fids, ps, hops, digs, t)
-                )
-                self._sent[0] += 1
+                self._send_ff(0, (_BATCH, fids, ps, hops, digs, t))
                 return n
             wids = self.router.shard_of_array(fids) % self.workers
             for w in range(self.workers):
                 mask = wids == w
                 if not mask.any():
                     continue
-                self._send(
-                    self._conns[w],
+                self._send_ff(
+                    w,
                     (
                         _BATCH, fids[mask], ps[mask], hops[mask],
                         digs[mask], t,
                     ),
                 )
-                self._sent[w] += 1
         return n
 
     # -- queries -----------------------------------------------------------

@@ -34,7 +34,11 @@ DEFAULTS: Dict[str, Any] = {
     "unpickle-allow": ["repro/collector/recovery.py"],
     "sidecar-fields": ["metrics", "service", "recovery"],
     "lock-allow-methods": ["start", "close", "stop", "_init_obs", "set_function"],
-    "fork-modules": ["repro/collector/parallel.py"],
+    "fork-modules": [
+        "repro/collector/parallel.py",
+        "repro/collector/shm.py",
+    ],
+    "shm-modules": ["repro/collector/shm.py"],
     "mypy": {
         "typed-manifest": "typed_modules.txt",
         "min-typed-modules": 6,
@@ -64,6 +68,10 @@ class LintConfig:
     #: Modules that fork workers and therefore must not touch threads
     #: at import or setup time (R008).
     fork_modules: Tuple[str, ...] = ()
+    #: The only modules allowed to *create* shared-memory segments
+    #: (``SharedMemory(create=True)``); one owner keeps the unlink
+    #: discipline auditable (R008).
+    shm_modules: Tuple[str, ...] = ()
     #: Path of the typed-module manifest, relative to the repo root.
     typed_manifest: str = "typed_modules.txt"
     #: Ratchet floor: the manifest may only grow.
@@ -84,6 +92,7 @@ class LintConfig:
             sidecar_fields=tuple(merged["sidecar-fields"]),
             lock_allow_methods=tuple(merged["lock-allow-methods"]),
             fork_modules=tuple(merged["fork-modules"]),
+            shm_modules=tuple(merged["shm-modules"]),
             typed_manifest=str(mypy_cfg["typed-manifest"]),
             min_typed_modules=int(mypy_cfg["min-typed-modules"]),
             source=source,

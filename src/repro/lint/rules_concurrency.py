@@ -134,9 +134,25 @@ _THREAD_CALLS = frozenset({
 })
 
 
+def _creates_shared_memory(node: ast.Call, name: str) -> bool:
+    """True for ``SharedMemory(..., create=True)`` (kw or positional)."""
+    if not name or name.split(".")[-1] != "SharedMemory":
+        return False
+    for kw in node.keywords:
+        if (kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True):
+            return True
+    # Signature: SharedMemory(name=None, create=False, size=0).
+    return (len(node.args) >= 2
+            and isinstance(node.args[1], ast.Constant)
+            and node.args[1].value is True)
+
+
 @register
 class ForkSafety(Rule):
-    """R008: fork-based modules never create threads.
+    """R008: fork-based modules never create threads, and only the
+    shm modules create shared-memory segments.
 
     ``collector/parallel.py`` forks workers (the default start method
     on Linux); a thread started before ``fork()`` leaves the child
@@ -145,24 +161,41 @@ class ForkSafety(Rule):
     *anywhere* in the configured fork modules: keeping the whole
     module thread-free is simpler to audit than proving ordering
     against every fork site.
+
+    The second prong guards the other fork-adjacent resource:
+    ``SharedMemory(create=True)`` outside the ``shm-modules``
+    allowlist (``collector/shm.py``).  Every created segment needs
+    exactly one owner that unlinks it; segments minted ad hoc around
+    the codebase are how ``/dev/shm`` fills with orphans after a
+    crash.
     """
 
     id = "R008"
     name = "subprocess-fork-safety"
     domains = ("lib",)
     description = ("no thread creation in fork-based modules "
-                   "(fork-modules list)")
+                   "(fork-modules list); no SharedMemory(create=True) "
+                   "outside shm-modules")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
-        if not path_matches(ctx.rel_path, ctx.config.fork_modules):
-            return
+        in_fork = path_matches(ctx.rel_path, ctx.config.fork_modules)
+        in_shm = path_matches(ctx.rel_path, ctx.config.shm_modules)
         for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.Call):
-                name = dotted_name(node.func)
-                if name in _THREAD_CALLS:
-                    yield ctx.finding(
-                        self.id, node,
-                        f"{name}() in a fork-based module; threads held "
-                        "across fork() deadlock the child -- move threading "
-                        "out of the fork path",
-                    )
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if in_fork and name in _THREAD_CALLS:
+                yield ctx.finding(
+                    self.id, node,
+                    f"{name}() in a fork-based module; threads held "
+                    "across fork() deadlock the child -- move threading "
+                    "out of the fork path",
+                )
+            if not in_shm and name and _creates_shared_memory(node, name):
+                yield ctx.finding(
+                    self.id, node,
+                    f"{name}(create=True) outside shm-modules; segment "
+                    "creation (and the unlink discipline that keeps "
+                    "/dev/shm clean) is confined to collector/shm.py -- "
+                    "route new segments through ShmRing",
+                )

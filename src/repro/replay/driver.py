@@ -19,6 +19,8 @@ side by side.
 from __future__ import annotations
 
 import math
+import queue
+import threading
 import time
 from dataclasses import asdict, dataclass, replace
 from typing import List, Optional, Sequence, Tuple
@@ -103,6 +105,10 @@ class ScenarioReport:
     #: journal was sized to the checkpoint cadence.
     degraded_shards: int = 0
     records_lost: int = 0
+    #: True when the replay ran the staged-overlap pipeline (encode of
+    #: batch k+1 concurrent with ingest of batch k); stage_seconds are
+    #: then per-stage *busy* times and may sum past ``seconds``.
+    overlapped: bool = False
     #: Per-stage wall time of the replay loop, insertion-ordered
     #: ``(stage, seconds)`` pairs: where ``seconds`` actually went
     #: (select / encode / ingest / transport / decode, plus impair
@@ -196,6 +202,84 @@ class ScenarioReport:
         return "stages: " + "  ".join(parts)
 
 
+class _IngestPipeline:
+    """Bounded hand-off queue + one ingest thread (overlap mode).
+
+    The producer half of the replay loop (plan selection, digest
+    encode, congestion compression) keeps the main thread; every
+    encoded sub-batch is handed through a bounded :class:`queue.Queue`
+    to a single consumer thread that runs the ingest callables.  One
+    consumer preserves the sequential loop's exact ingest order --
+    the bit-identity requirement -- while encode of batch ``k+1``
+    overlaps ingest (and, behind a parallel sink, worker decode) of
+    batch ``k``.  ``depth`` bounds how far encode may run ahead:
+    memory grows as ``depth x batch`` and no further.
+
+    Stage accounting: the consumer owns the ``ingest`` span, the
+    producer the ``handoff`` span (time blocked handing batches over
+    -- the signature of ingest being the slower stage).  Each span is
+    touched by exactly one thread.
+
+    Failure: the consumer parks the first exception, then keeps
+    *draining* the queue without running anything -- the producer's
+    ``put`` must never deadlock against a dead consumer -- and the
+    error surfaces at the next :meth:`submit` or at :meth:`result`,
+    after :meth:`close` has joined the thread.
+    """
+
+    _DONE = object()
+
+    def __init__(self, stages: StageTimes, depth: int) -> None:
+        self._q: queue.Queue = queue.Queue(maxsize=depth)
+        self._sp_ingest = stages.span("ingest")
+        self._sp_handoff = stages.span("handoff")
+        self._exc: Optional[BaseException] = None
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name="replay-ingest", daemon=True
+        )
+        self._thread.start()
+
+    def depth(self) -> int:
+        """Live queue depth (the overlap back-pressure gauge)."""
+        return self._q.qsize()
+
+    def submit(self, fn, *args, **kwargs) -> None:
+        """Queue one ingest call; re-raises a parked consumer error."""
+        if self._exc is not None:
+            self.close()
+            self.result()
+        with self._sp_handoff:
+            self._q.put((fn, args, kwargs))
+
+    def _run(self) -> None:
+        while True:
+            item = self._q.get()
+            if item is self._DONE:
+                return
+            if self._exc is not None:
+                continue
+            fn, args, kwargs = item
+            try:
+                with self._sp_ingest:
+                    fn(*args, **kwargs)
+            except BaseException as exc:  # parked, surfaced in producer
+                self._exc = exc
+
+    def close(self) -> None:
+        """Flush the queue and join the thread (idempotent, no raise)."""
+        if not self._closed:
+            self._closed = True
+            self._q.put(self._DONE)
+        self._thread.join()
+
+    def result(self) -> None:
+        """Raise the parked consumer error, if any (after close())."""
+        if self._exc is not None:
+            exc, self._exc = self._exc, None
+            raise exc
+
+
 class ReplayDriver:
     """Streams scenario traces through the vectorised dataplane.
 
@@ -223,6 +307,23 @@ class ReplayDriver:
         costs exactly N extra processes, all spent on the
         decode-heavy query.  Results are bit-identical either way;
         the knob only moves where the decode work runs.
+    worker_transport:
+        Data plane of the ``workers=N`` path sink: ``"shm"``
+        (default) scatters through shared-memory rings, ``"pipe"``
+        keeps the pickled-pipe transport (see
+        :class:`~repro.collector.ParallelCollector`).
+    overlap:
+        ``False`` (default) runs the stages sequentially per batch.
+        ``True`` overlaps them: select/encode stay on the main
+        thread, ingest (or wire send) runs on a dedicated thread
+        behind a bounded hand-off queue of ``overlap_depth`` batches,
+        so end-to-end throughput tracks the slower of the two halves
+        instead of their sum.  Ingest order -- and therefore every
+        snapshot and per-flow answer -- is bit-identical to the
+        sequential loop; reports carry ``overlapped=True`` and a
+        ``handoff`` stage (producer time blocked on the full queue).
+    overlap_depth:
+        Bounded hand-off queue length (batches) for ``overlap=True``.
     mode:
         Path-digest representation the dataplane stamps and the sink
         decodes: "auto" (hash, since traces carry a universe), "raw",
@@ -269,6 +370,9 @@ class ReplayDriver:
         congestion_share: float = 0.2,
         congestion_bits: int = 8,
         workers: Optional[int] = None,
+        worker_transport: str = "shm",
+        overlap: bool = False,
+        overlap_depth: int = 4,
         mode: str = "auto",
         impairments: Optional[Sequence[ImpairmentModel]] = None,
         transport: Optional[str] = None,
@@ -303,7 +407,17 @@ class ReplayDriver:
                 f"workers ({workers}) must not exceed num_shards "
                 f"({num_shards}): a worker owns at least one shard"
             )
+        if worker_transport not in ("shm", "pipe"):
+            raise ValueError(
+                f"worker_transport must be 'shm' or 'pipe', "
+                f"got {worker_transport!r}"
+            )
+        if overlap_depth < 1:
+            raise ValueError("overlap_depth must be >= 1")
         self.workers = workers
+        self.worker_transport = worker_transport
+        self.overlap = bool(overlap)
+        self.overlap_depth = overlap_depth
         if workers is None and (
             checkpoint_every is not None or faults is not None
         ):
@@ -360,6 +474,7 @@ class ReplayDriver:
         return ParallelCollector(
             consumer_factory, workers=self.workers,
             num_shards=self.num_shards, seed=self.seed,
+            transport=self.worker_transport,
             obs=obs, obs_labels=labels,
             checkpoint_every=self.checkpoint_every,
             journal_batches=self.journal_batches,
@@ -423,6 +538,7 @@ class ReplayDriver:
             codec = UtilizationCodec(self.congestion_bits, seed=self.seed)
         path_server = cong_server = None
         path_tx = cong_tx = None
+        pipeline: Optional[_IngestPipeline] = None
         try:
             # The ingest callables: the sinks' own ingest_batch, or --
             # behind a transport -- the matching sender's send_batch
@@ -448,6 +564,21 @@ class ReplayDriver:
             sp_select = stages.span("select")
             sp_encode = stages.span("encode")
             sp_ingest = stages.span("ingest")
+            if self.overlap:
+                # Fork before thread: a parallel sink's workers must be
+                # spawned while this process is still single-threaded
+                # (forking a threaded parent is how locks get copied
+                # mid-acquisition).
+                starter = getattr(path_sink, "start", None)
+                if starter is not None:
+                    starter()
+                pipeline = _IngestPipeline(stages, self.overlap_depth)
+                if self.obs.enabled:
+                    self.obs.gauge(
+                        "pint_replay_overlap_depth",
+                        "Encoded batches queued for the overlapped "
+                        "ingest thread (bounded by overlap_depth).",
+                    ).set_function(pipeline.depth)
             # The delivery schedule is planned over the whole trace up
             # front: bursty-loss state and reorder displacement must
             # span batch boundaries, exactly as a network precedes the
@@ -482,11 +613,22 @@ class ReplayDriver:
                 if path_rows.size:
                     with sp_encode:
                         digests = dataplane.encode_rows(path_rows)
-                    with sp_ingest:
-                        path_ingest(
-                            trace.flow_id[path_rows], trace.pid[path_rows],
-                            hop_counts[path_rows], digests, now=now,
+                    # The gathered columns are fresh copies (fancy
+                    # indexing), so the overlapped thread never shares
+                    # a buffer with the next iteration's producer.
+                    if pipeline is not None:
+                        pipeline.submit(
+                            path_ingest, trace.flow_id[path_rows],
+                            trace.pid[path_rows], hop_counts[path_rows],
+                            digests, now=now,
                         )
+                    else:
+                        with sp_ingest:
+                            path_ingest(
+                                trace.flow_id[path_rows],
+                                trace.pid[path_rows],
+                                hop_counts[path_rows], digests, now=now,
+                            )
                     path_records += int(path_rows.size)
                 if cong_sink is not None:
                     cong_rows = rows[entry == 1]
@@ -496,13 +638,27 @@ class ReplayDriver:
                                 codec, utils[cong_rows], trace.pid[cong_rows],
                                 hop_counts[cong_rows],
                             )
-                        with sp_ingest:
-                            cong_ingest(
-                                trace.flow_id[cong_rows], trace.pid[cong_rows],
-                                hop_counts[cong_rows], codes, now=now,
+                        if pipeline is not None:
+                            pipeline.submit(
+                                cong_ingest, trace.flow_id[cong_rows],
+                                trace.pid[cong_rows], hop_counts[cong_rows],
+                                codes, now=now,
                             )
+                        else:
+                            with sp_ingest:
+                                cong_ingest(
+                                    trace.flow_id[cong_rows],
+                                    trace.pid[cong_rows],
+                                    hop_counts[cong_rows], codes, now=now,
+                                )
                         cong_records += int(cong_rows.size)
                 batches += 1
+            if pipeline is not None:
+                # Join the ingest thread before the flush/drain
+                # barriers below; a parked ingest error surfaces here
+                # rather than being discovered as missing records.
+                pipeline.close()
+                pipeline.result()
             # Wire path: flush the retransmit queues, then wait for
             # the last frame to clear socket, admission queue and
             # ingest thread -- the wire is part of the measured path,
@@ -528,7 +684,10 @@ class ReplayDriver:
                     trace, path_sink, cong_sink, codec, utils, batches,
                     path_records, cong_records, seconds, delivery, models,
                 )
-            report = replace(report, stage_seconds=stages.items())
+            report = replace(
+                report, stage_seconds=stages.items(),
+                overlapped=pipeline is not None,
+            )
             if self.obs.enabled:
                 for stage, secs in stages.items():
                     self.obs.histogram(
@@ -556,6 +715,10 @@ class ReplayDriver:
                 )
             return report
         finally:
+            # The ingest thread holds sink references: it must be
+            # joined (idempotent) before anything below closes them.
+            if pipeline is not None:
+                pipeline.close()
             # Bare socket release, not sender.close(): the success
             # path flushed already, and an error path must not spend a
             # flush timeout re-offering frames nobody will score.

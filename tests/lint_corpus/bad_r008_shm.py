@@ -1,0 +1,12 @@
+"""R008 known-bad: SharedMemory(create=True) outside shm-modules.
+
+Unlike the thread prong, the shm prong fires for *any* lib file not
+on the shm-modules allowlist -- no special config needed.
+"""
+from multiprocessing import shared_memory
+
+
+def grab_segment(size):
+    seg = shared_memory.SharedMemory(create=True, size=size)   # bad
+    spare = shared_memory.SharedMemory(None, True, 64)         # bad (positional)
+    return seg, spare

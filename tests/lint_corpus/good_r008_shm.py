@@ -1,0 +1,8 @@
+"""R008 known-good: attaching to an existing segment is fine anywhere."""
+from multiprocessing import shared_memory
+
+
+def map_segment(name):
+    # Attach-only (create defaults to False): the owner lives in
+    # collector/shm.py; this side merely maps it.
+    return shared_memory.SharedMemory(name=name)

@@ -95,6 +95,26 @@ def test_r008_silent_outside_fork_modules():
     assert corpus_findings("bad_r008.py") == []
 
 
+def test_r008_shm_create_fires_outside_shm_modules():
+    # The shm prong needs no special config: the corpus file is not on
+    # the shm-modules allowlist, so both create sites (kw + positional)
+    # fire under the committed config.
+    findings = corpus_findings("bad_r008_shm.py")
+    assert {f.rule for f in findings} == {"R008"}
+    assert len(findings) == 2
+    assert all("create=True" in f.message for f in findings)
+
+
+def test_r008_shm_attach_is_clean():
+    assert corpus_findings("good_r008_shm.py") == []
+
+
+def test_r008_shm_create_allowed_inside_shm_modules():
+    cfg = dataclasses.replace(
+        CONFIG, shm_modules=("lint_corpus/bad_r008_shm.py",))
+    assert corpus_findings("bad_r008_shm.py", config=cfg) == []
+
+
 def test_bad_fixtures_carry_precise_lines():
     findings = corpus_findings("bad_r002.py")
     lines = sorted(f.line for f in findings)
